@@ -1,0 +1,50 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Each bench prints the simulated (or host-measured) values next to the
+// paper's published numbers so the comparison EXPERIMENTS.md records is
+// visible directly in the binary's output.
+#pragma once
+
+#include <cstdio>
+
+#include "core/machine.hpp"
+#include "core/sim.hpp"
+
+namespace ppstap::bench {
+
+inline core::PipelineSimulator paper_simulator() {
+  return core::PipelineSimulator(stap::StapParams{},
+                                 core::ParagonParams::calibrated());
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+/// "0.1234 (paper 0.1332)" column for side-by-side comparison.
+inline void print_vs(double sim, double paper) {
+  std::printf("  %7.4f (paper %7.4f)", sim, paper);
+}
+
+/// One full per-task table in the style of the paper's Table 7 panels.
+inline void print_case_table(const core::PipelineSimulator& sim,
+                             const core::NodeAssignment& a,
+                             const char* title) {
+  const auto r = sim.simulate(a);
+  print_header(title);
+  std::printf("%-28s %7s %8s %8s %8s %8s\n", "task", "# nodes", "recv",
+              "comp", "send", "total");
+  for (int t = 0; t < stap::kNumTasks; ++t) {
+    const auto& tt = r.timing[static_cast<size_t>(t)];
+    std::printf("%-28s %7d %8.4f %8.4f %8.4f %8.4f\n",
+                stap::task_name(static_cast<stap::Task>(t)),
+                a.nodes[static_cast<size_t>(t)], tt.recv, tt.comp, tt.send,
+                tt.total());
+  }
+  std::printf("throughput %7.4f CPI/s   latency %7.4f s\n",
+              r.throughput_measured, r.latency_measured);
+}
+
+}  // namespace ppstap::bench

@@ -1,0 +1,62 @@
+// Extension bench: replication of pipeline stages (the technique of the
+// §2-cited Lee & Prasanna work, and one of this paper's stated future
+// directions).
+//
+// Replicating a stage multiplies its effective rate without shortening it,
+// so it buys throughput but never latency — and the weight tasks cannot be
+// replicated at all (their training state spans consecutive CPIs). The
+// sweep below contrasts spending nodes on replication vs on widening the
+// same stage.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace ppstap;
+using core::NodeAssignment;
+using core::ReplicationPlan;
+using stap::Task;
+
+int main() {
+  auto sim = bench::paper_simulator();
+
+  // A pipeline whose bottleneck is the (stateless) pulse compression task.
+  NodeAssignment base{{32, 16, 112, 16, 28, 4, 16}};
+  bench::print_header(
+      "Stage replication vs widening: pulse compression bottleneck "
+      "(base assignment: PC = 4 nodes, everything else case-1 sized)");
+
+  const auto r0 = sim.simulate(base);
+  std::printf("%-44s thr %7.3f CPI/s   lat %7.4f s   (nodes %d)\n",
+              "base (PC x1, 4 nodes)", r0.throughput_measured,
+              r0.latency_measured, base.total());
+
+  for (int replicas : {2, 3}) {
+    ReplicationPlan plan;
+    plan[Task::kPulseCompression] = replicas;
+    const auto r = sim.simulate_replicated(base, plan);
+    std::printf("%-44s thr %7.3f CPI/s   lat %7.4f s   (nodes %d)\n",
+                replicas == 2 ? "replicate PC x2 (4 nodes each)"
+                              : "replicate PC x3 (4 nodes each)",
+                r.throughput_measured, r.latency_measured,
+                plan.total_nodes(base));
+  }
+  for (int wide : {8, 12}) {
+    NodeAssignment widened = base;
+    widened[Task::kPulseCompression] = wide;
+    const auto r = sim.simulate(widened);
+    std::printf("%-44s thr %7.3f CPI/s   lat %7.4f s   (nodes %d)\n",
+                wide == 8 ? "widen PC to 8 nodes (same extra nodes as x2)"
+                          : "widen PC to 12 nodes (same as x3)",
+                r.throughput_measured, r.latency_measured, widened.total());
+  }
+
+  std::printf(
+      "\nReading: at equal node cost, widening matches replication's "
+      "throughput and beats its latency (the stage itself gets shorter, "
+      "and every CPI still crosses one replica). Replication is the tool "
+      "when a stage cannot be widened further — more nodes than work "
+      "items, or (the paper's real case) when the communication fan-in of "
+      "a very wide stage stops paying. The weight tasks can never use it: "
+      "their training state spans consecutive CPIs.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extension bench: the pre-pipelining RTMCARM deployment (paper §2: whole
+// CPIs to nodes round-robin) vs the paper's parallel pipelined system, at
+// equal node counts.
+//
+// The paper's motivating observation: "using this approach, the throughput
+// may be improved, but the latency is limited by what can be achieved
+// using one compute node". The machine model quantifies that: round-robin
+// latency is pinned at the one-node chain time regardless of node count,
+// while the pipelined system drives both measures down together.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace ppstap;
+using core::NodeAssignment;
+
+int main() {
+  auto sim = bench::paper_simulator();
+
+  bench::print_header(
+      "Round-robin deployment vs parallel pipeline (equal node counts)");
+  std::printf("%8s | %-32s | %-32s\n", "nodes", "round-robin thr / lat",
+              "pipelined thr / lat");
+  struct Row {
+    int nodes;
+    NodeAssignment pipeline;
+  };
+  const Row rows[] = {
+      {59, NodeAssignment::paper_case3()},
+      {118, NodeAssignment::paper_case2()},
+      {236, NodeAssignment::paper_case1()},
+  };
+  for (const auto& row : rows) {
+    const auto rr = sim.round_robin(row.nodes);
+    const auto pp = sim.simulate(row.pipeline);
+    std::printf("%8d | %10.3f CPI/s %10.3f s | %10.3f CPI/s %10.3f s\n",
+                row.nodes, rr.throughput, rr.latency, pp.throughput_measured,
+                pp.latency_measured);
+  }
+
+  const auto rr1 = sim.round_robin(1);
+  std::printf(
+      "\nSingle-node chain time (the round-robin latency floor): %.3f s\n"
+      "Paper's RTMCARM deployment reference (§2): 2.35 s latency, up to 10 "
+      "CPI/s on 25 nodes — but those nodes ran *three* i860s on shared "
+      "memory and a lighter flight algorithm; our one-i860 model gives "
+      "%.3f s and %.2f CPI/s on 25 nodes. The structural point is "
+      "node-count independent: round-robin latency is flat, pipelined "
+      "latency scales down.\n",
+      rr1.latency, rr1.latency, sim.round_robin(25).throughput);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Extension bench: Doppler window selection study (paper §3: "The
+// selection of a window is a key parameter in that it impacts the leakage
+// of clutter returns across Doppler bins, traded off against the width of
+// the clutter passband").
+//
+// For each window, a clutter-only scene is Doppler filtered and the
+// clutter energy is split into the hard region (the intended clutter
+// passband near DC) and the easy region (leakage the adaptive weights must
+// then fight). Better sidelobe suppression -> less easy-region leakage but
+// a wider mainlobe -> more bins needed in the hard region.
+#include <cmath>
+#include <cstdio>
+
+#include "linalg/matrix.hpp"
+#include "stap/doppler.hpp"
+#include "stap/params.hpp"
+#include "synth/scenario.hpp"
+
+using namespace ppstap;
+
+int main() {
+  stap::StapParams p;
+  p.num_range = 128;  // enough range cells for stable statistics
+  p.num_channels = 8;
+  p.num_pulses = 64;
+  p.num_hard = 24;
+  p.hard_samples_per_segment = 16;  // fits the smaller range segments
+  p.validate();
+
+  synth::ScenarioParams sp;
+  sp.num_range = p.num_range;
+  sp.num_channels = p.num_channels;
+  sp.num_pulses = p.num_pulses;
+  sp.clutter.num_patches = 24;
+  sp.clutter.cnr_db = 50.0;
+  // Narrow ridge: all clutter Doppler within the hard region, so whatever
+  // lands in the easy bins is pure window leakage.
+  sp.clutter.doppler_slope = 0.3;
+  sp.chirp_length = 0;
+  sp.noise_power = 1e-12;
+  synth::ScenarioGenerator gen(sp);
+  const auto cpi = gen.generate(0);
+
+  std::printf("Doppler window study (clutter-only scene, CNR 50 dB, ridge "
+              "inside the hard region)\n\n");
+  std::printf("%-12s %18s %18s %14s\n", "window", "hard-region energy",
+              "easy-region leak", "leak ratio dB");
+
+  for (auto kind : {dsp::WindowKind::kRectangular, dsp::WindowKind::kHanning,
+                    dsp::WindowKind::kHamming, dsp::WindowKind::kBlackman}) {
+    stap::StapParams pw = p;
+    pw.window = kind;
+    stap::DopplerFilter filter(pw);
+    const auto stag = filter.filter(cpi);
+
+    double hard_e = 0.0, easy_e = 0.0;
+    for (index_t k = 0; k < p.num_range; ++k)
+      for (index_t ch = 0; ch < p.num_channels; ++ch)
+        for (index_t b = 0; b < p.num_pulses; ++b) {
+          const double e = linalg::abs_sq(stag.at(k, ch, b));
+          if (pw.is_hard_bin(b))
+            hard_e += e;
+          else
+            easy_e += e;
+        }
+    std::printf("%-12s %18.4g %18.4g %14.1f\n", dsp::window_name(kind),
+                hard_e, easy_e, 10.0 * std::log10(easy_e / hard_e));
+  }
+  std::printf(
+      "\nReading: rectangular leaks clutter across the whole Doppler space "
+      "(high sidelobes); Hanning/Blackman confine it to the hard region at "
+      "the cost of a wider clutter passband. This is why the paper's hard/"
+      "easy split (and its uneven processor assignment) depends on the "
+      "window choice.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Figure 11: computation time and speedup per task as a
+// function of the number of compute nodes.
+//
+// The paper's plot shows every task speeding up linearly to the largest
+// node count tried; the machine model reproduces the same curves, with the
+// granularity steps (ceil(items/P)) visible exactly where the paper's own
+// numbers deviate from ideal (e.g. easy weights at 16 nodes).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace ppstap;
+
+int main() {
+  auto sim = bench::paper_simulator();
+  const int node_counts[] = {1, 2, 4, 8, 16, 32, 64, 128};
+
+  bench::print_header(
+      "Figure 11(a): computation time (seconds) vs number of nodes");
+  std::printf("%-28s", "task \\ nodes");
+  for (int n : node_counts) std::printf(" %8d", n);
+  std::printf("\n");
+  for (int t = 0; t < stap::kNumTasks; ++t) {
+    const auto task = static_cast<stap::Task>(t);
+    std::printf("%-28s", stap::task_name(task));
+    for (int n : node_counts) {
+      if (static_cast<index_t>(n) > sim.work_items(task)) {
+        std::printf(" %8s", "-");
+        continue;
+      }
+      std::printf(" %8.4f", sim.compute_time(task, n));
+    }
+    std::printf("\n");
+  }
+
+  bench::print_header("Figure 11(b): speedup vs number of nodes");
+  std::printf("%-28s", "task \\ nodes");
+  for (int n : node_counts) std::printf(" %8d", n);
+  std::printf("\n");
+  for (int t = 0; t < stap::kNumTasks; ++t) {
+    const auto task = static_cast<stap::Task>(t);
+    const double t1 = sim.compute_time(task, 1);
+    std::printf("%-28s", stap::task_name(task));
+    for (int n : node_counts) {
+      if (static_cast<index_t>(n) > sim.work_items(task)) {
+        std::printf(" %8s", "-");
+        continue;
+      }
+      std::printf(" %8.2f", t1 / sim.compute_time(task, n));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper cross-check (Table 7 compute column): Doppler 32 nodes "
+      "paper 0.0874 / sim %.4f; hard weight 112 nodes paper 0.0831 / sim "
+      "%.4f; CFAR 16 nodes paper 0.0434 / sim %.4f\n",
+      sim.compute_time(stap::Task::kDopplerFilter, 32),
+      sim.compute_time(stap::Task::kHardWeight, 112),
+      sim.compute_time(stap::Task::kCfar, 16));
+  return 0;
+}

@@ -1,0 +1,351 @@
+// Google-benchmark microbenchmarks for the computational kernels, plus the
+// ablations DESIGN.md calls out:
+//
+//  * recursive QR row-append vs full re-factorization (the paper's claim
+//    that the block-update form gives "improved efficiency" for the hard
+//    Doppler bins),
+//  * pulse compression on M beamformed outputs vs 2J receive channels (the
+//    §3 claim that the mainbeam constraint's phase preservation allows
+//    compressing after beamforming for "substantial savings"),
+//  * strided data reorganization vs contiguous copy (the §5.3 cache-miss
+//    discussion of redistribution cost).
+#include <benchmark/benchmark.h>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "cube/cube.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/waveform.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/qr.hpp"
+#include "stap/beamform.hpp"
+#include "stap/cfar.hpp"
+#include "stap/doppler.hpp"
+#include "stap/params.hpp"
+#include "stap/pulse_compression.hpp"
+#include "stap/training.hpp"
+#include "stap/weights.hpp"
+#include "synth/scenario.hpp"
+#include "synth/steering.hpp"
+
+using namespace ppstap;
+
+namespace {
+
+std::vector<cfloat> random_signal(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cfloat> x(static_cast<size_t>(n));
+  for (auto& v : x) {
+    auto z = rng.cnormal();
+    v = cfloat(static_cast<float>(z.real()), static_cast<float>(z.imag()));
+  }
+  return x;
+}
+
+linalg::MatrixCF random_matrix(index_t rows, index_t cols,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::MatrixCF m(rows, cols);
+  for (index_t i = 0; i < rows; ++i)
+    for (index_t j = 0; j < cols; ++j) {
+      auto z = rng.cnormal();
+      m(i, j) = cfloat(static_cast<float>(z.real()),
+                       static_cast<float>(z.imag()));
+    }
+  return m;
+}
+
+// --------------------------------------------------------------------------
+// FFT
+// --------------------------------------------------------------------------
+void BM_FftRadix2(benchmark::State& state) {
+  const index_t n = state.range(0);
+  dsp::FftPlan<float> plan(n, dsp::FftDirection::kForward);
+  auto x = random_signal(n, 1);
+  for (auto _ : state) {
+    plan.execute(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FftRadix2)->Arg(128)->Arg(512)->Arg(4096);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const index_t n = state.range(0);  // non power of two
+  dsp::FftPlan<float> plan(n, dsp::FftDirection::kForward);
+  auto x = random_signal(n, 2);
+  for (auto _ : state) {
+    plan.execute(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(125)->Arg(500);
+
+// --------------------------------------------------------------------------
+// QR: recursive row-append vs full re-factorization (ablation)
+// --------------------------------------------------------------------------
+void BM_QrAppendRows(benchmark::State& state) {
+  const index_t n = 32;                   // 2J
+  const index_t k = state.range(0);       // new rows per CPI
+  auto r0 = linalg::QrFactorization<cfloat>(random_matrix(64, n, 3)).r();
+  auto x = random_matrix(k, n, 4);
+  for (auto _ : state) {
+    auto r = linalg::qr_append_rows(r0, x);
+    benchmark::DoNotOptimize(r.data());
+  }
+}
+BENCHMARK(BM_QrAppendRows)->Arg(30)->Arg(85);
+
+void BM_QrFullRefactor(benchmark::State& state) {
+  // The alternative the paper avoids: re-factorize the accumulated
+  // training window (history * k rows) from scratch each CPI.
+  const index_t n = 32;
+  const index_t rows = state.range(0);
+  auto a = random_matrix(rows, n, 5);
+  for (auto _ : state) {
+    linalg::QrFactorization<cfloat> qr(a);
+    benchmark::DoNotOptimize(&qr);
+  }
+}
+BENCHMARK(BM_QrFullRefactor)->Arg(90)->Arg(180)->Arg(510);
+
+// --------------------------------------------------------------------------
+// Weight solves
+// --------------------------------------------------------------------------
+void BM_EasyWeightSolve(benchmark::State& state) {
+  stap::StapParams p;
+  p.num_beams = 6;
+  auto steering = synth::steering_matrix(p.num_channels, p.num_beams,
+                                         p.beam_center_rad, p.beam_span_rad);
+  std::vector<index_t> bins = {p.easy_bins()[0]};
+  stap::EasyWeightComputer comp(p, steering, bins);
+  std::vector<linalg::MatrixCF> rows;
+  rows.push_back(random_matrix(p.easy_samples_per_cpi, p.num_channels, 6));
+  comp.push_training(rows);
+  comp.push_training(rows);
+  comp.push_training(std::move(rows));
+  for (auto _ : state) {
+    auto w = comp.compute();
+    benchmark::DoNotOptimize(w.weights.data());
+  }
+}
+BENCHMARK(BM_EasyWeightSolve);
+
+void BM_HardWeightUpdateAndSolve(benchmark::State& state) {
+  stap::StapParams p;
+  auto steering = synth::steering_matrix(p.num_channels, p.num_beams,
+                                         p.beam_center_rad, p.beam_span_rad);
+  stap::HardWeightComputer comp(p, steering,
+                                {stap::HardUnit{p.hard_bins()[0], 0}});
+  std::vector<linalg::MatrixCF> rows;
+  rows.push_back(random_matrix(p.hard_samples_per_segment,
+                               p.num_staggered_channels(), 7));
+  for (auto _ : state) {
+    comp.update(rows);
+    auto w = comp.compute();
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_HardWeightUpdateAndSolve);
+
+// --------------------------------------------------------------------------
+// Doppler filtering and beamforming
+// --------------------------------------------------------------------------
+void BM_DopplerFilterBlock(benchmark::State& state) {
+  stap::StapParams p;
+  const index_t k_block = state.range(0);
+  cube::CpiCube raw(k_block, p.num_channels, p.num_pulses);
+  auto sig = random_signal(raw.size(), 8);
+  std::copy(sig.begin(), sig.end(), raw.data());
+  stap::DopplerFilter filter(p);
+  for (auto _ : state) {
+    auto out = filter.filter(raw);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k_block * p.num_channels);
+}
+BENCHMARK(BM_DopplerFilterBlock)->Arg(16)->Arg(64);
+
+void BM_EasyBeamform(benchmark::State& state) {
+  stap::StapParams p;
+  const index_t nbins = state.range(0);
+  cube::CpiCube data(nbins, p.num_range, p.num_channels);
+  stap::WeightSet w;
+  for (index_t b = 0; b < nbins; ++b) {
+    w.bins.push_back(p.easy_bins()[static_cast<size_t>(b)]);
+    w.weights.push_back(random_matrix(p.num_channels, p.num_beams,
+                                      static_cast<std::uint64_t>(b)));
+  }
+  for (auto _ : state) {
+    auto out = stap::easy_beamform(data, w, p);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_EasyBeamform)->Arg(4)->Arg(16);
+
+// --------------------------------------------------------------------------
+// Pulse compression placement ablation: M beams vs 2J channels
+// --------------------------------------------------------------------------
+void BM_PulseCompressionAfterBeamforming(benchmark::State& state) {
+  stap::StapParams p;  // M = 6 beams
+  auto replica = dsp::lfm_chirp(32);
+  stap::PulseCompressor pc(p, replica);
+  cube::CpiCube bf(p.num_pulses, p.num_beams, p.num_range);
+  for (auto _ : state) {
+    auto out = pc.compress(bf);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PulseCompressionAfterBeamforming);
+
+void BM_PulseCompressionPerChannel(benchmark::State& state) {
+  // What adaptive algorithms without the mainbeam phase constraint must
+  // do: compress every receive channel (2J = 32) instead of M = 6 beams.
+  stap::StapParams p;
+  auto replica = dsp::lfm_chirp(32);
+  stap::PulseCompressor pc(p, replica);
+  cube::CpiCube channels(p.num_pulses, p.num_staggered_channels(),
+                         p.num_range);
+  for (auto _ : state) {
+    auto out = pc.compress(channels);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PulseCompressionPerChannel);
+
+// --------------------------------------------------------------------------
+// Redistribution packing: strided reorganization vs contiguous copy
+// --------------------------------------------------------------------------
+void BM_PackReorganization(benchmark::State& state) {
+  // Fig. 8 reorganization: gather (bin, k, ch) from a (k, ch, bin) cube —
+  // the stride pattern the paper blames for cache-miss-driven packing
+  // cost.
+  stap::StapParams p;
+  const index_t k_block = 64;
+  cube::CpiCube stag(k_block, p.num_staggered_channels(), p.num_pulses);
+  std::vector<cfloat> buf(static_cast<size_t>(
+      p.num_easy() * k_block * p.num_channels));
+  const auto easy = p.easy_bins();
+  for (auto _ : state) {
+    size_t off = 0;
+    for (index_t bin : easy)
+      for (index_t k = 0; k < k_block; ++k)
+        for (index_t ch = 0; ch < p.num_channels; ++ch)
+          buf[off++] = stag.at(k, ch, bin);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size() * sizeof(cfloat)));
+}
+BENCHMARK(BM_PackReorganization);
+
+void BM_PackContiguous(benchmark::State& state) {
+  // Same byte volume, contiguous (what the weight->BF and BF->PC edges
+  // do: no reorganization because partition dimensions agree).
+  stap::StapParams p;
+  const index_t k_block = 64;
+  std::vector<cfloat> src(static_cast<size_t>(
+      p.num_easy() * k_block * p.num_channels));
+  std::vector<cfloat> buf(src.size());
+  for (auto _ : state) {
+    std::copy(src.begin(), src.end(), buf.begin());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size() * sizeof(cfloat)));
+}
+BENCHMARK(BM_PackContiguous);
+
+// --------------------------------------------------------------------------
+// Dense linear algebra
+// --------------------------------------------------------------------------
+void BM_GemmHermitian(benchmark::State& state) {
+  // The beamforming product shape: (J x M)^H applied against (J x K).
+  const index_t j = state.range(0);
+  auto w = random_matrix(j, 6, 21);
+  auto x = random_matrix(j, 512, 22);
+  for (auto _ : state) {
+    auto y = linalg::matmul_herm(w, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * j * 6 * 512);
+}
+BENCHMARK(BM_GemmHermitian)->Arg(16)->Arg(32);
+
+void BM_ConstrainedLeastSquares(benchmark::State& state) {
+  // The easy weight solve shape: (3*32 + J) x J system, M = 6 beams.
+  const index_t rows = state.range(0);
+  auto a = random_matrix(rows, 16, 23);
+  auto b = random_matrix(rows, 6, 24);
+  for (auto _ : state) {
+    auto x = linalg::least_squares(a, b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_ConstrainedLeastSquares)->Arg(112)->Arg(48);
+
+// --------------------------------------------------------------------------
+// Cube reorganization and intra-task threading overhead
+// --------------------------------------------------------------------------
+void BM_CubePermuteFig8(benchmark::State& state) {
+  // The K x 2J x N -> N x K x 2J reorganization of paper Fig. 8.
+  cube::Cube<cfloat> c(64, 32, 128);
+  for (auto _ : state) {
+    auto p = cube::permute(c, {2, 0, 1});
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(c.size()) *
+                          static_cast<int64_t>(sizeof(cfloat)));
+}
+BENCHMARK(BM_CubePermuteFig8);
+
+void BM_ParallelForSpawnOverhead(benchmark::State& state) {
+  // Per-invocation cost of the thread-per-call strategy (amortized against
+  // per-CPI kernel times of milliseconds).
+  const index_t threads = state.range(0);
+  for (auto _ : state) {
+    parallel_for_blocks(threads, threads, [](index_t, index_t) {});
+  }
+}
+BENCHMARK(BM_ParallelForSpawnOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+// --------------------------------------------------------------------------
+// CFAR and scene generation
+// --------------------------------------------------------------------------
+void BM_CfarDetect(benchmark::State& state) {
+  stap::StapParams p;
+  cube::RealCube power(p.num_pulses, p.num_beams, p.num_range);
+  Rng rng(11);
+  for (index_t i = 0; i < power.size(); ++i)
+    power.data()[i] = static_cast<float>(std::norm(rng.cnormal()));
+  std::vector<index_t> bins(static_cast<size_t>(p.num_pulses));
+  for (index_t b = 0; b < p.num_pulses; ++b)
+    bins[static_cast<size_t>(b)] = b;
+  for (auto _ : state) {
+    auto dets = stap::cfar_detect(power, bins, p);
+    benchmark::DoNotOptimize(dets.data());
+  }
+}
+BENCHMARK(BM_CfarDetect);
+
+void BM_ScenarioGenerate(benchmark::State& state) {
+  synth::ScenarioParams sp;
+  sp.num_range = 128;
+  sp.num_channels = 8;
+  sp.num_pulses = 32;
+  sp.clutter.num_patches = 12;
+  sp.chirp_length = 16;
+  sp.targets.push_back(synth::Target{40, 0.3, 0.0, 10.0});
+  synth::ScenarioGenerator gen(sp);
+  index_t i = 0;
+  for (auto _ : state) {
+    auto cpi = gen.generate(i++);
+    benchmark::DoNotOptimize(cpi.data());
+  }
+}
+BENCHMARK(BM_ScenarioGenerate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+// Reproduces paper Table 1: floating point operations per task per CPI.
+//
+// Three columns are reported: the paper's published counts, this library's
+// analytic model (stap::analytic_flops, which also drives the machine
+// model), and the *instrumented* count measured by running each kernel on a
+// full-size CPI with the thread-local flop counter enabled.
+#include <cstdio>
+
+#include "common/flops.hpp"
+#include "stap/flops.hpp"
+#include "stap/sequential.hpp"
+#include "synth/scenario.hpp"
+#include "synth/steering.hpp"
+
+using namespace ppstap;
+
+namespace {
+
+// Instrumented per-task counts from one full-size CPI. The sequential chain
+// is run twice: the second CPI exercises the adapted (non-quiescent) weight
+// paths, which is what Table 1 accounts for.
+std::array<std::uint64_t, stap::kNumTasks> measured_flops(
+    const stap::StapParams& p) {
+  synth::ScenarioParams sp;
+  sp.num_range = p.num_range;
+  sp.num_channels = p.num_channels;
+  sp.num_pulses = p.num_pulses;
+  sp.clutter.num_patches = 8;  // content does not affect flop counts
+  sp.chirp_length = 32;
+  synth::ScenarioGenerator gen(sp);
+  auto steering = synth::steering_matrix(p.num_channels, p.num_beams,
+                                         p.beam_center_rad, p.beam_span_rad);
+
+  std::array<std::uint64_t, stap::kNumTasks> counts{};
+
+  // Per-task instrumentation via the individual kernels (the sequential
+  // class fuses phases, so the pieces are timed separately here).
+  auto cpi = gen.generate(0);
+  stap::DopplerFilter doppler(p);
+  cube::CpiCube stag;
+  {
+    FlopScope s;
+    stag = doppler.filter(cpi);
+    counts[static_cast<size_t>(stap::Task::kDopplerFilter)] = s.count();
+  }
+
+  const auto easy_bins = p.easy_bins();
+  const auto hard_bins = p.hard_bins();
+  const auto easy_cells = stap::easy_training_cells(p);
+
+  stap::EasyWeightComputer easy_comp(p, steering, easy_bins);
+  {
+    // Fill the training history to steady state (easy_history CPIs) so the
+    // measured solve sees the full pooled sample support.
+    for (index_t h = 0; h < p.easy_history; ++h) {
+      std::vector<linalg::MatrixCF> rows;
+      for (index_t b : easy_bins)
+        rows.push_back(stap::gather_training(stag, easy_cells, b, false, p));
+      easy_comp.push_training(std::move(rows));
+    }
+    FlopScope s;
+    (void)easy_comp.compute();
+    counts[static_cast<size_t>(stap::Task::kEasyWeight)] = s.count();
+  }
+
+  stap::HardWeightComputer hard_comp(
+      p, steering,
+      stap::HardWeightComputer::units_for_bins(
+          p, std::span<const index_t>(hard_bins)));
+  {
+    std::vector<linalg::MatrixCF> rows;
+    for (index_t b : hard_bins)
+      for (index_t seg = 0; seg < p.num_segments; ++seg)
+        rows.push_back(stap::gather_training(
+            stag, stap::hard_training_cells(p, seg), b, true, p));
+    FlopScope s;
+    hard_comp.update(rows);
+    (void)hard_comp.compute();
+    counts[static_cast<size_t>(stap::Task::kHardWeight)] = s.count();
+  }
+
+  // Beamforming with freshly computed weights.
+  stap::WeightSet easy_w = easy_comp.compute();
+  stap::WeightSet hard_w;
+  hard_w.bins = hard_bins;
+  hard_w.weights = hard_comp.compute();
+
+  cube::CpiCube easy_data(static_cast<index_t>(easy_bins.size()),
+                          p.num_range, p.num_channels);
+  for (size_t b = 0; b < easy_bins.size(); ++b)
+    for (index_t k = 0; k < p.num_range; ++k)
+      for (index_t c = 0; c < p.num_channels; ++c)
+        easy_data.at(static_cast<index_t>(b), k, c) =
+            stag.at(k, c, easy_bins[b]);
+  cube::CpiCube hard_data(static_cast<index_t>(hard_bins.size()),
+                          p.num_range, p.num_staggered_channels());
+  for (size_t b = 0; b < hard_bins.size(); ++b)
+    for (index_t k = 0; k < p.num_range; ++k)
+      for (index_t c = 0; c < p.num_staggered_channels(); ++c)
+        hard_data.at(static_cast<index_t>(b), k, c) =
+            stag.at(k, c, hard_bins[b]);
+
+  cube::CpiCube easy_bf, hard_bf;
+  {
+    FlopScope s;
+    easy_bf = stap::easy_beamform(easy_data, easy_w, p);
+    counts[static_cast<size_t>(stap::Task::kEasyBeamform)] = s.count();
+  }
+  {
+    FlopScope s;
+    hard_bf = stap::hard_beamform(hard_data, hard_w, p);
+    counts[static_cast<size_t>(stap::Task::kHardBeamform)] = s.count();
+  }
+
+  cube::CpiCube combined(p.num_pulses, p.num_beams, p.num_range);
+  for (size_t b = 0; b < easy_bins.size(); ++b)
+    for (index_t m = 0; m < p.num_beams; ++m) {
+      auto dst = combined.line(easy_bins[b], m);
+      auto src = easy_bf.line(static_cast<index_t>(b), m);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  for (size_t b = 0; b < hard_bins.size(); ++b)
+    for (index_t m = 0; m < p.num_beams; ++m) {
+      auto dst = combined.line(hard_bins[b], m);
+      auto src = hard_bf.line(static_cast<index_t>(b), m);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+
+  stap::PulseCompressor pc(p, gen.replica());
+  cube::RealCube power;
+  {
+    FlopScope s;
+    power = pc.compress(combined);
+    counts[static_cast<size_t>(stap::Task::kPulseCompression)] = s.count();
+  }
+  {
+    std::vector<index_t> bins(static_cast<size_t>(p.num_pulses));
+    for (index_t b = 0; b < p.num_pulses; ++b)
+      bins[static_cast<size_t>(b)] = b;
+    FlopScope s;
+    (void)stap::cfar_detect(power, bins, p);
+    counts[static_cast<size_t>(stap::Task::kCfar)] = s.count();
+  }
+  return counts;
+}
+
+}  // namespace
+
+int main() {
+  stap::StapParams p;  // paper configuration (K=512, J=16, N=128, ...)
+  const auto paper = stap::paper_table1();
+  const auto analytic = stap::analytic_flops_table(p);
+  const auto measured = measured_flops(p);
+
+  std::printf("Table 1: flops per CPI (paper parameters K=512 J=16 N=128 "
+              "M=6 Ne=72 Nh=56)\n\n");
+  std::printf("%-28s %15s %15s %15s %9s\n", "task", "paper", "analytic",
+              "measured", "ana/paper");
+  std::uint64_t mtotal = 0;
+  for (int t = 0; t < stap::kNumTasks; ++t) {
+    const auto i = static_cast<size_t>(t);
+    mtotal += measured[i];
+    std::printf("%-28s %15llu %15llu %15llu %8.2fx\n",
+                stap::task_name(static_cast<stap::Task>(t)),
+                static_cast<unsigned long long>(paper[i]),
+                static_cast<unsigned long long>(analytic[i]),
+                static_cast<unsigned long long>(measured[i]),
+                static_cast<double>(analytic[i]) /
+                    static_cast<double>(paper[i]));
+  }
+  std::printf("%-28s %15llu %15llu %15llu %8.2fx\n", "Total",
+              static_cast<unsigned long long>(paper[stap::kNumTasks]),
+              static_cast<unsigned long long>(analytic[stap::kNumTasks]),
+              static_cast<unsigned long long>(mtotal),
+              static_cast<double>(analytic[stap::kNumTasks]) /
+                  static_cast<double>(paper[stap::kNumTasks]));
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces paper Table 7: integrated system performance (recv/comp/send
+// per task, throughput, latency) for the three node-assignment cases.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace ppstap;
+using core::NodeAssignment;
+
+int main() {
+  auto sim = bench::paper_simulator();
+  bench::print_case_table(
+      sim, NodeAssignment::paper_case1(),
+      "Table 7 case 1: 236 nodes (paper: throughput 7.2659, latency 0.3622)");
+  bench::print_case_table(
+      sim, NodeAssignment::paper_case2(),
+      "Table 7 case 2: 118 nodes (paper: throughput 3.7959, latency 0.6805)");
+  bench::print_case_table(
+      sim, NodeAssignment::paper_case3(),
+      "Table 7 case 3: 59 nodes (paper: throughput 1.9898, latency 1.3530)");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Detection performance study: probability of detection vs target SNR for
+// the full STAP chain, plus the realized end-to-end false alarm rate —
+// the radar-engineering validation that live-data experiments (like the
+// paper's flight tests) cannot produce, because live data has no ground
+// truth.
+//
+// Build & run:   ./build/examples/detection_study
+#include <cstdio>
+
+#include "stap/montecarlo.hpp"
+
+using namespace ppstap;
+
+int main() {
+  stap::DetectionStudyConfig cfg;
+  cfg.params = stap::StapParams::small_test();
+  cfg.params.num_range = 64;
+  cfg.params.num_channels = 8;
+  cfg.params.num_pulses = 32;
+  cfg.params.num_beams = 1;
+  cfg.params.num_hard = 12;
+  cfg.params.stagger = 2;
+  cfg.params.num_segments = 2;
+  cfg.params.easy_samples_per_cpi = 16;
+  cfg.params.hard_samples_per_segment = 16;
+  cfg.params.beam_span_rad = 0.0;
+  cfg.params.cfar_pfa = 1e-4;
+  cfg.params.validate();
+
+  cfg.scene.num_range = cfg.params.num_range;
+  cfg.scene.num_channels = cfg.params.num_channels;
+  cfg.scene.num_pulses = cfg.params.num_pulses;
+  cfg.scene.clutter.num_patches = 12;
+  cfg.scene.clutter.cnr_db = 40.0;
+  cfg.scene.chirp_length = 8;
+  cfg.target_range = 37;
+  cfg.target_bin = 10;  // easy region
+  cfg.trials = 16;
+  cfg.train_cpis = 3;
+
+  std::printf("Pd vs SNR (easy-region target in 40 dB clutter, PFA design "
+              "%g, %ld trials per point)\n\n",
+              cfg.params.cfar_pfa, static_cast<long>(cfg.trials));
+  const double snrs[] = {-15.0, -10.0, -5.0, 0.0, 5.0, 10.0};
+  const auto curve = stap::detection_curve(cfg, snrs);
+  std::printf("%8s %6s %12s   %s\n", "SNR dB", "Pd", "mean margin", "");
+  for (const auto& pt : curve) {
+    std::printf("%8.1f %6.2f %12.1f   |", pt.snr_db, pt.pd, pt.mean_margin);
+    const int stars = static_cast<int>(pt.pd * 40.0 + 0.5);
+    for (int i = 0; i < stars; ++i) std::putchar('#');
+    std::printf("\n");
+  }
+
+  std::printf("\nend-to-end false alarm rate on target-free scenes: %.2e "
+              "(CFAR design PFA %.2e; staying at or below design means the "
+              "adaptive weights whiten the clutter residue well enough for "
+              "the CA-CFAR's homogeneous-background assumption)\n",
+              stap::measured_false_alarm_rate(cfg), cfg.params.cfar_pfa);
+  return 0;
+}

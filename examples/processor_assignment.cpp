@@ -1,0 +1,70 @@
+// Processor-assignment planning tool built on the Paragon machine model —
+// the resource-allocation problem at the heart of the paper (§4.1.2, §7.3).
+//
+// Given a node budget, prints the throughput-optimal and latency-optimal
+// assignments found by the greedy search, their simulated Table-7-style
+// breakdowns, and the paper's hand assignment at comparable sizes.
+//
+// Build & run:   ./build/examples/processor_assignment [total_nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/machine.hpp"
+#include "core/sim.hpp"
+
+using namespace ppstap;
+using core::NodeAssignment;
+
+namespace {
+
+void report(const core::PipelineSimulator& sim, const NodeAssignment& a,
+            const char* label) {
+  const auto r = sim.simulate(a);
+  std::printf("\n%s (total %d nodes):\n", label, a.total());
+  std::printf("  nodes:");
+  for (int t = 0; t < stap::kNumTasks; ++t)
+    std::printf(" %s=%d", stap::task_name(static_cast<stap::Task>(t)),
+                a.nodes[static_cast<size_t>(t)]);
+  std::printf("\n  throughput %.3f CPI/s, latency %.4f s\n",
+              r.throughput_measured, r.latency_measured);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int total = argc > 1 ? std::atoi(argv[1]) : 118;
+  if (total < stap::kNumTasks) {
+    std::fprintf(stderr, "need at least %d nodes (one per task)\n",
+                 stap::kNumTasks);
+    return 1;
+  }
+
+  core::PipelineSimulator sim(stap::StapParams{},
+                              core::ParagonParams::calibrated());
+
+  const auto thr = core::assign_for_throughput(sim, total);
+  report(sim, thr, "Throughput-optimal (greedy, feeds the bottleneck)");
+
+  const auto lat = core::assign_for_latency(sim, total, 0.0);
+  report(sim, lat, "Latency-optimal (hill-climb from the throughput seed)");
+
+  const auto thr_r = sim.simulate(thr);
+  const auto half_floor = 0.75 * thr_r.throughput_measured;
+  const auto mixed = core::assign_for_latency(sim, total, half_floor);
+  char label[128];
+  std::snprintf(label, sizeof(label),
+                "Latency-optimal subject to throughput >= %.2f CPI/s",
+                half_floor);
+  report(sim, mixed, label);
+
+  if (total == 118)
+    report(sim, NodeAssignment::paper_case2(), "Paper's hand assignment "
+                                               "(Table 7 case 2)");
+  if (total == 236)
+    report(sim, NodeAssignment::paper_case1(), "Paper's hand assignment "
+                                               "(Table 7 case 1)");
+  if (total == 59)
+    report(sim, NodeAssignment::paper_case3(), "Paper's hand assignment "
+                                               "(Table 7 case 3)");
+  return 0;
+}

@@ -1,0 +1,402 @@
+// stap_tool — command-line driver for the library.
+//
+//   stap_tool run      [--preset=small|paper] [--cpis=N] [--window=NAME]
+//                      [--cnr=DB] [--target=range:doppler:azimuth:snr]...
+//                      [--out=FILE.csv] [--range-correction]
+//       Stream synthetic CPIs through the sequential chain, print per-CPI
+//       summaries, optionally write the detection reports as CSV.
+//
+//   stap_tool simulate [--assignment=d,ew,hw,eb,hb,pc,cf] [--cpis=N]
+//       Run the Paragon machine model for one node assignment and print
+//       the Table-7-style breakdown.
+//
+//   stap_tool plan     [--nodes=N] [--objective=throughput|latency]
+//                      [--min-throughput=X]
+//       Search for a node assignment under the machine model.
+//
+//   stap_tool pipeline [--assignment=d,ew,hw,eb,hb,pc,cf] [--cpis=N]
+//       Run the REAL threaded parallel pipeline (reduced-size scene) and
+//       print its measured Figure-10 phase timings.
+//
+//   stap_tool replay   --input=DIR [--window=NAME] [--out=FILE.csv]
+//       Re-process recorded CPI cubes (written by `run --save-cubes=DIR`)
+//       through the chain: cube dimensions are taken from the recording,
+//       remaining parameters from the small preset.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/pipeline.hpp"
+#include "core/sim.hpp"
+#include "cube/io.hpp"
+#include "stap/report.hpp"
+#include "stap/sequential.hpp"
+#include "synth/scenario.hpp"
+#include "synth/steering.hpp"
+
+using namespace ppstap;
+
+namespace {
+
+// --- tiny flag parser ------------------------------------------------------
+struct Args {
+  std::vector<std::pair<std::string, std::string>> kv;
+  bool has(const std::string& key) const {
+    for (const auto& [k, v] : kv)
+      if (k == key) return true;
+    return false;
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    for (const auto& [k, v] : kv)
+      if (k == key) return v;
+    return fallback;
+  }
+  std::vector<std::string> all(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : kv)
+      if (k == key) out.push_back(v);
+    return out;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", a.c_str());
+      std::exit(2);
+    }
+    a = a.substr(2);
+    const auto eq = a.find('=');
+    if (eq == std::string::npos)
+      args.kv.emplace_back(a, "");
+    else
+      args.kv.emplace_back(a.substr(0, eq), a.substr(eq + 1));
+  }
+  return args;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const auto pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+// --- subcommands -------------------------------------------------------------
+int cmd_run(const Args& args) {
+  stap::StapParams p;
+  if (args.get("preset", "small") == "small") {
+    p.num_range = 128;
+    p.num_channels = 8;
+    p.num_pulses = 32;
+    p.num_beams = 2;
+    p.num_hard = 12;
+    p.stagger = 2;
+    p.num_segments = 3;
+    p.easy_samples_per_cpi = 24;
+    p.hard_samples_per_segment = 16;
+  }
+  p.window = dsp::window_from_name(args.get("window", "hanning"));
+  p.range_correction = args.has("range-correction");
+  p.validate();
+
+  synth::ScenarioParams sp;
+  sp.num_range = p.num_range;
+  sp.num_channels = p.num_channels;
+  sp.num_pulses = p.num_pulses;
+  sp.clutter.cnr_db = std::atof(args.get("cnr", "40").c_str());
+  sp.chirp_length = std::min<index_t>(32, p.num_range / 4);
+  for (const auto& spec : args.all("target")) {
+    const auto f = split(spec, ':');
+    if (f.size() != 4) {
+      std::fprintf(stderr, "bad --target (want range:doppler:azimuth:snr)\n");
+      return 2;
+    }
+    sp.targets.push_back(synth::Target{std::atol(f[0].c_str()),
+                                       std::atof(f[1].c_str()),
+                                       std::atof(f[2].c_str()),
+                                       std::atof(f[3].c_str())});
+  }
+  if (sp.targets.empty())
+    sp.targets.push_back(synth::Target{p.num_range / 3, 0.3, 0.0, 12.0});
+
+  synth::ScenarioGenerator radar(sp);
+  auto steering = synth::steering_matrix(p.num_channels, p.num_beams,
+                                         p.beam_center_rad, p.beam_span_rad);
+  stap::SequentialStap chain(p, steering, radar.replica());
+
+  const std::string cube_dir = args.get("save-cubes", "");
+  if (!cube_dir.empty() && !radar.replica().empty()) {
+    // Persist the transmit replica so replay can pulse-compress.
+    cube::Cube<cfloat> rep(1, 1,
+                           static_cast<index_t>(radar.replica().size()));
+    std::copy(radar.replica().begin(), radar.replica().end(),
+              rep.line(0, 0).begin());
+    cube::save_cube(cube_dir + "/replica.ppsc", rep);
+  }
+  const index_t n_cpis = std::atol(args.get("cpis", "8").c_str());
+  std::vector<std::vector<stap::Detection>> all;
+  for (index_t cpi = 0; cpi < n_cpis; ++cpi) {
+    const auto data = radar.generate(cpi);
+    if (!cube_dir.empty()) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "/cpi_%04ld.ppsc",
+                    static_cast<long>(cpi));
+      cube::save_cube(cube_dir + name, data);
+    }
+    auto result = chain.process(data);
+    const auto s = stap::summarize(result.detections);
+    std::printf("CPI %3ld: %4ld detections", static_cast<long>(cpi),
+                static_cast<long>(s.count));
+    if (s.count > 0)
+      std::printf("  strongest: bin %ld range %ld (%.1fx threshold)",
+                  static_cast<long>(s.strongest_bin),
+                  static_cast<long>(s.strongest_range), s.max_margin);
+    std::printf("\n");
+    all.push_back(std::move(result.detections));
+  }
+
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    if (!os.is_open()) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    stap::write_detections_csv(os, all);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+core::NodeAssignment parse_assignment(const Args& args,
+                                      core::NodeAssignment fallback);
+
+int cmd_simulate(const Args& args) {
+  const auto a = parse_assignment(args, core::NodeAssignment::paper_case2());
+  core::PipelineSimulator sim(stap::StapParams{},
+                              core::ParagonParams::calibrated());
+  const auto r = sim.simulate(a, std::atol(args.get("cpis", "25").c_str()));
+  std::printf("%-28s %7s %8s %8s %8s %8s\n", "task", "# nodes", "recv",
+              "comp", "send", "total");
+  for (int t = 0; t < stap::kNumTasks; ++t) {
+    const auto& tt = r.timing[static_cast<size_t>(t)];
+    std::printf("%-28s %7d %8.4f %8.4f %8.4f %8.4f\n",
+                stap::task_name(static_cast<stap::Task>(t)),
+                a.nodes[static_cast<size_t>(t)], tt.recv, tt.comp, tt.send,
+                tt.total());
+  }
+  std::printf("total %d nodes  throughput %.4f CPI/s  latency %.4f s\n",
+              a.total(), r.throughput_measured, r.latency_measured);
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const int nodes = std::atoi(args.get("nodes", "118").c_str());
+  core::PipelineSimulator sim(stap::StapParams{},
+                              core::ParagonParams::calibrated());
+  core::NodeAssignment a;
+  if (args.get("objective", "throughput") == "latency")
+    a = core::assign_for_latency(
+        sim, nodes, std::atof(args.get("min-throughput", "0").c_str()));
+  else
+    a = core::assign_for_throughput(sim, nodes);
+  const auto r = sim.simulate(a);
+  std::printf("assignment:");
+  for (int t = 0; t < stap::kNumTasks; ++t)
+    std::printf(" %d", a.nodes[static_cast<size_t>(t)]);
+  std::printf("\n(total %d)  throughput %.4f CPI/s  latency %.4f s\n",
+              a.total(), r.throughput_measured, r.latency_measured);
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  const std::string dir = args.get("input", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "replay requires --input=DIR\n");
+    return 2;
+  }
+  // Collect recordings in name order; the replica (if recorded) is loaded
+  // separately.
+  std::vector<std::string> files;
+  std::vector<cfloat> replica;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ppsc") continue;
+    if (entry.path().filename() == "replica.ppsc") {
+      const auto rep = cube::load_cube<cfloat>(entry.path().string());
+      replica.assign(rep.data(), rep.data() + rep.size());
+      continue;
+    }
+    files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "no .ppsc cubes in %s\n", dir.c_str());
+    return 1;
+  }
+
+  // Cube geometry comes from the recording; remaining parameters from the
+  // small preset so they are consistent with `run --preset=small`.
+  const auto first = cube::load_cube<cfloat>(files.front());
+  stap::StapParams p;
+  p.num_range = first.extent(0);
+  p.num_channels = first.extent(1);
+  p.num_pulses = first.extent(2);
+  p.num_beams = 2;
+  p.num_hard = std::max<index_t>(2, p.num_pulses * 3 / 8) & ~index_t{1};
+  p.stagger = 2;
+  p.num_segments = 3;
+  p.easy_samples_per_cpi = std::min<index_t>(24, p.num_range / 2);
+  p.hard_samples_per_segment =
+      std::min<index_t>(16, p.num_range / p.num_segments);
+  p.window = dsp::window_from_name(args.get("window", "hanning"));
+  p.validate();
+
+  auto steering = synth::steering_matrix(p.num_channels, p.num_beams,
+                                         p.beam_center_rad, p.beam_span_rad);
+  // Pulse-compress with the recorded replica when available; otherwise
+  // fall back to detection-only (|.|^2).
+  stap::SequentialStap chain(p, steering, replica);
+  if (!replica.empty())
+    std::printf("using recorded transmit replica (%zu samples)\n",
+                replica.size());
+
+  std::vector<std::vector<stap::Detection>> all;
+  for (size_t i = 0; i < files.size(); ++i) {
+    const auto cpi = cube::load_cube<cfloat>(files[i]);
+    auto result = chain.process(cpi);
+    const auto s = stap::summarize(result.detections);
+    std::printf("%s: %4ld detections", files[i].c_str(),
+                static_cast<long>(s.count));
+    if (s.count > 0)
+      std::printf("  strongest: bin %ld range %ld",
+                  static_cast<long>(s.strongest_bin),
+                  static_cast<long>(s.strongest_range));
+    std::printf("\n");
+    all.push_back(std::move(result.detections));
+  }
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    if (!os.is_open()) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    stap::write_detections_csv(os, all);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+core::NodeAssignment parse_assignment(const Args& args,
+                                      core::NodeAssignment fallback) {
+  const std::string spec = args.get("assignment", "");
+  if (spec.empty()) return fallback;
+  const auto f = split(spec, ',');
+  if (f.size() != stap::kNumTasks) {
+    std::fprintf(stderr, "--assignment wants %d comma-separated counts\n",
+                 stap::kNumTasks);
+    std::exit(2);
+  }
+  core::NodeAssignment a;
+  for (int t = 0; t < stap::kNumTasks; ++t)
+    a.nodes[static_cast<size_t>(t)] =
+        std::atoi(f[static_cast<size_t>(t)].c_str());
+  return a;
+}
+
+int cmd_pipeline(const Args& args) {
+  stap::StapParams p;
+  p.num_range = 96;
+  p.num_channels = 8;
+  p.num_pulses = 32;
+  p.num_beams = 2;
+  p.num_hard = 12;
+  p.stagger = 2;
+  p.num_segments = 3;
+  p.easy_samples_per_cpi = 24;
+  p.hard_samples_per_segment = 16;
+  p.validate();
+
+  synth::ScenarioParams sp;
+  sp.num_range = p.num_range;
+  sp.num_channels = p.num_channels;
+  sp.num_pulses = p.num_pulses;
+  sp.clutter.cnr_db = 40.0;
+  sp.chirp_length = 12;
+  sp.targets.push_back(synth::Target{40, 10.0 / 32.0, 0.0, 12.0});
+  synth::ScenarioGenerator radar(sp);
+  auto steering = synth::steering_matrix(p.num_channels, p.num_beams,
+                                         p.beam_center_rad, p.beam_span_rad);
+
+  const auto a =
+      parse_assignment(args, core::NodeAssignment{{4, 2, 6, 2, 2, 3, 2}});
+  core::ParallelStapPipeline pipeline(
+      p, a, steering, {radar.replica().begin(), radar.replica().end()});
+  const index_t n_cpis = std::atol(args.get("cpis", "10").c_str());
+  auto r = pipeline.run(radar, n_cpis, 2, 2);
+
+  std::printf("%-28s %7s %8s %8s %8s\n", "task", "# nodes", "recv", "comp",
+              "send");
+  for (int t = 0; t < stap::kNumTasks; ++t) {
+    const auto& tt = r.timing[static_cast<size_t>(t)];
+    std::printf("%-28s %7d %8.4f %8.4f %8.4f\n",
+                stap::task_name(static_cast<stap::Task>(t)),
+                a.nodes[static_cast<size_t>(t)], tt.recv, tt.comp, tt.send);
+  }
+  size_t dets = 0;
+  for (const auto& d : r.detections) dets += d.size();
+  std::printf("%d ranks, %ld CPIs: throughput %.2f CPI/s, latency %.4f s, "
+              "%zu detections\n",
+              a.total(), static_cast<long>(n_cpis), r.throughput, r.latency,
+              dets);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: stap_tool run|simulate|plan|pipeline [--flags]\n"
+               "  run      --preset=small|paper --cpis=N --window=NAME "
+               "--cnr=DB --target=r:f:az:snr --out=FILE --range-correction\n"
+               "  simulate --assignment=d,ew,hw,eb,hb,pc,cf --cpis=N\n"
+               "  plan     --nodes=N --objective=throughput|latency "
+               "--min-throughput=X\n"
+               "  pipeline --assignment=d,ew,hw,eb,hb,pc,cf --cpis=N\n"
+               "  replay   --input=DIR --window=NAME --out=FILE\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "pipeline") return cmd_pipeline(args);
+    if (cmd == "replay") return cmd_replay(args);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}

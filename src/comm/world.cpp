@@ -1,0 +1,219 @@
+#include "comm/world.hpp"
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace ppstap::comm {
+
+namespace {
+struct Message {
+  int src;
+  int tag;
+  std::vector<std::byte> bytes;
+};
+}  // namespace
+
+struct World::Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> messages;
+  std::size_t buffered_bytes = 0;
+};
+
+struct World::Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool aborted = false;
+  std::exception_ptr first_error;
+  // Sense-reversing barrier.
+  int barrier_count = 0;
+  std::uint64_t barrier_generation = 0;
+};
+
+World::World(int num_ranks, std::size_t mailbox_capacity_bytes)
+    : num_ranks_(num_ranks),
+      capacity_(mailbox_capacity_bytes),
+      shared_(std::make_unique<Shared>()) {
+  PPSTAP_REQUIRE(num_ranks >= 1, "world needs at least one rank");
+  boxes_.reserve(static_cast<size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r)
+    boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+World::~World() = default;
+
+void World::abort_world() {
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->aborted = true;
+  }
+  shared_->cv.notify_all();
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  // Reset cross-run state.
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->aborted = false;
+    shared_->first_error = nullptr;
+    shared_->barrier_count = 0;
+  }
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->messages.clear();
+    box->buffered_bytes = 0;
+  }
+
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) comms.push_back(Comm(this, r));
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([this, &fn, &comms, r] {
+      try {
+        fn(comms[static_cast<size_t>(r)]);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(shared_->mu);
+          if (!shared_->first_error)
+            shared_->first_error = std::current_exception();
+        }
+        abort_world();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  last_stats_.clear();
+  last_stats_.reserve(static_cast<size_t>(num_ranks_));
+  for (const auto& c : comms) last_stats_.push_back(c.stats());
+
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    err = shared_->first_error;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> bytes) {
+  world_->do_send(*this, dest, tag, bytes);
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  return world_->do_recv(*this, src, tag);
+}
+
+std::optional<std::vector<std::byte>> Comm::try_recv_bytes(int src, int tag) {
+  return world_->do_try_recv(*this, src, tag);
+}
+
+void Comm::barrier() { world_->do_barrier(); }
+
+void World::do_send(Comm& c, int dest, int tag,
+                    std::span<const std::byte> bytes) {
+  PPSTAP_REQUIRE(dest >= 0 && dest < num_ranks_, "invalid destination rank");
+  Mailbox& box = *boxes_[static_cast<size_t>(dest)];
+  Message msg{c.rank(), tag, {bytes.begin(), bytes.end()}};
+
+  std::unique_lock<std::mutex> lock(box.mu);
+  // Flow control: block while the mailbox is full, but always admit a
+  // message into an empty mailbox so one oversized message cannot wedge.
+  box.cv.wait(lock, [&] {
+    if (shared_->aborted) return true;
+    return box.messages.empty() || box.buffered_bytes + bytes.size() <=
+                                       capacity_;
+  });
+  {
+    std::lock_guard<std::mutex> slock(shared_->mu);
+    if (shared_->aborted) throw Error("comm world aborted during send");
+  }
+  box.buffered_bytes += msg.bytes.size();
+  c.stats_.bytes_sent += msg.bytes.size();
+  c.stats_.messages_sent += 1;
+  box.messages.push_back(std::move(msg));
+  lock.unlock();
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> World::do_recv(Comm& c, int src, int tag) {
+  PPSTAP_REQUIRE(src >= 0 && src < num_ranks_, "invalid source rank");
+  Mailbox& box = *boxes_[static_cast<size_t>(c.rank())];
+  std::unique_lock<std::mutex> lock(box.mu);
+  auto match = box.messages.end();
+  box.cv.wait(lock, [&] {
+    if (shared_->aborted) return true;
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        match = it;
+        return true;
+      }
+    }
+    return false;
+  });
+  {
+    std::lock_guard<std::mutex> slock(shared_->mu);
+    if (shared_->aborted) throw Error("comm world aborted during recv");
+  }
+  std::vector<std::byte> bytes = std::move(match->bytes);
+  box.buffered_bytes -= bytes.size();
+  box.messages.erase(match);
+  c.stats_.bytes_received += bytes.size();
+  c.stats_.messages_received += 1;
+  lock.unlock();
+  box.cv.notify_all();  // wake senders blocked on capacity
+  return bytes;
+}
+
+std::optional<std::vector<std::byte>> World::do_try_recv(Comm& c, int src,
+                                                         int tag) {
+  PPSTAP_REQUIRE(src >= 0 && src < num_ranks_, "invalid source rank");
+  Mailbox& box = *boxes_[static_cast<size_t>(c.rank())];
+  std::unique_lock<std::mutex> lock(box.mu);
+  {
+    std::lock_guard<std::mutex> slock(shared_->mu);
+    if (shared_->aborted) throw Error("comm world aborted during try_recv");
+  }
+  for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+    if (it->src != src || it->tag != tag) continue;
+    std::vector<std::byte> bytes = std::move(it->bytes);
+    box.buffered_bytes -= bytes.size();
+    box.messages.erase(it);
+    c.stats_.bytes_received += bytes.size();
+    c.stats_.messages_received += 1;
+    lock.unlock();
+    box.cv.notify_all();
+    return bytes;
+  }
+  return std::nullopt;
+}
+
+void World::do_barrier() {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  if (shared_->aborted) throw Error("comm world aborted during barrier");
+  const std::uint64_t gen = shared_->barrier_generation;
+  if (++shared_->barrier_count == num_ranks_) {
+    shared_->barrier_count = 0;
+    ++shared_->barrier_generation;
+    lock.unlock();
+    shared_->cv.notify_all();
+    return;
+  }
+  shared_->cv.wait(lock, [&] {
+    return shared_->aborted || shared_->barrier_generation != gen;
+  });
+  if (shared_->aborted) throw Error("comm world aborted during barrier");
+}
+
+}  // namespace ppstap::comm

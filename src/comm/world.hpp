@@ -1,0 +1,192 @@
+// In-process message-passing runtime.
+//
+// The paper's implementation uses ANSI C + MPI on the Paragon; this runtime
+// reproduces the same programming model inside one process: a World of
+// ranks (one thread each), tagged point-to-point messages matched on
+// (source, tag), eager buffered sends, blocking receives, and a barrier.
+// Every inter-task byte of the parallel pipeline flows through here, so the
+// functional behaviour (who sends what to whom, in which order) is
+// identical to a distributed run, and per-rank byte counters feed the
+// communication-volume checks against the machine model.
+//
+// Flow control: each rank's mailbox has a byte capacity; senders block when
+// the destination is full (at least one message is always admitted so a
+// single oversized message cannot deadlock). This models the backpressure a
+// finite-buffer interconnect applies to a pipeline whose downstream tasks
+// lag — without it the Doppler task would race arbitrarily far ahead.
+//
+// Failure behaviour: if any rank throws, the world is aborted and every
+// blocked operation on any rank throws ppstap::Error instead of hanging.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ppstap::comm {
+
+class World;
+
+/// Per-rank communication statistics.
+struct CommStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+};
+
+/// A rank's handle to the world. Valid only inside World::run's callback,
+/// on the thread it was given to.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Eager buffered send: copies `bytes` into the destination mailbox.
+  /// Blocks only when the destination mailbox is over capacity.
+  void send_bytes(int dest, int tag, std::span<const std::byte> bytes);
+
+  /// Blocking receive of the next message matching (src, tag).
+  std::vector<std::byte> recv_bytes(int src, int tag);
+
+  /// Nonblocking probe-and-receive: returns the matching message if one is
+  /// already buffered, std::nullopt otherwise (never blocks).
+  std::optional<std::vector<std::byte>> try_recv_bytes(int src, int tag);
+
+  /// Typed span send for trivially copyable T.
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag,
+               {reinterpret_cast<const std::byte*>(data.data()),
+                data.size() * sizeof(T)});
+  }
+
+  /// Typed receive; validates the byte count is a multiple of sizeof(T).
+  template <typename T>
+  std::vector<T> recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv_bytes(src, tag);
+    PPSTAP_CHECK(bytes.size() % sizeof(T) == 0,
+                 "received byte count not a multiple of element size");
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  /// Typed nonblocking receive.
+  template <typename T>
+  std::optional<std::vector<T>> try_recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = try_recv_bytes(src, tag);
+    if (!bytes) return std::nullopt;
+    PPSTAP_CHECK(bytes->size() % sizeof(T) == 0,
+                 "received byte count not a multiple of element size");
+    std::vector<T> out(bytes->size() / sizeof(T));
+    std::memcpy(out.data(), bytes->data(), bytes->size());
+    return out;
+  }
+
+  /// Posted-receive handle in the style of Fig. 10's asynchronous calls
+  /// (line 6 posts, line 7 waits). Because the runtime buffers eagerly,
+  /// posting is free; the handle packages the (source, tag) match so loop
+  /// code can separate posting from completion like the paper's.
+  template <typename T>
+  class PendingRecv {
+   public:
+    /// True when the message is already deliverable (does not consume it).
+    bool ready() { return result_ || take(); }
+
+    /// Block until the message arrives and return it (line 7).
+    std::vector<T> wait() {
+      if (!result_) result_ = comm_->recv<T>(src_, tag_);
+      auto out = std::move(*result_);
+      result_.reset();
+      done_ = true;
+      return out;
+    }
+
+   private:
+    friend class Comm;
+    PendingRecv(Comm* comm, int src, int tag)
+        : comm_(comm), src_(src), tag_(tag) {}
+    bool take() {
+      if (done_) return false;
+      result_ = comm_->try_recv<T>(src_, tag_);
+      return result_.has_value();
+    }
+    Comm* comm_;
+    int src_;
+    int tag_;
+    bool done_ = false;
+    std::optional<std::vector<T>> result_;
+  };
+
+  /// Post a receive for (src, tag); complete it later with wait().
+  template <typename T>
+  PendingRecv<T> irecv(int src, int tag) {
+    return PendingRecv<T>(this, src, tag);
+  }
+
+  /// Global barrier over all ranks of the world.
+  void barrier();
+
+  const CommStats& stats() const { return stats_; }
+
+ private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+  World* world_;
+  int rank_;
+  CommStats stats_;
+};
+
+class World {
+ public:
+  /// `mailbox_capacity_bytes` bounds the buffered bytes per rank before
+  /// senders block (flow control / pipeline backpressure).
+  explicit World(int num_ranks,
+                 std::size_t mailbox_capacity_bytes = 256ull << 20);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return num_ranks_; }
+
+  /// Spawn one thread per rank running `fn`, join all, and rethrow the
+  /// first rank exception (if any). May be called repeatedly.
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Statistics gathered during the last run, indexed by rank.
+  const std::vector<CommStats>& last_stats() const { return last_stats_; }
+
+ private:
+  friend class Comm;
+  struct Mailbox;
+  int num_ranks_;
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::vector<CommStats> last_stats_;
+
+  // Abort + barrier state live behind the Impl wall too.
+  struct Shared;
+  std::unique_ptr<Shared> shared_;
+
+  void do_send(Comm& c, int dest, int tag, std::span<const std::byte> bytes);
+  std::vector<std::byte> do_recv(Comm& c, int src, int tag);
+  std::optional<std::vector<std::byte>> do_try_recv(Comm& c, int src,
+                                                    int tag);
+  void do_barrier();
+  void abort_world();
+};
+
+}  // namespace ppstap::comm

@@ -1,0 +1,16 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace ppstap::detail {
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& msg) {
+  std::ostringstream os;
+  os << "ppstap " << kind << " failed: (" << expr << ") at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace ppstap::detail

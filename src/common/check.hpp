@@ -1,0 +1,40 @@
+// Error handling for the ppstap library.
+//
+// PPSTAP_REQUIRE is used for argument/precondition validation on public API
+// entry points; PPSTAP_CHECK for internal invariants. Both throw
+// ppstap::Error carrying the failing expression and source location, so a
+// violated contract is diagnosable from the exception alone.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ppstap {
+
+/// Exception thrown on any contract violation inside the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace ppstap
+
+#define PPSTAP_REQUIRE(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::ppstap::detail::fail("precondition", #expr, __FILE__, __LINE__,     \
+                             (msg));                                        \
+    }                                                                       \
+  } while (0)
+
+#define PPSTAP_CHECK(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::ppstap::detail::fail("invariant", #expr, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (0)

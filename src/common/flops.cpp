@@ -1,0 +1,25 @@
+#include "common/flops.hpp"
+
+namespace ppstap {
+
+namespace detail {
+FlopState& flop_state() {
+  thread_local FlopState state;
+  return state;
+}
+}  // namespace detail
+
+FlopScope::FlopScope() {
+  auto& s = detail::flop_state();
+  prev_enabled_ = s.enabled;
+  s.enabled = true;
+  start_ = s.count;
+}
+
+FlopScope::~FlopScope() { detail::flop_state().enabled = prev_enabled_; }
+
+std::uint64_t FlopScope::count() const {
+  return detail::flop_state().count - start_;
+}
+
+}  // namespace ppstap

@@ -1,0 +1,46 @@
+// Instrumented floating-point operation counting.
+//
+// The paper's Table 1 reports the number of floating point operations each
+// STAP task performs on one CPI. To reproduce that table honestly the
+// numerical kernels in this library report the operations they actually
+// execute through a thread-local counter. Counting is enabled only inside a
+// FlopScope so production runs pay a single predictable branch.
+#pragma once
+
+#include <cstdint>
+
+namespace ppstap {
+
+namespace detail {
+struct FlopState {
+  bool enabled = false;
+  std::uint64_t count = 0;
+};
+FlopState& flop_state();
+}  // namespace detail
+
+/// Record `n` floating point operations on the calling thread (no-op unless
+/// a FlopScope is active on this thread).
+inline void count_flops(std::uint64_t n) {
+  auto& s = detail::flop_state();
+  if (s.enabled) s.count += n;
+}
+
+/// RAII region that enables flop counting on the current thread and exposes
+/// the number of operations executed since construction.
+class FlopScope {
+ public:
+  FlopScope();
+  ~FlopScope();
+  FlopScope(const FlopScope&) = delete;
+  FlopScope& operator=(const FlopScope&) = delete;
+
+  /// Operations counted since this scope began.
+  std::uint64_t count() const;
+
+ private:
+  bool prev_enabled_;
+  std::uint64_t start_;
+};
+
+}  // namespace ppstap

@@ -1,0 +1,58 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ppstap {
+
+void parallel_for_blocks(index_t threads, index_t total,
+                         const std::function<void(index_t, index_t)>& fn) {
+  PPSTAP_REQUIRE(threads >= 1, "need at least one thread");
+  PPSTAP_REQUIRE(total >= 0, "iteration count must be nonnegative");
+  if (total == 0) return;
+  const index_t used = std::min(threads, total);
+  if (used == 1) {
+    fn(0, total);
+    return;
+  }
+
+  const index_t base = total / used;
+  const index_t rem = total % used;
+  const auto bounds = [&](index_t i) {
+    const index_t begin = i * base + std::min(i, rem);
+    return std::pair<index_t, index_t>{begin,
+                                       begin + base + (i < rem ? 1 : 0)};
+  };
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(used - 1));
+  for (index_t i = 1; i < used; ++i) {
+    const auto [begin, end] = bounds(i);
+    workers.emplace_back([&, begin = begin, end = end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  const auto [begin0, end0] = bounds(0);
+  try {
+    fn(begin0, end0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!first_error) first_error = std::current_exception();
+  }
+  for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ppstap

@@ -1,0 +1,31 @@
+// Wall-clock timer mirroring the paper's use of MPI_Wtime() in Figure 10.
+#pragma once
+
+#include <chrono>
+
+namespace ppstap {
+
+/// Monotonic wall-clock timer with seconds-resolution double output.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+  /// Current time point in seconds, analogous to MPI_Wtime().
+  static double now() {
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ppstap

@@ -1,0 +1,26 @@
+// Core scalar types used across the library.
+//
+// CPI sample data is single-precision complex (matching the 16-bit baseband
+// data of the RTMCARM radar after conversion); adaptive-weight linear algebra
+// may be instantiated in double precision where tests require it.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace ppstap {
+
+using cfloat = std::complex<float>;
+using cdouble = std::complex<double>;
+
+using index_t = std::ptrdiff_t;
+
+/// Number of real floating point values in one element of T (1 for real
+/// scalars, 2 for std::complex).
+template <typename T>
+inline constexpr int real_dof = 1;
+template <typename T>
+inline constexpr int real_dof<std::complex<T>> = 2;
+
+}  // namespace ppstap

@@ -1,0 +1,40 @@
+#include "core/assignment.hpp"
+
+#include <sstream>
+
+namespace ppstap::core {
+
+void NodeAssignment::validate(const stap::StapParams& p) const {
+  using stap::Task;
+  for (int n : nodes)
+    PPSTAP_REQUIRE(n >= 1, "every task needs at least one node");
+  const auto limit = [&](Task t, index_t items, const char* what) {
+    PPSTAP_REQUIRE(static_cast<index_t>((*this)[t]) <= items,
+                   std::string("more nodes than ") + what + " for " +
+                       stap::task_name(t));
+  };
+  limit(Task::kDopplerFilter, p.num_range, "range cells");
+  limit(Task::kEasyWeight, p.num_easy(), "easy Doppler bins");
+  // Hard weights parallelize over independent (bin, segment) units — the
+  // paper runs 112 nodes against 56 hard bins x 6 segments = 336 units.
+  limit(Task::kHardWeight, p.num_hard * p.num_segments,
+        "hard (bin, segment) units");
+  limit(Task::kEasyBeamform, p.num_easy(), "easy Doppler bins");
+  limit(Task::kHardBeamform, p.num_hard, "hard Doppler bins");
+  limit(Task::kPulseCompression, p.num_pulses, "Doppler bins");
+  limit(Task::kCfar, p.num_pulses, "Doppler bins");
+}
+
+std::string NodeAssignment::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (int t = 0; t < stap::kNumTasks; ++t) {
+    if (t) os << ", ";
+    os << stap::task_name(static_cast<stap::Task>(t)) << "="
+       << nodes[static_cast<size_t>(t)];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ppstap::core

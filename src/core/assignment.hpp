@@ -1,0 +1,66 @@
+// Processor (node) assignment for the seven-task parallel pipeline.
+//
+// The central resource-allocation question of the paper (§4.1.2, §7.3):
+// how many nodes each task gets determines both the pipeline's throughput
+// (eq. 1: inverse of the slowest task) and its latency (eq. 2: the sum of
+// the tasks on the critical path, which excludes the weight tasks thanks to
+// the temporal dependency). The three experiment cases of Table 7 and the
+// what-if reassignments of Tables 9-10 are provided as named constructors.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/check.hpp"
+#include "stap/flops.hpp"
+
+namespace ppstap::core {
+
+struct NodeAssignment {
+  /// Nodes per task, indexed by stap::Task.
+  std::array<int, stap::kNumTasks> nodes{1, 1, 1, 1, 1, 1, 1};
+
+  int operator[](stap::Task t) const {
+    return nodes[static_cast<size_t>(t)];
+  }
+  int& operator[](stap::Task t) { return nodes[static_cast<size_t>(t)]; }
+
+  int total() const {
+    int sum = 0;
+    for (int n : nodes) sum += n;
+    return sum;
+  }
+
+  /// First global rank of task `t` when ranks are laid out in task order.
+  int first_rank(stap::Task t) const {
+    int base = 0;
+    for (int i = 0; i < static_cast<int>(t); ++i)
+      base += nodes[static_cast<size_t>(i)];
+    return base;
+  }
+
+  /// Throws unless every task has >= 1 node and no task has more nodes than
+  /// independent work items under `p` (bins / range cells).
+  void validate(const stap::StapParams& p) const;
+
+  std::string to_string() const;
+
+  /// Paper Table 7 case 1: 236 nodes total.
+  static NodeAssignment paper_case1() {
+    return {{32, 16, 112, 16, 28, 16, 16}};
+  }
+  /// Paper Table 7 case 2: 118 nodes total.
+  static NodeAssignment paper_case2() { return {{16, 8, 56, 8, 14, 8, 8}}; }
+  /// Paper Table 7 case 3: 59 nodes total.
+  static NodeAssignment paper_case3() { return {{8, 4, 28, 4, 7, 4, 4}}; }
+  /// Paper Table 9: case 2 plus 4 Doppler nodes (122 total).
+  static NodeAssignment paper_table9() {
+    return {{20, 8, 56, 8, 14, 8, 8}};
+  }
+  /// Paper Table 10: Table 9 plus 8+8 nodes on PC and CFAR (138 total).
+  static NodeAssignment paper_table10() {
+    return {{20, 8, 56, 8, 14, 16, 16}};
+  }
+};
+
+}  // namespace ppstap::core

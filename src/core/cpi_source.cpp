@@ -1,0 +1,27 @@
+#include "core/cpi_source.hpp"
+
+namespace ppstap::core {
+
+std::shared_ptr<const cube::CpiCube> CpiSource::get(index_t cpi) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (auto it = cache_.find(cpi); it != cache_.end()) return it->second;
+
+  const int prior = generated_[cpi]++;
+  if (prior > 0) ++regenerations_;
+  // Generation is deterministic per index, so dropping the lock here would
+  // only risk duplicate work; holding it keeps the accounting exact and the
+  // generator contention-free (it is the slowest caller's critical path
+  // either way on this machine model).
+  auto cube = std::make_shared<const cube::CpiCube>(gen_.generate(cpi));
+  cache_[cpi] = cube;
+  while (!cache_.empty() && cache_.begin()->first + window_ < cpi)
+    cache_.erase(cache_.begin());
+  return cube;
+}
+
+index_t CpiSource::regeneration_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return regenerations_;
+}
+
+}  // namespace ppstap::core

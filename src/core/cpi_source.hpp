@@ -1,0 +1,41 @@
+// Thread-safe CPI input feed for the parallel pipeline.
+//
+// In the flight system, CPI cubes arrive from the radar front end and every
+// Doppler node reads its range slab of the same CPI. Here the scene
+// generator plays the radar: generation is memoized so the P0 Doppler ranks
+// share one cube per CPI, and cubes older than a small window are evicted
+// (ranks proceed in near lockstep, bounded by pipeline backpressure; a
+// straggler that misses the window transparently regenerates).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "synth/scenario.hpp"
+
+namespace ppstap::core {
+
+class CpiSource {
+ public:
+  explicit CpiSource(const synth::ScenarioGenerator& gen,
+                     index_t window = 4)
+      : gen_(gen), window_(window) {}
+
+  /// The full CPI cube for index `cpi` (shared, immutable).
+  std::shared_ptr<const cube::CpiCube> get(index_t cpi);
+
+  /// How many CPIs had to be generated more than once (eviction misses);
+  /// useful as a health check in tests.
+  index_t regeneration_count() const;
+
+ private:
+  const synth::ScenarioGenerator& gen_;
+  index_t window_;
+  mutable std::mutex mu_;
+  std::map<index_t, std::shared_ptr<const cube::CpiCube>> cache_;
+  std::map<index_t, int> generated_;
+  index_t regenerations_ = 0;
+};
+
+}  // namespace ppstap::core

@@ -1,0 +1,786 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "comm/world.hpp"
+#include "common/timer.hpp"
+#include "core/cpi_source.hpp"
+#include "cube/partition.hpp"
+#include "stap/beamform.hpp"
+#include "stap/doppler.hpp"
+#include "stap/pulse_compression.hpp"
+#include "stap/training.hpp"
+#include "stap/weights.hpp"
+
+namespace ppstap::core {
+
+namespace {
+
+using comm::Comm;
+using cube::BlockPartition;
+using linalg::MatrixCF;
+using stap::Task;
+
+// Inter-task edges (arrows of paper Fig. 4, spatial dependencies only; the
+// temporal dependencies TD_{1,3}/TD_{2,4} are realized through the +1 CPI
+// tag offset on the weight edges).
+enum Edge : int {
+  kDopToEasyWt = 0,
+  kDopToHardWt = 1,
+  kDopToEasyBf = 2,
+  kDopToHardBf = 3,
+  kEasyWtToBf = 4,
+  kHardWtToBf = 5,
+  kEasyBfToPc = 6,
+  kHardBfToPc = 7,
+  kPcToCfar = 8,
+};
+constexpr int kEdgeCount = 16;  // tag stride (power of two headroom)
+
+int tag_for(index_t cpi, Edge e) {
+  return static_cast<int>(cpi) * kEdgeCount + static_cast<int>(e);
+}
+
+// Slice of an ordered item list owned by part `p` of a partition.
+template <typename T>
+std::span<const T> slice(const std::vector<T>& list, const BlockPartition& bp,
+                         index_t p) {
+  return {list.data() + bp.offset(p), static_cast<size_t>(bp.length(p))};
+}
+
+struct Shared {
+  Shared(const stap::StapParams& p_in, const NodeAssignment& a_in,
+         const std::vector<MatrixCF>& steering_in,
+         const std::vector<cfloat>& replica_in, CpiSource& source_in,
+         index_t n_cpis_in, index_t warmup_in, index_t cooldown_in)
+      : p(p_in),
+        a(a_in),
+        steering(steering_in),
+        replica(replica_in),
+        source(source_in),
+        n_cpis(n_cpis_in),
+        warmup(warmup_in),
+        cooldown(cooldown_in) {}
+
+  const stap::StapParams& p;
+  const NodeAssignment& a;
+  const std::vector<MatrixCF>& steering;  // per transmit position
+  const std::vector<cfloat>& replica;
+  CpiSource& source;
+  index_t n_cpis, warmup, cooldown;
+
+  BlockPartition part_k;     // Doppler filtering: range cells
+  BlockPartition part_ewt;   // easy weights: easy-bin positions
+  BlockPartition part_hwu;   // hard weights: (bin, segment) unit positions
+  BlockPartition part_ebf;   // easy BF: easy-bin positions
+  BlockPartition part_hbf;   // hard BF: hard-bin positions
+  BlockPartition part_pc;    // pulse compression: global bins
+  BlockPartition part_cfar;  // CFAR: global bins
+
+  std::vector<index_t> easy_bins, hard_bins, easy_cells;
+  std::vector<std::vector<index_t>> hard_cells;  // per segment
+  std::vector<stap::HardUnit> hard_units;        // bin-major over hard_bins
+
+  std::mutex mu;
+  std::vector<double> input_ready;  // per CPI, set by Doppler rank 0
+  std::vector<double> completion;   // per CPI, set by the last CFAR rank
+  std::vector<int> cfar_done;
+  std::vector<std::vector<stap::Detection>> detections;
+  std::array<TaskTiming, stap::kNumTasks> timing_sum{};
+  std::array<int, stap::kNumTasks> timing_ranks{};
+  std::array<std::uint64_t, stap::kNumTasks> bytes_sent{};
+
+  bool measured(index_t cpi) const {
+    return cpi >= warmup && cpi < n_cpis - cooldown;
+  }
+  index_t measured_count() const { return n_cpis - warmup - cooldown; }
+
+  int base(Task t) const { return a.first_rank(t); }
+  int count(Task t) const { return a[t]; }
+
+  // Range-cell positions of `cells` inside Doppler rank d's slab, as
+  // indices into `cells` (so senders and receivers agree on row order).
+  std::vector<index_t> cell_positions_in_slab(
+      const std::vector<index_t>& cells, index_t d) const {
+    const index_t k0 = part_k.offset(d);
+    const index_t k1 = k0 + part_k.length(d);
+    std::vector<index_t> out;
+    for (size_t i = 0; i < cells.size(); ++i)
+      if (cells[i] >= k0 && cells[i] < k1)
+        out.push_back(static_cast<index_t>(i));
+    return out;
+  }
+};
+
+// Per-rank Figure-10 phase accumulator.
+struct PhaseAcc {
+  double recv = 0, comp = 0, send = 0;
+  std::uint64_t bytes = 0;
+  void commit(Shared& s, Task t, index_t measured_cpis) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto& sum = s.timing_sum[static_cast<size_t>(t)];
+    const double inv = 1.0 / static_cast<double>(measured_cpis);
+    sum.recv += recv * inv;
+    sum.comp += comp * inv;
+    sum.send += send * inv;
+    s.timing_ranks[static_cast<size_t>(t)] += 1;
+    s.bytes_sent[static_cast<size_t>(t)] += bytes;
+  }
+};
+
+void send_cf(Comm& c, int dest, int tag, const std::vector<cfloat>& buf,
+             bool measured, PhaseAcc& acc) {
+  c.send<cfloat>(dest, tag, buf);
+  if (measured) acc.bytes += buf.size() * sizeof(cfloat);
+}
+
+// ---------------------------------------------------------------------------
+// Task 0: Doppler filter processing (partitioned along K)
+// ---------------------------------------------------------------------------
+void run_doppler(Comm& c, Shared& s, int me) {
+  const auto& p = s.p;
+  const index_t k0 = s.part_k.offset(me);
+  const index_t kl = s.part_k.length(me);
+  const index_t j = p.num_channels;
+  const index_t jj = p.num_staggered_channels();
+  stap::DopplerFilter filter(p);
+  PhaseAcc acc;
+
+  for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+    const bool meas = s.measured(cpi);
+    const double t0 = WallTimer::now();
+    if (me == 0) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.input_ready[static_cast<size_t>(cpi)] = t0;
+    }
+
+    // "Receive": fetch this rank's range slab from the radar feed.
+    auto full = s.source.get(cpi);
+    cube::CpiCube slab(kl, j, p.num_pulses);
+    for (index_t k = 0; k < kl; ++k)
+      for (index_t ch = 0; ch < j; ++ch) {
+        auto src = full->line(k0 + k, ch);
+        std::copy(src.begin(), src.end(), slab.line(k, ch).begin());
+      }
+    full.reset();
+    const double t1 = WallTimer::now();
+
+    const cube::CpiCube stag = filter.filter(slab, k0);
+    const double t2 = WallTimer::now();
+
+    // --- data collection + personalized sends (Figs. 6b, 8) --------------
+    // Easy weight task: training rows (J channels) at the easy training
+    // cells inside this slab, for each destination's owned bins.
+    for (int r = 0; r < s.count(Task::kEasyWeight); ++r) {
+      std::vector<cfloat> buf;
+      const auto bins = slice(s.easy_bins, s.part_ewt, r);
+      for (index_t bin : bins)
+        for (index_t cell : s.easy_cells) {
+          if (cell < k0 || cell >= k0 + kl) continue;
+          for (index_t ch = 0; ch < j; ++ch)
+            buf.push_back(stag.at(cell - k0, ch, bin));
+        }
+      send_cf(c, s.base(Task::kEasyWeight) + r, tag_for(cpi, kDopToEasyWt),
+              buf, meas, acc);
+    }
+    // Hard weight task: 2J-channel training rows per (bin, segment) unit.
+    for (int r = 0; r < s.count(Task::kHardWeight); ++r) {
+      std::vector<cfloat> buf;
+      const auto units = slice(s.hard_units, s.part_hwu, r);
+      for (const auto& u : units)
+        for (index_t cell : s.hard_cells[static_cast<size_t>(u.segment)]) {
+          if (cell < k0 || cell >= k0 + kl) continue;
+          for (index_t ch = 0; ch < jj; ++ch)
+            buf.push_back(stag.at(cell - k0, ch, u.bin));
+        }
+      send_cf(c, s.base(Task::kHardWeight) + r, tag_for(cpi, kDopToHardWt),
+              buf, meas, acc);
+    }
+    // Easy beamforming: the full slab for the destination's bins, J
+    // channels, reorganized to (bin, range, channel) — Fig. 8.
+    for (int r = 0; r < s.count(Task::kEasyBeamform); ++r) {
+      const auto bins = slice(s.easy_bins, s.part_ebf, r);
+      std::vector<cfloat> buf;
+      buf.reserve(bins.size() * static_cast<size_t>(kl * j));
+      for (index_t bin : bins)
+        for (index_t k = 0; k < kl; ++k)
+          for (index_t ch = 0; ch < j; ++ch)
+            buf.push_back(stag.at(k, ch, bin));
+      send_cf(c, s.base(Task::kEasyBeamform) + r, tag_for(cpi, kDopToEasyBf),
+              buf, meas, acc);
+    }
+    // Hard beamforming: same with both stagger halves (2J channels).
+    for (int r = 0; r < s.count(Task::kHardBeamform); ++r) {
+      const auto bins = slice(s.hard_bins, s.part_hbf, r);
+      std::vector<cfloat> buf;
+      buf.reserve(bins.size() * static_cast<size_t>(kl * jj));
+      for (index_t bin : bins)
+        for (index_t k = 0; k < kl; ++k)
+          for (index_t ch = 0; ch < jj; ++ch)
+            buf.push_back(stag.at(k, ch, bin));
+      send_cf(c, s.base(Task::kHardBeamform) + r, tag_for(cpi, kDopToHardBf),
+              buf, meas, acc);
+    }
+    const double t3 = WallTimer::now();
+
+    if (meas) {
+      acc.recv += t1 - t0;
+      acc.comp += t2 - t1;
+      acc.send += t3 - t2;
+    }
+  }
+  acc.commit(s, Task::kDopplerFilter, s.measured_count());
+}
+
+// ---------------------------------------------------------------------------
+// Task 1: easy weight computation (partitioned along easy bins)
+// ---------------------------------------------------------------------------
+void run_easy_wt(Comm& c, Shared& s, int me) {
+  const auto& p = s.p;
+  const index_t j = p.num_channels;
+  const index_t positions = p.num_beam_positions;
+  const auto bins = slice(s.easy_bins, s.part_ewt, me);
+  // One computer per transmit position: training pools only same-azimuth
+  // looks (paper §3).
+  std::vector<stap::EasyWeightComputer> computers;
+  for (index_t pos = 0; pos < positions; ++pos)
+    computers.emplace_back(p, s.steering[static_cast<size_t>(pos)],
+                           std::vector<index_t>(bins.begin(), bins.end()));
+  PhaseAcc acc;
+
+  // Precompute each Doppler rank's contribution rows (cells of the global
+  // training list inside its slab).
+  std::vector<std::vector<index_t>> rows_from(
+      static_cast<size_t>(s.count(Task::kDopplerFilter)));
+  for (int d = 0; d < s.count(Task::kDopplerFilter); ++d)
+    rows_from[static_cast<size_t>(d)] =
+        s.cell_positions_in_slab(s.easy_cells, d);
+
+  // Send the quiescent weights that beamform the first visit of each
+  // position (TD_{1,3} bootstrap).
+  auto send_weights = [&](const stap::WeightSet& w, index_t for_cpi) {
+    for (int r = 0; r < s.count(Task::kEasyBeamform); ++r) {
+      const index_t lo = std::max(s.part_ewt.offset(me), s.part_ebf.offset(r));
+      const index_t hi =
+          std::min(s.part_ewt.offset(me) + s.part_ewt.length(me),
+                   s.part_ebf.offset(r) + s.part_ebf.length(r));
+      std::vector<cfloat> buf;
+      for (index_t pos = lo; pos < hi; ++pos) {
+        const auto& wm =
+            w.weights[static_cast<size_t>(pos - s.part_ewt.offset(me))];
+        buf.insert(buf.end(), wm.data(), wm.data() + wm.size());
+      }
+      send_cf(c, s.base(Task::kEasyBeamform) + r,
+              tag_for(for_cpi, kEasyWtToBf), buf, s.measured(for_cpi), acc);
+    }
+  };
+  for (index_t pos = 0; pos < positions && pos < s.n_cpis; ++pos)
+    send_weights(computers[static_cast<size_t>(pos)].compute(), pos);
+
+  const index_t total_cells = static_cast<index_t>(s.easy_cells.size());
+  for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+    const bool meas = s.measured(cpi);
+    const double t0 = WallTimer::now();
+
+    std::vector<MatrixCF> training(bins.size(), MatrixCF(total_cells, j));
+    for (int d = 0; d < s.count(Task::kDopplerFilter); ++d) {
+      auto buf = c.recv<cfloat>(s.base(Task::kDopplerFilter) + d,
+                                tag_for(cpi, kDopToEasyWt));
+      size_t off = 0;
+      for (size_t bi = 0; bi < bins.size(); ++bi)
+        for (index_t row : rows_from[static_cast<size_t>(d)]) {
+          PPSTAP_CHECK(off + static_cast<size_t>(j) <= buf.size(),
+                       "short easy training message");
+          for (index_t ch = 0; ch < j; ++ch)
+            training[bi](row, ch) = buf[off++];
+        }
+      PPSTAP_CHECK(off == buf.size(), "easy training message length");
+    }
+    const double t1 = WallTimer::now();
+
+    auto& computer = computers[static_cast<size_t>(cpi % positions)];
+    computer.push_training(std::move(training));
+    const stap::WeightSet w = computer.compute();
+    const double t2 = WallTimer::now();
+
+    // These weights serve the *next visit* of the same transmit position.
+    if (cpi + positions < s.n_cpis) send_weights(w, cpi + positions);
+    const double t3 = WallTimer::now();
+
+    if (meas) {
+      acc.recv += t1 - t0;
+      acc.comp += t2 - t1;
+      acc.send += t3 - t2;
+    }
+  }
+  acc.commit(s, Task::kEasyWeight, s.measured_count());
+}
+
+// ---------------------------------------------------------------------------
+// Task 2: hard weight computation (partitioned over (bin, segment) units)
+// ---------------------------------------------------------------------------
+void run_hard_wt(Comm& c, Shared& s, int me) {
+  const auto& p = s.p;
+  const index_t jj = p.num_staggered_channels();
+  const index_t positions = p.num_beam_positions;
+  const auto units = slice(s.hard_units, s.part_hwu, me);
+  std::vector<stap::HardWeightComputer> computers;
+  for (index_t pos = 0; pos < positions; ++pos)
+    computers.emplace_back(
+        p, s.steering[static_cast<size_t>(pos)],
+        std::vector<stap::HardUnit>(units.begin(), units.end()));
+  PhaseAcc acc;
+
+  // Row positions per (unit, doppler rank).
+  std::vector<std::vector<std::vector<index_t>>> rows_from(units.size());
+  for (size_t ui = 0; ui < units.size(); ++ui) {
+    rows_from[ui].resize(static_cast<size_t>(s.count(Task::kDopplerFilter)));
+    for (int d = 0; d < s.count(Task::kDopplerFilter); ++d)
+      rows_from[ui][static_cast<size_t>(d)] = s.cell_positions_in_slab(
+          s.hard_cells[static_cast<size_t>(units[ui].segment)], d);
+  }
+
+  const index_t u_base = s.part_hwu.offset(me);
+  auto send_weights = [&](const std::vector<MatrixCF>& w, index_t for_cpi) {
+    for (int r = 0; r < s.count(Task::kHardBeamform); ++r) {
+      // Hard BF rank r owns bin positions [b0, b0+bl) — i.e. unit
+      // positions [b0*S, (b0+bl)*S) in the bin-major unit list.
+      const index_t segs = p.num_segments;
+      const index_t r_lo = s.part_hbf.offset(r) * segs;
+      const index_t r_hi = r_lo + s.part_hbf.length(r) * segs;
+      const index_t lo = std::max(u_base, r_lo);
+      const index_t hi = std::min(u_base + s.part_hwu.length(me), r_hi);
+      std::vector<cfloat> buf;
+      for (index_t pos = lo; pos < hi; ++pos) {
+        const auto& wm = w[static_cast<size_t>(pos - u_base)];
+        buf.insert(buf.end(), wm.data(), wm.data() + wm.size());
+      }
+      send_cf(c, s.base(Task::kHardBeamform) + r,
+              tag_for(for_cpi, kHardWtToBf), buf, s.measured(for_cpi), acc);
+    }
+  };
+  for (index_t pos = 0; pos < positions && pos < s.n_cpis; ++pos)
+    send_weights(computers[static_cast<size_t>(pos)].compute(), pos);
+
+  for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+    const bool meas = s.measured(cpi);
+    const double t0 = WallTimer::now();
+
+    std::vector<MatrixCF> training;
+    training.reserve(units.size());
+    for (size_t ui = 0; ui < units.size(); ++ui)
+      training.emplace_back(
+          static_cast<index_t>(p.hard_samples_per_segment), jj);
+    for (int d = 0; d < s.count(Task::kDopplerFilter); ++d) {
+      auto buf = c.recv<cfloat>(s.base(Task::kDopplerFilter) + d,
+                                tag_for(cpi, kDopToHardWt));
+      size_t off = 0;
+      for (size_t ui = 0; ui < units.size(); ++ui)
+        for (index_t row : rows_from[ui][static_cast<size_t>(d)]) {
+          PPSTAP_CHECK(off + static_cast<size_t>(jj) <= buf.size(),
+                       "short hard training message");
+          for (index_t ch = 0; ch < jj; ++ch)
+            training[ui](row, ch) = buf[off++];
+        }
+      PPSTAP_CHECK(off == buf.size(), "hard training message length");
+    }
+    const double t1 = WallTimer::now();
+
+    auto& computer = computers[static_cast<size_t>(cpi % positions)];
+    computer.update(training);
+    const std::vector<MatrixCF> w = computer.compute();
+    const double t2 = WallTimer::now();
+
+    // These weights serve the *next visit* of the same transmit position.
+    if (cpi + positions < s.n_cpis) send_weights(w, cpi + positions);
+    const double t3 = WallTimer::now();
+
+    if (meas) {
+      acc.recv += t1 - t0;
+      acc.comp += t2 - t1;
+      acc.send += t3 - t2;
+    }
+  }
+  acc.commit(s, Task::kHardWeight, s.measured_count());
+}
+
+// ---------------------------------------------------------------------------
+// Tasks 3/4: beamforming (partitioned along easy/hard bins)
+// ---------------------------------------------------------------------------
+void run_beamform(Comm& c, Shared& s, int me, bool hard) {
+  const auto& p = s.p;
+  const Task task = hard ? Task::kHardBeamform : Task::kEasyBeamform;
+  const Task wt_task = hard ? Task::kHardWeight : Task::kEasyWeight;
+  const Edge data_edge = hard ? kDopToHardBf : kDopToEasyBf;
+  const Edge wt_edge = hard ? kHardWtToBf : kEasyWtToBf;
+  const Edge out_edge = hard ? kHardBfToPc : kEasyBfToPc;
+  const BlockPartition& part = hard ? s.part_hbf : s.part_ebf;
+  const std::vector<index_t>& bin_list = hard ? s.hard_bins : s.easy_bins;
+  const index_t nch = hard ? p.num_staggered_channels() : p.num_channels;
+  const index_t k = p.num_range;
+  const index_t m = p.num_beams;
+  const index_t segs = hard ? p.num_segments : 1;
+
+  const auto bins = slice(bin_list, part, me);
+  const index_t b0 = part.offset(me);
+  const index_t bl = part.length(me);
+  PhaseAcc acc;
+
+  for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+    const bool meas = s.measured(cpi);
+    const double t0 = WallTimer::now();
+
+    // Weights for this CPI (sent by the weight task while processing the
+    // previous CPI — the temporal dependency).
+    stap::WeightSet w;
+    w.bins.assign(bins.begin(), bins.end());
+    w.weights.assign(static_cast<size_t>(bl * segs), MatrixCF());
+    for (int r = 0; r < s.count(wt_task); ++r) {
+      auto buf = c.recv<cfloat>(s.base(wt_task) + r, tag_for(cpi, wt_edge));
+      size_t off = 0;
+      const BlockPartition& wpart = hard ? s.part_hwu : s.part_ewt;
+      const index_t my_lo = b0 * segs;
+      const index_t my_hi = (b0 + bl) * segs;
+      const index_t lo = std::max(wpart.offset(r), my_lo);
+      const index_t hi = std::min(wpart.offset(r) + wpart.length(r), my_hi);
+      for (index_t pos = lo; pos < hi; ++pos) {
+        MatrixCF wm(nch, m);
+        PPSTAP_CHECK(off + static_cast<size_t>(wm.size()) <= buf.size(),
+                     "short weight message");
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(off),
+                    static_cast<size_t>(wm.size()), wm.data());
+        off += static_cast<size_t>(wm.size());
+        w.weights[static_cast<size_t>(pos - my_lo)] = std::move(wm);
+      }
+      PPSTAP_CHECK(off == buf.size(), "weight message length");
+    }
+
+    // Doppler data, reassembled into the bin-major (bin, range, channel)
+    // cube of Fig. 8.
+    cube::CpiCube data(bl, k, nch);
+    for (int d = 0; d < s.count(Task::kDopplerFilter); ++d) {
+      auto buf = c.recv<cfloat>(s.base(Task::kDopplerFilter) + d,
+                                tag_for(cpi, data_edge));
+      const index_t dk0 = s.part_k.offset(d);
+      const index_t dkl = s.part_k.length(d);
+      PPSTAP_CHECK(static_cast<index_t>(buf.size()) == bl * dkl * nch,
+                   "doppler data message length");
+      size_t off = 0;
+      for (index_t b = 0; b < bl; ++b)
+        for (index_t kk = 0; kk < dkl; ++kk) {
+          std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(off),
+                      static_cast<size_t>(nch),
+                      data.line(b, dk0 + kk).begin());
+          off += static_cast<size_t>(nch);
+        }
+    }
+    const double t1 = WallTimer::now();
+
+    const cube::CpiCube out = hard ? stap::hard_beamform(data, w, p)
+                                   : stap::easy_beamform(data, w, p);
+    const double t2 = WallTimer::now();
+
+    // Route each bin's M x K block to the pulse compression owner of its
+    // *global* Doppler bin.
+    for (int r = 0; r < s.count(Task::kPulseCompression); ++r) {
+      const index_t g0 = s.part_pc.offset(r);
+      const index_t g1 = g0 + s.part_pc.length(r);
+      std::vector<cfloat> buf;
+      for (index_t b = 0; b < bl; ++b) {
+        const index_t gbin = bins[static_cast<size_t>(b)];
+        if (gbin < g0 || gbin >= g1) continue;
+        for (index_t mm = 0; mm < m; ++mm) {
+          auto line = out.line(b, mm);
+          buf.insert(buf.end(), line.begin(), line.end());
+        }
+      }
+      send_cf(c, s.base(Task::kPulseCompression) + r, tag_for(cpi, out_edge),
+              buf, meas, acc);
+    }
+    const double t3 = WallTimer::now();
+
+    if (meas) {
+      acc.recv += t1 - t0;
+      acc.comp += t2 - t1;
+      acc.send += t3 - t2;
+    }
+  }
+  acc.commit(s, task, s.measured_count());
+}
+
+// ---------------------------------------------------------------------------
+// Task 5: pulse compression (partitioned along all Doppler bins)
+// ---------------------------------------------------------------------------
+void run_pc(Comm& c, Shared& s, int me) {
+  const auto& p = s.p;
+  const index_t g0 = s.part_pc.offset(me);
+  const index_t gl = s.part_pc.length(me);
+  const index_t m = p.num_beams;
+  const index_t k = p.num_range;
+  stap::PulseCompressor compressor(p, s.replica);
+  PhaseAcc acc;
+
+  auto recv_from_bf = [&](index_t cpi, bool hard) {
+    const Task bf_task = hard ? Task::kHardBeamform : Task::kEasyBeamform;
+    const Edge edge = hard ? kHardBfToPc : kEasyBfToPc;
+    const BlockPartition& part = hard ? s.part_hbf : s.part_ebf;
+    const std::vector<index_t>& bin_list = hard ? s.hard_bins : s.easy_bins;
+    std::vector<std::pair<index_t, std::vector<cfloat>>> rows;
+    for (int r = 0; r < s.count(bf_task); ++r) {
+      auto buf = c.recv<cfloat>(s.base(bf_task) + r, tag_for(cpi, edge));
+      size_t off = 0;
+      const auto bins = slice(bin_list, part, r);
+      for (index_t gbin : bins) {
+        if (gbin < g0 || gbin >= g0 + gl) continue;
+        std::vector<cfloat> row(static_cast<size_t>(m * k));
+        PPSTAP_CHECK(off + row.size() <= buf.size(),
+                     "short beamformed message");
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(off),
+                    row.size(), row.begin());
+        off += row.size();
+        rows.emplace_back(gbin, std::move(row));
+      }
+      PPSTAP_CHECK(off == buf.size(), "beamformed message length");
+    }
+    return rows;
+  };
+
+  for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+    const bool meas = s.measured(cpi);
+    const double t0 = WallTimer::now();
+
+    cube::CpiCube bf(gl, m, k);
+    for (bool hard : {false, true})
+      for (auto& [gbin, row] : recv_from_bf(cpi, hard)) {
+        cfloat* dst = &bf.at(gbin - g0, 0, 0);
+        std::copy(row.begin(), row.end(), dst);
+      }
+    const double t1 = WallTimer::now();
+
+    const cube::RealCube power = compressor.compress(bf);
+    const double t2 = WallTimer::now();
+
+    for (int r = 0; r < s.count(Task::kCfar); ++r) {
+      const index_t c0 = s.part_cfar.offset(r);
+      const index_t c1 = c0 + s.part_cfar.length(r);
+      const index_t lo = std::max(g0, c0);
+      const index_t hi = std::min(g0 + gl, c1);
+      std::vector<float> buf;
+      for (index_t bin = lo; bin < hi; ++bin) {
+        const float* src = &power.at(bin - g0, 0, 0);
+        buf.insert(buf.end(), src, src + m * k);
+      }
+      c.send<float>(s.base(Task::kCfar) + r, tag_for(cpi, kPcToCfar), buf);
+      if (meas) acc.bytes += buf.size() * sizeof(float);
+    }
+    const double t3 = WallTimer::now();
+
+    if (meas) {
+      acc.recv += t1 - t0;
+      acc.comp += t2 - t1;
+      acc.send += t3 - t2;
+    }
+  }
+  acc.commit(s, Task::kPulseCompression, s.measured_count());
+}
+
+// ---------------------------------------------------------------------------
+// Task 6: CFAR (partitioned along all Doppler bins); pipeline sink
+// ---------------------------------------------------------------------------
+void run_cfar(Comm& c, Shared& s, int me) {
+  const auto& p = s.p;
+  const index_t c0 = s.part_cfar.offset(me);
+  const index_t cl = s.part_cfar.length(me);
+  const index_t m = p.num_beams;
+  const index_t k = p.num_range;
+  std::vector<index_t> my_bins(static_cast<size_t>(cl));
+  for (index_t i = 0; i < cl; ++i) my_bins[static_cast<size_t>(i)] = c0 + i;
+  PhaseAcc acc;
+
+  for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+    const bool meas = s.measured(cpi);
+    const double t0 = WallTimer::now();
+
+    cube::RealCube power(cl, m, k);
+    for (int r = 0; r < s.count(Task::kPulseCompression); ++r) {
+      const index_t g0 = s.part_pc.offset(r);
+      const index_t g1 = g0 + s.part_pc.length(r);
+      const index_t lo = std::max(c0, g0);
+      const index_t hi = std::min(c0 + cl, g1);
+      auto buf = c.recv<float>(s.base(Task::kPulseCompression) + r,
+                               tag_for(cpi, kPcToCfar));
+      PPSTAP_CHECK(static_cast<index_t>(buf.size()) ==
+                       std::max<index_t>(0, hi - lo) * m * k,
+                   "power message length");
+      size_t off = 0;
+      for (index_t bin = lo; bin < hi; ++bin) {
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(off),
+                    static_cast<size_t>(m * k), &power.at(bin - c0, 0, 0));
+        off += static_cast<size_t>(m * k);
+      }
+    }
+    const double t1 = WallTimer::now();
+
+    auto dets = stap::cfar_detect(power, my_bins, p);
+    const double t2 = WallTimer::now();
+
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      auto& sink = s.detections[static_cast<size_t>(cpi)];
+      sink.insert(sink.end(), dets.begin(), dets.end());
+      if (++s.cfar_done[static_cast<size_t>(cpi)] ==
+          s.count(Task::kCfar))
+        s.completion[static_cast<size_t>(cpi)] = WallTimer::now();
+    }
+
+    if (meas) {
+      acc.recv += t1 - t0;
+      acc.comp += t2 - t1;
+    }
+  }
+  acc.commit(s, Task::kCfar, s.measured_count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+ParallelStapPipeline::ParallelStapPipeline(const stap::StapParams& p,
+                                           const NodeAssignment& assignment,
+                                           linalg::MatrixCF steering,
+                                           std::vector<cfloat> replica)
+    : ParallelStapPipeline(
+          p, assignment,
+          std::vector<linalg::MatrixCF>(
+              static_cast<size_t>(p.num_beam_positions), steering),
+          std::move(replica)) {}
+
+ParallelStapPipeline::ParallelStapPipeline(
+    const stap::StapParams& p, const NodeAssignment& assignment,
+    std::vector<linalg::MatrixCF> steering_per_position,
+    std::vector<cfloat> replica)
+    : p_(p),
+      assign_(assignment),
+      steering_(std::move(steering_per_position)),
+      replica_(std::move(replica)) {
+  p_.validate();
+  assign_.validate(p_);
+  PPSTAP_REQUIRE(static_cast<index_t>(steering_.size()) ==
+                     p_.num_beam_positions,
+                 "one steering matrix per transmit beam position expected");
+  for (const auto& s : steering_)
+    PPSTAP_REQUIRE(s.rows() == p_.num_channels && s.cols() == p_.num_beams,
+                   "steering matrix must be J x M");
+}
+
+PipelineResult ParallelStapPipeline::run(
+    const synth::ScenarioGenerator& scenario, index_t num_cpis,
+    index_t warmup, index_t cooldown) {
+  PPSTAP_REQUIRE(num_cpis > warmup + cooldown,
+                 "need at least one measured CPI");
+  PPSTAP_REQUIRE(scenario.params().num_range == p_.num_range &&
+                     scenario.params().num_channels == p_.num_channels &&
+                     scenario.params().num_pulses == p_.num_pulses,
+                 "scenario dimensions must match STAP parameters");
+
+  CpiSource source(scenario);
+  Shared s{p_,      assign_, steering_, replica_, source,
+           num_cpis, warmup,  cooldown};
+  s.part_k = BlockPartition(p_.num_range, assign_[Task::kDopplerFilter]);
+  s.part_ewt = BlockPartition(p_.num_easy(), assign_[Task::kEasyWeight]);
+  s.part_hwu = BlockPartition(p_.num_hard * p_.num_segments,
+                              assign_[Task::kHardWeight]);
+  s.part_ebf = BlockPartition(p_.num_easy(), assign_[Task::kEasyBeamform]);
+  s.part_hbf = BlockPartition(p_.num_hard, assign_[Task::kHardBeamform]);
+  s.part_pc = BlockPartition(p_.num_pulses,
+                             assign_[Task::kPulseCompression]);
+  s.part_cfar = BlockPartition(p_.num_pulses, assign_[Task::kCfar]);
+  s.easy_bins = p_.easy_bins();
+  s.hard_bins = p_.hard_bins();
+  s.easy_cells = stap::easy_training_cells(p_);
+  for (index_t seg = 0; seg < p_.num_segments; ++seg)
+    s.hard_cells.push_back(stap::hard_training_cells(p_, seg));
+  s.hard_units = stap::HardWeightComputer::units_for_bins(
+      p_, std::span<const index_t>(s.hard_bins));
+  s.input_ready.assign(static_cast<size_t>(num_cpis), 0.0);
+  s.completion.assign(static_cast<size_t>(num_cpis), 0.0);
+  s.cfar_done.assign(static_cast<size_t>(num_cpis), 0);
+  s.detections.assign(static_cast<size_t>(num_cpis), {});
+
+  comm::World world(assign_.total());
+  world.run([&](Comm& c) {
+    int rank = c.rank();
+    for (int t = 0; t < stap::kNumTasks; ++t) {
+      const Task task = static_cast<Task>(t);
+      const int base = s.base(task);
+      if (rank < base + s.count(task)) {
+        const int local = rank - base;
+        switch (task) {
+          case Task::kDopplerFilter:
+            return run_doppler(c, s, local);
+          case Task::kEasyWeight:
+            return run_easy_wt(c, s, local);
+          case Task::kHardWeight:
+            return run_hard_wt(c, s, local);
+          case Task::kEasyBeamform:
+            return run_beamform(c, s, local, /*hard=*/false);
+          case Task::kHardBeamform:
+            return run_beamform(c, s, local, /*hard=*/true);
+          case Task::kPulseCompression:
+            return run_pc(c, s, local);
+          case Task::kCfar:
+            return run_cfar(c, s, local);
+        }
+      }
+    }
+    PPSTAP_CHECK(false, "rank not assigned to any task");
+  });
+
+  // --- assemble the result --------------------------------------------------
+  PipelineResult result;
+  result.detections = std::move(s.detections);
+  for (auto& dets : result.detections)
+    std::sort(dets.begin(), dets.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.doppler_bin, a.beam, a.range) <
+             std::tie(b.doppler_bin, b.beam, b.range);
+    });
+
+  for (int t = 0; t < stap::kNumTasks; ++t) {
+    const auto ranks = static_cast<double>(s.timing_ranks[static_cast<size_t>(t)]);
+    PPSTAP_CHECK(ranks > 0, "no timing contributions for a task");
+    result.timing[static_cast<size_t>(t)] = TaskTiming{
+        s.timing_sum[static_cast<size_t>(t)].recv / ranks,
+        s.timing_sum[static_cast<size_t>(t)].comp / ranks,
+        s.timing_sum[static_cast<size_t>(t)].send / ranks};
+    result.bytes_sent_per_cpi[static_cast<size_t>(t)] =
+        static_cast<double>(s.bytes_sent[static_cast<size_t>(t)]) /
+        static_cast<double>(s.measured_count());
+  }
+
+  double gap_sum = 0.0;
+  int gap_count = 0;
+  double latency_sum = 0.0;
+  int latency_count = 0;
+  for (index_t cpi = 0; cpi < num_cpis; ++cpi) {
+    if (!s.measured(cpi)) continue;
+    const auto i = static_cast<size_t>(cpi);
+    if (cpi > 0 && s.completion[i - 1] > 0.0) {
+      gap_sum += s.completion[i] - s.completion[i - 1];
+      ++gap_count;
+    }
+    const double lat = s.completion[i] - s.input_ready[i];
+    result.per_cpi_latency.push_back(lat);
+    latency_sum += lat;
+    ++latency_count;
+  }
+  if (gap_count > 0 && gap_sum > 0.0)
+    result.throughput = static_cast<double>(gap_count) / gap_sum;
+  if (latency_count > 0)
+    result.latency = latency_sum / static_cast<double>(latency_count);
+  return result;
+}
+
+}  // namespace ppstap::core

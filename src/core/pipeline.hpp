@@ -1,0 +1,88 @@
+// The paper's primary contribution: the parallel pipelined STAP system.
+//
+// Seven tasks (Fig. 4) each run on their own group of ranks; CPI data cubes
+// stream through in a staggered fashion. Within a task the work is
+// partitioned along one cube dimension (K for Doppler filtering, Doppler
+// bins for everything else; hard weights over (bin, segment) units);
+// between tasks, all-to-all personalized communication redistributes and
+// reorganizes the data (Figs. 6-9). The temporal dependencies TD_{1,3} and
+// TD_{2,4} are realized by having the weight tasks emit the weights for CPI
+// i+1 after training on CPI i, so beamforming of CPI i never waits on its
+// own CPI's weights — which is why the weight tasks drop out of the latency
+// equation (2).
+//
+// Every rank runs the Figure-10 loop: receive (+unpack), compute, pack
+// (+send), with the three phases timed separately; results average the
+// middle CPIs exactly as the paper's measurements do.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "linalg/matrix.hpp"
+#include "stap/cfar.hpp"
+#include "stap/params.hpp"
+#include "synth/scenario.hpp"
+
+namespace ppstap::core {
+
+/// Figure-10 phase times for one task (seconds per CPI, averaged over the
+/// measured CPIs and over the task's ranks).
+struct TaskTiming {
+  double recv = 0.0;
+  double comp = 0.0;
+  double send = 0.0;
+  double total() const { return recv + comp + send; }
+};
+
+struct PipelineResult {
+  /// Detections per CPI, sorted by (bin, beam, range) — identical to the
+  /// sequential reference on the same stream.
+  std::vector<std::vector<stap::Detection>> detections;
+
+  /// Per-task Figure-10 timing (middle CPIs).
+  std::array<TaskTiming, stap::kNumTasks> timing{};
+
+  /// Measured at the sink: 1 / mean inter-completion gap (CPIs per second).
+  double throughput = 0.0;
+  /// Mean input-arrival to detection-report time over the measured CPIs.
+  double latency = 0.0;
+  std::vector<double> per_cpi_latency;
+
+  /// Total bytes moved between tasks per measured CPI (send side), indexed
+  /// by sending task — feeds the machine-model volume validation.
+  std::array<double, stap::kNumTasks> bytes_sent_per_cpi{};
+};
+
+/// Runs the parallel pipelined STAP application on an in-process rank world.
+class ParallelStapPipeline {
+ public:
+  /// `steering` is J x M (shared by every transmit position).
+  /// `replica` may be empty.
+  ParallelStapPipeline(const stap::StapParams& p,
+                       const NodeAssignment& assignment,
+                       linalg::MatrixCF steering,
+                       std::vector<cfloat> replica);
+
+  /// Per-transmit-position steering (size must equal num_beam_positions).
+  ParallelStapPipeline(const stap::StapParams& p,
+                       const NodeAssignment& assignment,
+                       std::vector<linalg::MatrixCF> steering_per_position,
+                       std::vector<cfloat> replica);
+
+  /// Stream `num_cpis` CPIs from the scenario through the pipeline.
+  /// Timing averages skip the first `warmup` and last `cooldown` CPIs
+  /// (paper: first 3 and last 2 of 25).
+  PipelineResult run(const synth::ScenarioGenerator& scenario,
+                     index_t num_cpis, index_t warmup = 3,
+                     index_t cooldown = 2);
+
+ private:
+  stap::StapParams p_;
+  NodeAssignment assign_;
+  std::vector<linalg::MatrixCF> steering_;  // per transmit position
+  std::vector<cfloat> replica_;
+};
+
+}  // namespace ppstap::core

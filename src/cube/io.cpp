@@ -1,0 +1,87 @@
+#include "cube/io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace ppstap::cube {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'P', 'S', 'C'};
+
+template <typename T>
+constexpr std::uint32_t dtype_code() {
+  if constexpr (std::is_same_v<T, cfloat>) return 1;
+  if constexpr (std::is_same_v<T, float>) return 2;
+  if constexpr (std::is_same_v<T, cdouble>) return 3;
+  if constexpr (std::is_same_v<T, double>) return 4;
+}
+
+}  // namespace
+
+template <typename T>
+void write_cube(std::ostream& os, const Cube<T>& c) {
+  os.write(kMagic, sizeof(kMagic));
+  const std::uint32_t dtype = dtype_code<T>();
+  os.write(reinterpret_cast<const char*>(&dtype), sizeof(dtype));
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t ext = c.extent(d);
+    os.write(reinterpret_cast<const char*>(&ext), sizeof(ext));
+  }
+  os.write(reinterpret_cast<const char*>(c.data()),
+           static_cast<std::streamsize>(static_cast<size_t>(c.size()) *
+                                        sizeof(T)));
+  PPSTAP_REQUIRE(os.good(), "cube write failed");
+}
+
+template <typename T>
+Cube<T> read_cube(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  PPSTAP_REQUIRE(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+                 "not a ppstap cube stream");
+  std::uint32_t dtype = 0;
+  is.read(reinterpret_cast<char*>(&dtype), sizeof(dtype));
+  PPSTAP_REQUIRE(is.good() && dtype == dtype_code<T>(),
+                 "cube element type mismatch");
+  std::int64_t ext[3];
+  is.read(reinterpret_cast<char*>(ext), sizeof(ext));
+  PPSTAP_REQUIRE(is.good() && ext[0] >= 0 && ext[1] >= 0 && ext[2] >= 0,
+                 "corrupt cube header");
+  Cube<T> c(static_cast<index_t>(ext[0]), static_cast<index_t>(ext[1]),
+            static_cast<index_t>(ext[2]));
+  is.read(reinterpret_cast<char*>(c.data()),
+          static_cast<std::streamsize>(static_cast<size_t>(c.size()) *
+                                       sizeof(T)));
+  PPSTAP_REQUIRE(is.gcount() == static_cast<std::streamsize>(
+                                    static_cast<size_t>(c.size()) *
+                                    sizeof(T)),
+                 "truncated cube payload");
+  return c;
+}
+
+template <typename T>
+void save_cube(const std::string& path, const Cube<T>& c) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  PPSTAP_REQUIRE(os.is_open(), "cannot open for writing: " + path);
+  write_cube(os, c);
+}
+
+template <typename T>
+Cube<T> load_cube(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PPSTAP_REQUIRE(is.is_open(), "cannot open for reading: " + path);
+  return read_cube<T>(is);
+}
+
+template void save_cube<cfloat>(const std::string&, const Cube<cfloat>&);
+template void save_cube<float>(const std::string&, const Cube<float>&);
+template Cube<cfloat> load_cube<cfloat>(const std::string&);
+template Cube<float> load_cube<float>(const std::string&);
+template void write_cube<cfloat>(std::ostream&, const Cube<cfloat>&);
+template void write_cube<float>(std::ostream&, const Cube<float>&);
+template Cube<cfloat> read_cube<cfloat>(std::istream&);
+template Cube<float> read_cube<float>(std::istream&);
+
+}  // namespace ppstap::cube

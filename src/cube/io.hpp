@@ -1,0 +1,41 @@
+// Binary cube persistence.
+//
+// Lets users capture intermediate products (raw CPIs, staggered cubes,
+// power maps) for offline analysis, and feeds recorded data back into the
+// chain in place of the synthetic generator. Format: an 8-byte magic+dtype
+// header, three little-endian int64 extents, then the row-major payload.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cube/cube.hpp"
+
+namespace ppstap::cube {
+
+/// Write `c` to `path`, overwriting. Throws ppstap::Error on I/O failure.
+template <typename T>
+void save_cube(const std::string& path, const Cube<T>& c);
+
+/// Read a cube of exactly element type T from `path`. Throws on missing
+/// file, corrupt header, element-type mismatch, or truncated payload.
+template <typename T>
+Cube<T> load_cube(const std::string& path);
+
+/// Stream variants (used by the file functions; handy for tests).
+template <typename T>
+void write_cube(std::ostream& os, const Cube<T>& c);
+template <typename T>
+Cube<T> read_cube(std::istream& is);
+
+extern template void save_cube<cfloat>(const std::string&,
+                                       const Cube<cfloat>&);
+extern template void save_cube<float>(const std::string&, const Cube<float>&);
+extern template Cube<cfloat> load_cube<cfloat>(const std::string&);
+extern template Cube<float> load_cube<float>(const std::string&);
+extern template void write_cube<cfloat>(std::ostream&, const Cube<cfloat>&);
+extern template void write_cube<float>(std::ostream&, const Cube<float>&);
+extern template Cube<cfloat> read_cube<cfloat>(std::istream&);
+extern template Cube<float> read_cube<float>(std::istream&);
+
+}  // namespace ppstap::cube

@@ -1,0 +1,78 @@
+// Block partitioning of a cube dimension across a task's processor group.
+//
+// Every task in the paper partitions its working cube along exactly one
+// dimension (K for Doppler filtering, N for everything downstream); the
+// remainder is spread over the leading parts so loads differ by at most one
+// line.
+#pragma once
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ppstap::cube {
+
+/// Even block partition of `total` items over `parts` owners.
+class BlockPartition {
+ public:
+  BlockPartition() = default;
+  BlockPartition(index_t total, index_t parts) : total_(total), parts_(parts) {
+    PPSTAP_REQUIRE(total >= 0 && parts >= 1, "invalid partition");
+  }
+
+  index_t total() const { return total_; }
+  index_t parts() const { return parts_; }
+
+  index_t offset(index_t p) const {
+    check_part(p);
+    const index_t base = total_ / parts_;
+    const index_t rem = total_ % parts_;
+    return p * base + (p < rem ? p : rem);
+  }
+
+  index_t length(index_t p) const {
+    check_part(p);
+    const index_t base = total_ / parts_;
+    const index_t rem = total_ % parts_;
+    return base + (p < rem ? 1 : 0);
+  }
+
+  /// Which part owns global index `i`.
+  index_t owner(index_t i) const {
+    PPSTAP_REQUIRE(i >= 0 && i < total_, "index outside partition");
+    const index_t base = total_ / parts_;
+    const index_t rem = total_ % parts_;
+    const index_t split = rem * (base + 1);
+    if (i < split) return i / (base + 1);
+    return rem + (i - split) / base;
+  }
+
+ private:
+  void check_part(index_t p) const {
+    PPSTAP_REQUIRE(p >= 0 && p < parts_, "part index out of range");
+  }
+  index_t total_ = 0;
+  index_t parts_ = 1;
+};
+
+/// Half-open index range [begin, end) used when describing the intersection
+/// of two partitions (what one sender owes one receiver).
+struct IndexRange {
+  index_t begin = 0;
+  index_t end = 0;
+  index_t length() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+};
+
+/// Intersection of a sender's block and a receiver's block of the same
+/// global dimension.
+inline IndexRange intersect(const BlockPartition& a, index_t pa,
+                            const BlockPartition& b, index_t pb) {
+  const index_t lo = std::max(a.offset(pa), b.offset(pb));
+  const index_t hi = std::min(a.offset(pa) + a.length(pa),
+                              b.offset(pb) + b.length(pb));
+  return {lo, std::max(lo, hi)};
+}
+
+}  // namespace ppstap::cube

@@ -1,0 +1,209 @@
+#include "dsp/fft.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/flops.hpp"
+
+namespace ppstap::dsp {
+
+namespace {
+
+bool is_pow2(index_t n) {
+  return n > 0 && (static_cast<std::uint64_t>(n) &
+                   (static_cast<std::uint64_t>(n) - 1)) == 0;
+}
+
+index_t ceil_log2(index_t n) {
+  index_t lg = 0;
+  while ((index_t{1} << lg) < n) ++lg;
+  return lg;
+}
+
+}  // namespace
+
+template <typename T>
+struct FftPlan<T>::Impl {
+  using C = std::complex<T>;
+
+  // Radix-2 machinery (always present; Bluestein reuses it at padded size).
+  index_t n2 = 0;           // power-of-two working size
+  std::vector<index_t> rev;  // bit-reversal permutation of size n2
+  std::vector<C> twiddle;    // per-stage twiddles, concatenated
+  bool bluestein = false;
+  // Bluestein state: a_k = x_k * conj(w_k), convolved with chirp b.
+  std::vector<C> chirp;      // w_k = exp(+i*pi*k^2/n) (direction applied)
+  std::vector<C> b_spec;     // forward FFT of the padded chirp kernel
+
+  void radix2(std::span<C> data, bool inverse) const {
+    const index_t n = n2;
+    for (index_t i = 0; i < n; ++i) {
+      const index_t j = rev[static_cast<size_t>(i)];
+      if (j > i) std::swap(data[static_cast<size_t>(i)],
+                           data[static_cast<size_t>(j)]);
+    }
+    const C* tw = twiddle.data();
+    for (index_t len = 2; len <= n; len <<= 1) {
+      const index_t half = len >> 1;
+      for (index_t start = 0; start < n; start += len) {
+        for (index_t k = 0; k < half; ++k) {
+          C w = tw[k];
+          if (inverse) w = std::conj(w);
+          C& u = data[static_cast<size_t>(start + k)];
+          C& v = data[static_cast<size_t>(start + k + half)];
+          const C t = v * w;
+          v = u - t;
+          u = u + t;
+        }
+      }
+      tw += half;
+    }
+  }
+
+  void build_radix2(index_t n) {
+    n2 = n;
+    const index_t lg = ceil_log2(n);
+    rev.resize(static_cast<size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      index_t r = 0;
+      for (index_t b = 0; b < lg; ++b)
+        if (i & (index_t{1} << b)) r |= index_t{1} << (lg - 1 - b);
+      rev[static_cast<size_t>(i)] = r;
+    }
+    twiddle.clear();
+    for (index_t len = 2; len <= n; len <<= 1) {
+      const index_t half = len >> 1;
+      for (index_t k = 0; k < half; ++k) {
+        const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                           static_cast<double>(len);
+        twiddle.emplace_back(static_cast<T>(std::cos(ang)),
+                             static_cast<T>(std::sin(ang)));
+      }
+    }
+  }
+};
+
+template <typename T>
+FftPlan<T>::FftPlan(index_t n, FftDirection dir)
+    : n_(n), dir_(dir), impl_(std::make_unique<Impl>()) {
+  PPSTAP_REQUIRE(n >= 1, "FFT size must be positive");
+  using C = std::complex<T>;
+  if (is_pow2(n)) {
+    impl_->build_radix2(n);
+    return;
+  }
+  // Bluestein: express the DFT as a convolution with a quadratic chirp and
+  // evaluate that convolution with a power-of-two FFT of size >= 2n - 1.
+  impl_->bluestein = true;
+  const index_t m = index_t{1} << ceil_log2(2 * n - 1);
+  impl_->build_radix2(m);
+  impl_->chirp.resize(static_cast<size_t>(n));
+  std::vector<C> b(static_cast<size_t>(m), C{});
+  for (index_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument bounded for large n.
+    const auto k2 = static_cast<double>(
+        (static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(k)) %
+        static_cast<std::uint64_t>(2 * n));
+    const double ang = std::numbers::pi * k2 / static_cast<double>(n);
+    const C w{static_cast<T>(std::cos(ang)), static_cast<T>(-std::sin(ang))};
+    impl_->chirp[static_cast<size_t>(k)] = w;  // forward-direction chirp
+    const C binv = std::conj(w);
+    b[static_cast<size_t>(k)] = binv;
+    if (k != 0) b[static_cast<size_t>(m - k)] = binv;
+  }
+  impl_->radix2(b, /*inverse=*/false);
+  impl_->b_spec = std::move(b);
+}
+
+template <typename T>
+FftPlan<T>::~FftPlan() = default;
+template <typename T>
+FftPlan<T>::FftPlan(FftPlan&&) noexcept = default;
+template <typename T>
+FftPlan<T>& FftPlan<T>::operator=(FftPlan&&) noexcept = default;
+
+template <typename T>
+void FftPlan<T>::execute(std::span<std::complex<T>> data) const {
+  PPSTAP_REQUIRE(static_cast<index_t>(data.size()) == n_,
+                 "FFT input length must equal plan size");
+  using C = std::complex<T>;
+  const bool inverse = dir_ == FftDirection::kInverse;
+
+  if (!impl_->bluestein) {
+    impl_->radix2(data, inverse);
+  } else {
+    // Inverse via the conjugation identity IDFT(x) = conj(DFT(conj(x))) / n;
+    // the trailing 1/n scale is applied below with the common inverse path.
+    if (inverse)
+      for (auto& v : data) v = std::conj(v);
+    const index_t m = impl_->n2;
+    std::vector<C> a(static_cast<size_t>(m), C{});
+    for (index_t k = 0; k < n_; ++k)
+      a[static_cast<size_t>(k)] =
+          data[static_cast<size_t>(k)] * impl_->chirp[static_cast<size_t>(k)];
+    impl_->radix2(a, /*inverse=*/false);
+    for (index_t k = 0; k < m; ++k)
+      a[static_cast<size_t>(k)] *= impl_->b_spec[static_cast<size_t>(k)];
+    impl_->radix2(a, /*inverse=*/true);
+    const T minv = T{1} / static_cast<T>(m);
+    for (index_t k = 0; k < n_; ++k)
+      data[static_cast<size_t>(k)] =
+          a[static_cast<size_t>(k)] * impl_->chirp[static_cast<size_t>(k)] *
+          minv;
+    if (inverse)
+      for (auto& v : data) v = std::conj(v);
+  }
+
+  if (inverse) {
+    const T s = T{1} / static_cast<T>(n_);
+    for (auto& v : data) v *= s;
+  }
+  count_flops(nominal_flops());
+}
+
+template <typename T>
+void FftPlan<T>::execute(std::span<const std::complex<T>> in,
+                         std::span<std::complex<T>> out) const {
+  PPSTAP_REQUIRE(static_cast<index_t>(in.size()) == n_ &&
+                     static_cast<index_t>(out.size()) == n_,
+                 "FFT buffer lengths must equal plan size");
+  if (in.data() != out.data())
+    std::copy(in.begin(), in.end(), out.begin());
+  execute(out);
+}
+
+template <typename T>
+std::uint64_t FftPlan<T>::nominal_flops() const {
+  const auto n = static_cast<std::uint64_t>(n_);
+  std::uint64_t lg = 0;
+  while ((std::uint64_t{1} << lg) < n) ++lg;
+  return 5 * n * lg;
+}
+
+template <typename T>
+std::vector<std::complex<T>> fft(std::span<const std::complex<T>> x) {
+  std::vector<std::complex<T>> out(x.size());
+  FftPlan<T> plan(static_cast<index_t>(x.size()), FftDirection::kForward);
+  plan.execute(x, out);
+  return out;
+}
+
+template <typename T>
+std::vector<std::complex<T>> ifft(std::span<const std::complex<T>> x) {
+  std::vector<std::complex<T>> out(x.size());
+  FftPlan<T> plan(static_cast<index_t>(x.size()), FftDirection::kInverse);
+  plan.execute(x, out);
+  return out;
+}
+
+template class FftPlan<float>;
+template class FftPlan<double>;
+template std::vector<cfloat> fft<float>(std::span<const cfloat>);
+template std::vector<cdouble> fft<double>(std::span<const cdouble>);
+template std::vector<cfloat> ifft<float>(std::span<const cfloat>);
+template std::vector<cdouble> ifft<double>(std::span<const cdouble>);
+
+}  // namespace ppstap::dsp

@@ -1,0 +1,66 @@
+// Fast Fourier transforms for Doppler filtering and pulse compression.
+//
+// Power-of-two sizes (the paper's N = 128 pulses and K = 512 range gates)
+// use an iterative radix-2 Cooley–Tukey kernel with precomputed twiddles and
+// bit-reversal; any other size falls back to Bluestein's chirp-z algorithm so
+// the library handles arbitrary radar parameter sets. Forward transforms are
+// unscaled, inverse transforms scale by 1/n (MATLAB convention, matching the
+// paper's reference code).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppstap::dsp {
+
+enum class FftDirection { kForward, kInverse };
+
+/// A reusable transform plan of fixed length.
+template <typename T>
+class FftPlan {
+ public:
+  FftPlan(index_t n, FftDirection dir);
+  ~FftPlan();
+  FftPlan(FftPlan&&) noexcept;
+  FftPlan& operator=(FftPlan&&) noexcept;
+  FftPlan(const FftPlan&) = delete;
+  FftPlan& operator=(const FftPlan&) = delete;
+
+  index_t size() const { return n_; }
+  FftDirection direction() const { return dir_; }
+
+  /// In-place transform of exactly size() samples.
+  void execute(std::span<std::complex<T>> data) const;
+
+  /// Out-of-place transform; `in` and `out` must not alias unless equal.
+  void execute(std::span<const std::complex<T>> in,
+               std::span<std::complex<T>> out) const;
+
+  /// Nominal flop count of one execution (5 n log2 n, the standard radix-2
+  /// figure used by the paper's Table 1 accounting).
+  std::uint64_t nominal_flops() const;
+
+ private:
+  struct Impl;
+  index_t n_;
+  FftDirection dir_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience transforms.
+template <typename T>
+std::vector<std::complex<T>> fft(std::span<const std::complex<T>> x);
+template <typename T>
+std::vector<std::complex<T>> ifft(std::span<const std::complex<T>> x);
+
+extern template class FftPlan<float>;
+extern template class FftPlan<double>;
+extern template std::vector<cfloat> fft<float>(std::span<const cfloat>);
+extern template std::vector<cdouble> fft<double>(std::span<const cdouble>);
+extern template std::vector<cfloat> ifft<float>(std::span<const cfloat>);
+extern template std::vector<cdouble> ifft<double>(std::span<const cdouble>);
+
+}  // namespace ppstap::dsp

@@ -1,0 +1,36 @@
+#include "dsp/waveform.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "dsp/fft.hpp"
+
+namespace ppstap::dsp {
+
+std::vector<cfloat> lfm_chirp(index_t length) {
+  PPSTAP_REQUIRE(length >= 1, "chirp length must be positive");
+  std::vector<cfloat> s(static_cast<size_t>(length));
+  const double amp = 1.0 / std::sqrt(static_cast<double>(length));
+  for (index_t k = 0; k < length; ++k) {
+    const double t = static_cast<double>(k) - static_cast<double>(length) / 2.0;
+    const double ang = std::numbers::pi * t * t / static_cast<double>(length);
+    s[static_cast<size_t>(k)] = cfloat(static_cast<float>(amp * std::cos(ang)),
+                                       static_cast<float>(amp * std::sin(ang)));
+  }
+  return s;
+}
+
+std::vector<cfloat> matched_filter_spectrum(std::span<const cfloat> replica,
+                                            index_t nfft) {
+  PPSTAP_REQUIRE(static_cast<index_t>(replica.size()) <= nfft,
+                 "replica longer than FFT size");
+  std::vector<cfloat> padded(static_cast<size_t>(nfft), cfloat{});
+  std::copy(replica.begin(), replica.end(), padded.begin());
+  FftPlan<float> plan(nfft, FftDirection::kForward);
+  plan.execute(padded);
+  for (auto& v : padded) v = std::conj(v);
+  return padded;
+}
+
+}  // namespace ppstap::dsp

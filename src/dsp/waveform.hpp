@@ -1,0 +1,26 @@
+// Transmit waveform generation for pulse compression.
+//
+// The live radar transmitted a phase-coded/LFM pulse whose replica is
+// correlated against the received data (paper §5.4). We synthesize a linear
+// FM chirp; its matched filter compresses an extended return of L range
+// cells into one cell with ~L processing gain.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppstap::dsp {
+
+/// Unit-energy linear FM chirp of `length` samples sweeping the full
+/// normalized bandwidth: s[k] = exp(j pi (k - L/2)^2 / L) / sqrt(L).
+std::vector<cfloat> lfm_chirp(index_t length);
+
+/// Frequency-domain matched filter for `replica` at FFT size `nfft`:
+/// conj(FFT(zero-padded replica)). Point-wise multiplication by this
+/// spectrum followed by an inverse FFT performs circular pulse compression.
+std::vector<cfloat> matched_filter_spectrum(std::span<const cfloat> replica,
+                                            index_t nfft);
+
+}  // namespace ppstap::dsp

@@ -1,0 +1,70 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace ppstap::dsp {
+
+std::vector<float> make_window(WindowKind kind, index_t n) {
+  PPSTAP_REQUIRE(n >= 1, "window length must be positive");
+  std::vector<float> w(static_cast<size_t>(n), 1.0f);
+  const double pi = std::numbers::pi;
+  switch (kind) {
+    case WindowKind::kRectangular:
+      break;
+    case WindowKind::kHanning:
+      for (index_t k = 0; k < n; ++k)
+        w[static_cast<size_t>(k)] = static_cast<float>(
+            0.5 * (1.0 - std::cos(2.0 * pi * static_cast<double>(k + 1) /
+                                  static_cast<double>(n + 1))));
+      break;
+    case WindowKind::kHamming:
+      for (index_t k = 0; k < n; ++k)
+        w[static_cast<size_t>(k)] = static_cast<float>(
+            0.54 - 0.46 * std::cos(2.0 * pi * static_cast<double>(k) /
+                                   static_cast<double>(n - 1)));
+      break;
+    case WindowKind::kBlackman:
+      for (index_t k = 0; k < n; ++k) {
+        const double x =
+            2.0 * pi * static_cast<double>(k) / static_cast<double>(n - 1);
+        w[static_cast<size_t>(k)] = static_cast<float>(
+            0.42 - 0.5 * std::cos(x) + 0.08 * std::cos(2.0 * x));
+      }
+      break;
+  }
+  return w;
+}
+
+WindowKind window_from_name(std::string_view name) {
+  if (name == "rect" || name == "rectangular") return WindowKind::kRectangular;
+  if (name == "hanning" || name == "hann") return WindowKind::kHanning;
+  if (name == "hamming") return WindowKind::kHamming;
+  if (name == "blackman") return WindowKind::kBlackman;
+  PPSTAP_REQUIRE(false, "unknown window name: " + std::string(name));
+  return WindowKind::kRectangular;  // unreachable
+}
+
+const char* window_name(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRectangular:
+      return "rect";
+    case WindowKind::kHanning:
+      return "hanning";
+    case WindowKind::kHamming:
+      return "hamming";
+    case WindowKind::kBlackman:
+      return "blackman";
+  }
+  return "?";
+}
+
+double window_power(const std::vector<float>& w) {
+  double acc = 0.0;
+  for (float v : w) acc += static_cast<double>(v) * static_cast<double>(v);
+  return acc;
+}
+
+}  // namespace ppstap::dsp

@@ -1,0 +1,30 @@
+// Doppler window functions.
+//
+// The paper notes that the window selection is a key parameter trading
+// clutter leakage across Doppler bins against the width of the clutter
+// passband; Hanning is the reference code's default (Appendix B).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppstap::dsp {
+
+enum class WindowKind { kRectangular, kHanning, kHamming, kBlackman };
+
+/// Generate an n-point window. Hanning follows MATLAB's hanning(n)
+/// (symmetric, endpoints nonzero): w[k] = 0.5 (1 - cos(2 pi (k+1)/(n+1))).
+std::vector<float> make_window(WindowKind kind, index_t n);
+
+/// Parse "hanning" | "hamming" | "blackman" | "rect" (for CLI tools).
+WindowKind window_from_name(std::string_view name);
+
+/// Printable name of a window kind.
+const char* window_name(WindowKind kind);
+
+/// Sum of squared window coefficients (noise gain of the windowed DFT bin).
+double window_power(const std::vector<float>& w);
+
+}  // namespace ppstap::dsp

@@ -1,0 +1,100 @@
+#include "linalg/gemm.hpp"
+
+#include "common/flops.hpp"
+
+namespace ppstap::linalg {
+
+namespace {
+
+// Flops for one complex multiply-add pair; real types use 2.
+template <typename T>
+constexpr std::uint64_t fma_flops() {
+  return real_dof<T> == 2 ? 8 : 2;
+}
+
+// Logical element of op(A) without materializing the transpose.
+template <typename T>
+inline T fetch(const Matrix<T>& a, Op op, index_t i, index_t j) {
+  return op == Op::kNone ? a(i, j) : conj_val(a(j, i));
+}
+
+}  // namespace
+
+template <typename T>
+void matmul(const Matrix<T>& a, Op op_a, const Matrix<T>& b, Op op_b,
+            Matrix<T>& c) {
+  const index_t m = (op_a == Op::kNone) ? a.rows() : a.cols();
+  const index_t k = (op_a == Op::kNone) ? a.cols() : a.rows();
+  const index_t kb = (op_b == Op::kNone) ? b.rows() : b.cols();
+  const index_t n = (op_b == Op::kNone) ? b.cols() : b.rows();
+  PPSTAP_REQUIRE(k == kb, "inner dimensions must agree in matmul");
+
+  c.resize(m, n);
+
+  if (op_a == Op::kNone && op_b == Op::kNone) {
+    // ikj order: both B and C rows are walked with unit stride.
+    for (index_t i = 0; i < m; ++i) {
+      T* crow = c.data() + i * n;
+      for (index_t p = 0; p < k; ++p) {
+        const T aip = a(i, p);
+        const T* brow = b.data() + p * n;
+        for (index_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  } else if (op_a == Op::kConjTrans && op_b == Op::kNone) {
+    // C = A^H B with A stored k x m: walk A rows (p), scatter into C rows.
+    for (index_t p = 0; p < k; ++p) {
+      const T* arow = a.data() + p * m;
+      const T* brow = b.data() + p * n;
+      for (index_t i = 0; i < m; ++i) {
+        const T ahpi = conj_val(arow[i]);
+        T* crow = c.data() + i * n;
+        for (index_t j = 0; j < n; ++j) crow[j] += ahpi * brow[j];
+      }
+    }
+  } else {
+    // Remaining op combinations are rare; use the generic indexed form.
+    for (index_t i = 0; i < m; ++i)
+      for (index_t j = 0; j < n; ++j) {
+        T acc{};
+        for (index_t p = 0; p < k; ++p)
+          acc += fetch(a, op_a, i, p) * fetch(b, op_b, p, j);
+        c(i, j) = acc;
+      }
+  }
+
+  count_flops(static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+              static_cast<std::uint64_t>(k) * fma_flops<T>());
+}
+
+template <typename T>
+std::vector<T> matvec(const Matrix<T>& a, Op op_a, std::span<const T> x) {
+  const index_t m = (op_a == Op::kNone) ? a.rows() : a.cols();
+  const index_t k = (op_a == Op::kNone) ? a.cols() : a.rows();
+  PPSTAP_REQUIRE(static_cast<index_t>(x.size()) == k,
+                 "vector length must match op(A) columns");
+  std::vector<T> y(static_cast<size_t>(m));
+  for (index_t i = 0; i < m; ++i) {
+    T acc{};
+    for (index_t p = 0; p < k; ++p) acc += fetch(a, op_a, i, p) * x[p];
+    y[static_cast<size_t>(i)] = acc;
+  }
+  count_flops(static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(k) *
+              fma_flops<T>());
+  return y;
+}
+
+template void matmul<cfloat>(const Matrix<cfloat>&, Op, const Matrix<cfloat>&,
+                             Op, Matrix<cfloat>&);
+template void matmul<cdouble>(const Matrix<cdouble>&, Op,
+                              const Matrix<cdouble>&, Op, Matrix<cdouble>&);
+template void matmul<float>(const Matrix<float>&, Op, const Matrix<float>&,
+                            Op, Matrix<float>&);
+template void matmul<double>(const Matrix<double>&, Op, const Matrix<double>&,
+                             Op, Matrix<double>&);
+template std::vector<cfloat> matvec<cfloat>(const Matrix<cfloat>&, Op,
+                                            std::span<const cfloat>);
+template std::vector<cdouble> matvec<cdouble>(const Matrix<cdouble>&, Op,
+                                              std::span<const cdouble>);
+
+}  // namespace ppstap::linalg

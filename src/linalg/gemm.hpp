@@ -1,0 +1,60 @@
+// Matrix products for beamforming and weight computation.
+//
+// Beamforming applies a small weight matrix (M x J) hermitian-transposed to a
+// wide data matrix (J x K); the kernels here are written for that regime:
+// row-major access with the inner loop along the unit-stride dimension.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace ppstap::linalg {
+
+/// How an operand enters the product.
+enum class Op {
+  kNone,       ///< A as stored.
+  kConjTrans,  ///< A^H (hermitian transpose; plain transpose for real T).
+};
+
+/// C = op(A) * op(B). Shapes are validated; C is resized.
+template <typename T>
+void matmul(const Matrix<T>& a, Op op_a, const Matrix<T>& b, Op op_b,
+            Matrix<T>& c);
+
+/// Convenience: C = A * B.
+template <typename T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c;
+  matmul(a, Op::kNone, b, Op::kNone, c);
+  return c;
+}
+
+/// Convenience: C = A^H * B (the beamforming product W^H X).
+template <typename T>
+Matrix<T> matmul_herm(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c;
+  matmul(a, Op::kConjTrans, b, Op::kNone, c);
+  return c;
+}
+
+/// y = op(A) * x for a vector x.
+template <typename T>
+std::vector<T> matvec(const Matrix<T>& a, Op op_a, std::span<const T> x);
+
+extern template void matmul<cfloat>(const Matrix<cfloat>&, Op,
+                                    const Matrix<cfloat>&, Op,
+                                    Matrix<cfloat>&);
+extern template void matmul<cdouble>(const Matrix<cdouble>&, Op,
+                                     const Matrix<cdouble>&, Op,
+                                     Matrix<cdouble>&);
+extern template void matmul<float>(const Matrix<float>&, Op,
+                                   const Matrix<float>&, Op, Matrix<float>&);
+extern template void matmul<double>(const Matrix<double>&, Op,
+                                    const Matrix<double>&, Op,
+                                    Matrix<double>&);
+extern template std::vector<cfloat> matvec<cfloat>(const Matrix<cfloat>&, Op,
+                                                   std::span<const cfloat>);
+extern template std::vector<cdouble> matvec<cdouble>(const Matrix<cdouble>&,
+                                                     Op,
+                                                     std::span<const cdouble>);
+
+}  // namespace ppstap::linalg

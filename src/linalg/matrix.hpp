@@ -1,0 +1,127 @@
+// Dense row-major matrix used by the adaptive-weight computations.
+//
+// The STAP weight problems are small (training matrices of a few hundred
+// rows by 16–32 columns), so the representation favours clarity and
+// cache-friendly row access over tiling sophistication.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ppstap::linalg {
+
+/// Conjugate that is the identity for real scalars.
+template <typename T>
+inline T conj_val(const T& x) {
+  return x;
+}
+template <typename T>
+inline std::complex<T> conj_val(const std::complex<T>& x) {
+  return std::conj(x);
+}
+
+/// |x|^2 as the underlying real type.
+template <typename T>
+inline T abs_sq(const T& x) {
+  return x * x;
+}
+template <typename T>
+inline T abs_sq(const std::complex<T>& x) {
+  return x.real() * x.real() + x.imag() * x.imag();
+}
+
+/// Underlying real scalar of an element type (float for cfloat, etc.).
+template <typename T>
+struct real_of {
+  using type = T;
+};
+template <typename T>
+struct real_of<std::complex<T>> {
+  using type = T;
+};
+template <typename T>
+using real_of_t = typename real_of<T>::type;
+
+/// Dense row-major matrix.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols)) {
+    PPSTAP_REQUIRE(rows >= 0 && cols >= 0, "matrix dims must be nonnegative");
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t size() const { return rows_ * cols_; }
+
+  T& operator()(index_t i, index_t j) {
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::span<T> row(index_t i) {
+    return {data_.data() + i * cols_, static_cast<size_t>(cols_)};
+  }
+  std::span<const T> row(index_t i) const {
+    return {data_.data() + i * cols_, static_cast<size_t>(cols_)};
+  }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+  void resize(index_t rows, index_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<size_t>(rows * cols), T{});
+  }
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  /// Identity scaled by `s` (square).
+  static Matrix identity(index_t n, const T& s = T{1}) {
+    Matrix m(n, n);
+    for (index_t i = 0; i < n; ++i) m(i, i) = s;
+    return m;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixCF = Matrix<cfloat>;
+using MatrixCD = Matrix<cdouble>;
+
+/// Frobenius norm of the difference, for tests and convergence checks.
+template <typename T>
+real_of_t<T> frobenius_distance(const Matrix<T>& a, const Matrix<T>& b) {
+  PPSTAP_REQUIRE(a.same_shape(b), "shape mismatch in frobenius_distance");
+  real_of_t<T> acc{};
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j) acc += abs_sq(a(i, j) - b(i, j));
+  return std::sqrt(acc);
+}
+
+/// Frobenius norm.
+template <typename T>
+real_of_t<T> frobenius_norm(const Matrix<T>& a) {
+  real_of_t<T> acc{};
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j) acc += abs_sq(a(i, j));
+  return std::sqrt(acc);
+}
+
+}  // namespace ppstap::linalg

@@ -1,0 +1,211 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "common/flops.hpp"
+
+namespace ppstap::linalg {
+
+namespace {
+
+// Phase of x as a unit-magnitude scalar (1 for x == 0); identity sign logic
+// for real types. Choosing v = x + phase(x0)*||x||*e1 keeps the reflector
+// well conditioned regardless of the sign/phase of the pivot.
+template <typename T>
+T phase_of(const T& x) {
+  if constexpr (real_dof<T> == 2) {
+    const auto a = std::abs(x);
+    return a == real_of_t<T>{0} ? T{1} : x / a;
+  } else {
+    return x < T{0} ? T{-1} : T{1};
+  }
+}
+
+template <typename T>
+constexpr std::uint64_t fma_flops() {
+  return real_dof<T> == 2 ? 8 : 2;
+}
+
+}  // namespace
+
+template <typename T>
+QrFactorization<T>::QrFactorization(const Matrix<T>& a)
+    : m_(a.rows()), n_(a.cols()), a_(a) {
+  PPSTAP_REQUIRE(m_ >= n_, "QR requires rows >= cols");
+  using R = real_of_t<T>;
+  v0_.resize(static_cast<size_t>(n_));
+  beta_.resize(static_cast<size_t>(n_));
+
+  std::uint64_t flops = 0;
+  for (index_t j = 0; j < n_; ++j) {
+    // Build the Householder vector for column j from rows j..m-1.
+    R norm_sq{};
+    for (index_t i = j; i < m_; ++i) norm_sq += abs_sq(a_(i, j));
+    const R norm = std::sqrt(norm_sq);
+    const T x0 = a_(j, j);
+    const T ph = phase_of(x0);
+    const T alpha = -ph * norm;
+    const T v0 = x0 - alpha;  // v = x - alpha*e1, vi = a(i, j) for i > j
+    const R v_sq = norm_sq - abs_sq(x0) + abs_sq(v0);
+    const R beta = v_sq > R{0} ? R{2} / v_sq : R{0};
+    v0_[static_cast<size_t>(j)] = v0;
+    beta_[static_cast<size_t>(j)] = beta;
+    a_(j, j) = alpha;  // diagonal of R; tail of v stays in the column
+
+    // Apply H = I - beta v v^H to the trailing columns.
+    for (index_t c = j + 1; c < n_; ++c) {
+      T s = conj_val(v0) * a_(j, c);
+      for (index_t i = j + 1; i < m_; ++i) s += conj_val(a_(i, j)) * a_(i, c);
+      s *= beta;
+      a_(j, c) -= s * v0;
+      for (index_t i = j + 1; i < m_; ++i) a_(i, c) -= s * a_(i, j);
+    }
+    const auto len = static_cast<std::uint64_t>(m_ - j);
+    flops += 2 * len;  // norm accumulation
+    flops += 2 * fma_flops<T>() * len * static_cast<std::uint64_t>(n_ - j - 1);
+  }
+  count_flops(flops);
+}
+
+template <typename T>
+Matrix<T> QrFactorization<T>::r() const {
+  Matrix<T> r(n_, n_);
+  for (index_t i = 0; i < n_; ++i)
+    for (index_t j = i; j < n_; ++j) r(i, j) = a_(i, j);
+  return r;
+}
+
+template <typename T>
+void QrFactorization<T>::apply_qh(Matrix<T>& b) const {
+  PPSTAP_REQUIRE(b.rows() == m_, "rhs rows must match factorized matrix");
+  const index_t nrhs = b.cols();
+  for (index_t j = 0; j < n_; ++j) {
+    const T v0 = v0_[static_cast<size_t>(j)];
+    const auto beta = beta_[static_cast<size_t>(j)];
+    for (index_t c = 0; c < nrhs; ++c) {
+      T s = conj_val(v0) * b(j, c);
+      for (index_t i = j + 1; i < m_; ++i) s += conj_val(a_(i, j)) * b(i, c);
+      s *= beta;
+      b(j, c) -= s * v0;
+      for (index_t i = j + 1; i < m_; ++i) b(i, c) -= s * a_(i, j);
+    }
+  }
+  count_flops(2 * fma_flops<T>() * static_cast<std::uint64_t>(m_) *
+              static_cast<std::uint64_t>(n_) *
+              static_cast<std::uint64_t>(nrhs));
+}
+
+template <typename T>
+Matrix<T> QrFactorization<T>::solve(const Matrix<T>& b) const {
+  Matrix<T> y = b;
+  apply_qh(y);
+  Matrix<T> x(n_, y.cols());
+  for (index_t i = 0; i < n_; ++i)
+    for (index_t c = 0; c < y.cols(); ++c) x(i, c) = y(i, c);
+  Matrix<T> r_upper = r();
+  back_substitute(r_upper, x);
+  return x;
+}
+
+template <typename T>
+void back_substitute(const Matrix<T>& r, Matrix<T>& b) {
+  const index_t n = r.rows();
+  PPSTAP_REQUIRE(r.cols() == n, "R must be square");
+  PPSTAP_REQUIRE(b.rows() == n, "rhs rows must match R");
+  const index_t nrhs = b.cols();
+  for (index_t i = n - 1; i >= 0; --i) {
+    const T diag = r(i, i);
+    PPSTAP_REQUIRE(abs_sq(diag) > real_of_t<T>{0},
+                   "singular triangular factor in back substitution");
+    for (index_t c = 0; c < nrhs; ++c) {
+      T acc = b(i, c);
+      for (index_t j = i + 1; j < n; ++j) acc -= r(i, j) * b(j, c);
+      b(i, c) = acc / diag;
+    }
+  }
+  count_flops(fma_flops<T>() * static_cast<std::uint64_t>(n) *
+              static_cast<std::uint64_t>(n) *
+              static_cast<std::uint64_t>(nrhs) / 2);
+}
+
+template <typename T>
+Matrix<T> least_squares(const Matrix<T>& a, const Matrix<T>& b) {
+  return QrFactorization<T>(a).solve(b);
+}
+
+template <typename T>
+Matrix<T> qr_append_rows(const Matrix<T>& r, Matrix<T> x) {
+  using Real = real_of_t<T>;
+  const index_t n = r.rows();
+  PPSTAP_REQUIRE(r.cols() == n, "R must be square in qr_append_rows");
+  PPSTAP_REQUIRE(x.cols() == n, "appended rows must have R's column count");
+  const index_t k = x.rows();
+
+  Matrix<T> out = r;
+  std::vector<T> v(static_cast<size_t>(k));
+
+  std::uint64_t flops = 0;
+  for (index_t j = 0; j < n; ++j) {
+    // Householder on the sparse column [out(j,j); x(0..k-1, j)]: above-
+    // diagonal entries of R are untouched because the reflector has zero
+    // support there — this is what makes the update O(k n^2) instead of a
+    // full O((n+k) n^2) re-factorization.
+    Real norm_sq = abs_sq(out(j, j));
+    for (index_t i = 0; i < k; ++i) norm_sq += abs_sq(x(i, j));
+    const Real norm = std::sqrt(norm_sq);
+    const T x0 = out(j, j);
+    const T ph = phase_of(x0);
+    const T alpha = -ph * norm;
+    const T v0 = x0 - alpha;
+    Real v_sq = abs_sq(v0);
+    for (index_t i = 0; i < k; ++i) {
+      v[static_cast<size_t>(i)] = x(i, j);
+      v_sq += abs_sq(x(i, j));
+    }
+    const Real beta = v_sq > Real{0} ? Real{2} / v_sq : Real{0};
+    out(j, j) = alpha;
+
+    for (index_t c = j + 1; c < n; ++c) {
+      T s = conj_val(v0) * out(j, c);
+      for (index_t i = 0; i < k; ++i)
+        s += conj_val(v[static_cast<size_t>(i)]) * x(i, c);
+      s *= beta;
+      out(j, c) -= s * v0;
+      for (index_t i = 0; i < k; ++i)
+        x(i, c) -= s * v[static_cast<size_t>(i)];
+    }
+    flops += 2 * static_cast<std::uint64_t>(k + 1);
+    flops += 2 * fma_flops<T>() * static_cast<std::uint64_t>(k + 1) *
+             static_cast<std::uint64_t>(n - j - 1);
+  }
+  count_flops(flops);
+  return out;
+}
+
+template class QrFactorization<cfloat>;
+template class QrFactorization<cdouble>;
+template class QrFactorization<float>;
+template class QrFactorization<double>;
+template void back_substitute<cfloat>(const Matrix<cfloat>&, Matrix<cfloat>&);
+template void back_substitute<cdouble>(const Matrix<cdouble>&,
+                                       Matrix<cdouble>&);
+template void back_substitute<float>(const Matrix<float>&, Matrix<float>&);
+template void back_substitute<double>(const Matrix<double>&, Matrix<double>&);
+template Matrix<cfloat> least_squares<cfloat>(const Matrix<cfloat>&,
+                                              const Matrix<cfloat>&);
+template Matrix<cdouble> least_squares<cdouble>(const Matrix<cdouble>&,
+                                                const Matrix<cdouble>&);
+template Matrix<float> least_squares<float>(const Matrix<float>&,
+                                            const Matrix<float>&);
+template Matrix<double> least_squares<double>(const Matrix<double>&,
+                                              const Matrix<double>&);
+template Matrix<cfloat> qr_append_rows<cfloat>(const Matrix<cfloat>&,
+                                               Matrix<cfloat>);
+template Matrix<cdouble> qr_append_rows<cdouble>(const Matrix<cdouble>&,
+                                                 Matrix<cdouble>);
+template Matrix<float> qr_append_rows<float>(const Matrix<float>&,
+                                             Matrix<float>);
+template Matrix<double> qr_append_rows<double>(const Matrix<double>&,
+                                               Matrix<double>);
+
+}  // namespace ppstap::linalg

@@ -1,0 +1,62 @@
+#include "linalg/serialize.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+namespace ppstap::linalg {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x5050534d;  // "PPSM"
+
+template <typename T>
+constexpr std::uint32_t dtype_code() {
+  if constexpr (std::is_same_v<T, cfloat>) return 1;
+  if constexpr (std::is_same_v<T, cdouble>) return 2;
+  if constexpr (std::is_same_v<T, float>) return 3;
+  if constexpr (std::is_same_v<T, double>) return 4;
+}
+}  // namespace
+
+template <typename T>
+void write_matrix(std::ostream& os, const Matrix<T>& m) {
+  const std::uint32_t magic = kMagic, dtype = dtype_code<T>();
+  const std::int64_t rows = m.rows(), cols = m.cols();
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  os.write(reinterpret_cast<const char*>(&dtype), sizeof(dtype));
+  os.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  os.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(static_cast<size_t>(m.size()) *
+                                        sizeof(T)));
+  PPSTAP_REQUIRE(os.good(), "matrix write failed");
+}
+
+template <typename T>
+Matrix<T> read_matrix(std::istream& is) {
+  std::uint32_t magic = 0, dtype = 0;
+  std::int64_t rows = -1, cols = -1;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  is.read(reinterpret_cast<char*>(&dtype), sizeof(dtype));
+  is.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  is.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  PPSTAP_REQUIRE(is.good() && magic == kMagic, "not a ppstap matrix stream");
+  PPSTAP_REQUIRE(dtype == dtype_code<T>(), "matrix element type mismatch");
+  PPSTAP_REQUIRE(rows >= 0 && cols >= 0, "corrupt matrix header");
+  Matrix<T> m(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(static_cast<size_t>(m.size()) *
+                                       sizeof(T)));
+  PPSTAP_REQUIRE(is.gcount() == static_cast<std::streamsize>(
+                                    static_cast<size_t>(m.size()) *
+                                    sizeof(T)),
+                 "truncated matrix payload");
+  return m;
+}
+
+template void write_matrix<cfloat>(std::ostream&, const Matrix<cfloat>&);
+template void write_matrix<cdouble>(std::ostream&, const Matrix<cdouble>&);
+template Matrix<cfloat> read_matrix<cfloat>(std::istream&);
+template Matrix<cdouble> read_matrix<cdouble>(std::istream&);
+
+}  // namespace ppstap::linalg

@@ -1,0 +1,26 @@
+// Binary matrix serialization (for adaptive-state checkpointing).
+#pragma once
+
+#include <iosfwd>
+
+#include "linalg/matrix.hpp"
+
+namespace ppstap::linalg {
+
+/// Write `m` as (rows, cols, row-major payload) with a small type header.
+template <typename T>
+void write_matrix(std::ostream& os, const Matrix<T>& m);
+
+/// Read a matrix of exactly element type T; throws on header or length
+/// mismatch.
+template <typename T>
+Matrix<T> read_matrix(std::istream& is);
+
+extern template void write_matrix<cfloat>(std::ostream&,
+                                          const Matrix<cfloat>&);
+extern template void write_matrix<cdouble>(std::ostream&,
+                                           const Matrix<cdouble>&);
+extern template Matrix<cfloat> read_matrix<cfloat>(std::istream&);
+extern template Matrix<cdouble> read_matrix<cdouble>(std::istream&);
+
+}  // namespace ppstap::linalg

@@ -1,0 +1,138 @@
+#include "stap/analysis.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "linalg/gemm.hpp"
+#include "synth/steering.hpp"
+
+namespace ppstap::stap {
+
+namespace {
+
+cfloat response_to(const linalg::MatrixCF& w, index_t beam,
+                   std::span<const cfloat> v) {
+  PPSTAP_REQUIRE(static_cast<index_t>(v.size()) == w.rows(),
+                 "steering length must match weight rows");
+  cfloat acc{};
+  for (index_t j = 0; j < w.rows(); ++j)
+    acc += std::conj(w(j, beam)) * v[static_cast<size_t>(j)];
+  return acc;
+}
+
+}  // namespace
+
+std::vector<double> angle_response(const linalg::MatrixCF& w, index_t beam,
+                                   std::span<const double> azimuths_rad) {
+  PPSTAP_REQUIRE(beam >= 0 && beam < w.cols(), "beam index out of range");
+  std::vector<double> out;
+  out.reserve(azimuths_rad.size());
+  for (double az : azimuths_rad) {
+    const auto v = synth::spatial_steering(w.rows(), az);
+    out.push_back(static_cast<double>(linalg::abs_sq(
+        response_to(w, beam, std::span<const cfloat>(v)))));
+  }
+  return out;
+}
+
+std::vector<double> angle_doppler_response(
+    const linalg::MatrixCF& w, index_t beam, const StapParams& p,
+    std::span<const double> azimuths_rad, std::span<const double> dopplers) {
+  PPSTAP_REQUIRE(w.rows() == p.num_staggered_channels(),
+                 "expected a 2J staggered weight pair");
+  PPSTAP_REQUIRE(beam >= 0 && beam < w.cols(), "beam index out of range");
+  const index_t j = p.num_channels;
+  std::vector<double> out;
+  out.reserve(azimuths_rad.size() * dopplers.size());
+  for (double f : dopplers) {
+    // The second stagger window sees the target delayed by `stagger` PRIs.
+    const double phi = 2.0 * std::numbers::pi * f *
+                       static_cast<double>(p.stagger);
+    const cfloat stag(static_cast<float>(std::cos(phi)),
+                      static_cast<float>(std::sin(phi)));
+    for (double az : azimuths_rad) {
+      const auto a = synth::spatial_steering(j, az);
+      cfloat acc{};
+      for (index_t c = 0; c < j; ++c) {
+        const cfloat v = a[static_cast<size_t>(c)];
+        acc += std::conj(w(c, beam)) * v +
+               std::conj(w(j + c, beam)) * v * stag;
+      }
+      out.push_back(static_cast<double>(linalg::abs_sq(acc)));
+    }
+  }
+  return out;
+}
+
+linalg::MatrixCF sample_covariance(const linalg::MatrixCF& x, float load) {
+  PPSTAP_REQUIRE(x.rows() >= 1, "need at least one snapshot");
+  // R = E[x x^H]: (X^H X)_{ij} = sum_r conj(x_i) x_j is the *conjugate* of
+  // that expectation, so the product is conjugated element-wise.
+  linalg::MatrixCF r;
+  linalg::matmul(x, linalg::Op::kConjTrans, x, linalg::Op::kNone, r);
+  const float inv = 1.0f / static_cast<float>(x.rows());
+  for (index_t i = 0; i < r.rows(); ++i) {
+    for (index_t jj = 0; jj < r.cols(); ++jj)
+      r(i, jj) = std::conj(r(i, jj)) * inv;
+    r(i, i) += load;
+  }
+  return r;
+}
+
+double sinr(const linalg::MatrixCF& w, index_t beam,
+            const linalg::MatrixCF& rin, std::span<const cfloat> v) {
+  PPSTAP_REQUIRE(rin.rows() == w.rows() && rin.cols() == w.rows(),
+                 "covariance must be square over the weight dimension");
+  const cfloat signal = response_to(w, beam, v);
+  // w^H R w (real and positive for a positive-definite R).
+  cdouble quad{};
+  for (index_t i = 0; i < w.rows(); ++i) {
+    cfloat rw{};
+    for (index_t jj = 0; jj < w.rows(); ++jj) rw += rin(i, jj) * w(jj, beam);
+    const cfloat c = std::conj(w(i, beam)) * rw;
+    quad += cdouble(c.real(), c.imag());
+  }
+  PPSTAP_CHECK(quad.real() > 0.0, "covariance must be positive definite");
+  return static_cast<double>(linalg::abs_sq(signal)) / quad.real();
+}
+
+double improvement_factor(const linalg::MatrixCF& w, index_t beam,
+                          const linalg::MatrixCF& rin,
+                          std::span<const cfloat> v) {
+  linalg::MatrixCF quiescent(w.rows(), 1);
+  PPSTAP_REQUIRE(static_cast<index_t>(v.size()) == w.rows(),
+                 "steering length must match weight rows");
+  for (index_t j = 0; j < w.rows(); ++j)
+    quiescent(j, 0) = v[static_cast<size_t>(j)];
+  return sinr(w, beam, rin, v) / sinr(quiescent, 0, rin, v);
+}
+
+double null_depth_db(const linalg::MatrixCF& w, index_t beam,
+                     double azimuth_rad, double tolerance_rad) {
+  // Scan the visible region finely; peak normalization over the scan.
+  constexpr int kPoints = 721;
+  std::vector<double> az(kPoints);
+  for (int i = 0; i < kPoints; ++i)
+    az[static_cast<size_t>(i)] =
+        -std::numbers::pi / 2.0 +
+        std::numbers::pi * static_cast<double>(i) /
+            static_cast<double>(kPoints - 1);
+  const auto resp = angle_response(w, beam, az);
+  double peak = 0.0, in_window_min = std::numeric_limits<double>::infinity();
+  bool window_hit = false;
+  for (int i = 0; i < kPoints; ++i) {
+    peak = std::max(peak, resp[static_cast<size_t>(i)]);
+    if (std::abs(az[static_cast<size_t>(i)] - azimuth_rad) <= tolerance_rad) {
+      in_window_min =
+          std::min(in_window_min, resp[static_cast<size_t>(i)]);
+      window_hit = true;
+    }
+  }
+  PPSTAP_REQUIRE(window_hit, "tolerance window contains no scan points");
+  PPSTAP_CHECK(peak > 0.0, "zero response over the scan");
+  return 10.0 * std::log10(in_window_min / peak);
+}
+
+}  // namespace ppstap::stap

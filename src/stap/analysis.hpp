@@ -1,0 +1,52 @@
+// Beam pattern and SINR analysis of adaptive weights (paper Appendix A).
+//
+// The mainbeam-constraint argument of the paper is about the *shape* of the
+// adapted pattern: a conventional least-squares solution distorts the main
+// beam, while the constrained solution nulls clutter with only slight
+// weight perturbations. These utilities compute the quantities that make
+// that argument measurable: spatial responses, angle-Doppler responses of
+// PRI-staggered weight pairs, sample covariance estimates, and SINR /
+// improvement-factor figures.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "stap/params.hpp"
+
+namespace ppstap::stap {
+
+/// |w^H a(theta)|^2 for each requested azimuth: the spatial power response
+/// of a J-element weight vector `w` (column `beam` of a J x M matrix).
+std::vector<double> angle_response(const linalg::MatrixCF& w, index_t beam,
+                                   std::span<const double> azimuths_rad);
+
+/// Angle-Doppler power response of a PRI-staggered 2J weight pair (column
+/// `beam` of a 2J x M matrix): the pair is driven by a unit target at each
+/// (azimuth, normalized Doppler) including the stagger phase between the
+/// two halves. Result is row-major [doppler][azimuth].
+std::vector<double> angle_doppler_response(
+    const linalg::MatrixCF& w, index_t beam, const StapParams& p,
+    std::span<const double> azimuths_rad, std::span<const double> dopplers);
+
+/// Sample covariance R = X^H X / rows of training snapshots (rows x
+/// channels). Diagonal loading `load` * I is added for conditioning.
+linalg::MatrixCF sample_covariance(const linalg::MatrixCF& x, float load);
+
+/// SINR of weight column `beam` against interference-plus-noise covariance
+/// `rin` and target steering `v`: |w^H v|^2 / (w^H R w).
+double sinr(const linalg::MatrixCF& w, index_t beam,
+            const linalg::MatrixCF& rin, std::span<const cfloat> v);
+
+/// Improvement factor of `w` over the quiescent (steering-only) weight for
+/// the same target/interference: SINR(w) / SINR(v as weight).
+double improvement_factor(const linalg::MatrixCF& w, index_t beam,
+                          const linalg::MatrixCF& rin,
+                          std::span<const cfloat> v);
+
+/// Depth of the deepest null of `w` within `tolerance_rad` of
+/// `azimuth_rad`, in dB relative to the peak response over the scan.
+double null_depth_db(const linalg::MatrixCF& w, index_t beam,
+                     double azimuth_rad, double tolerance_rad);
+
+}  // namespace ppstap::stap

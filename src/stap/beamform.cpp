@@ -1,0 +1,100 @@
+#include "stap/beamform.hpp"
+
+#include "common/check.hpp"
+#include "common/flops.hpp"
+#include "common/parallel.hpp"
+
+namespace ppstap::stap {
+
+namespace {
+
+// out(b, :, k) += W^H x for the channel line x = data(b, k, :). The inner
+// loop runs along the unit-stride channel index of both the data line and
+// the weight matrix rows.
+inline void apply_weights(const linalg::MatrixCF& w,
+                          std::span<const cfloat> line, index_t num_beams,
+                          cube::CpiCube& out, index_t b, index_t k) {
+  const index_t nch = w.rows();
+  for (index_t m = 0; m < num_beams; ++m) {
+    cfloat acc{};
+    for (index_t j = 0; j < nch; ++j)
+      acc += std::conj(w(j, m)) * line[static_cast<size_t>(j)];
+    out.at(b, m, k) = acc;
+  }
+}
+
+}  // namespace
+
+cube::CpiCube easy_beamform(const cube::CpiCube& data, const WeightSet& w,
+                            const StapParams& p) {
+  const index_t nbins = data.extent(0);
+  const index_t k = data.extent(1);
+  PPSTAP_REQUIRE(data.extent(2) == p.num_channels,
+                 "easy beamforming expects J channels");
+  PPSTAP_REQUIRE(static_cast<index_t>(w.bins.size()) == nbins &&
+                     static_cast<index_t>(w.weights.size()) == nbins,
+                 "one J x M weight matrix per bin expected");
+
+  cube::CpiCube out(nbins, p.num_beams, k);
+  for (index_t b = 0; b < nbins; ++b)
+    PPSTAP_REQUIRE(w.weights[static_cast<size_t>(b)].rows() ==
+                           p.num_channels &&
+                       w.weights[static_cast<size_t>(b)].cols() ==
+                           p.num_beams,
+                   "easy weight matrix must be J x M");
+  parallel_for_blocks(
+      p.intra_task_threads, nbins, [&](index_t b_begin, index_t b_end) {
+        for (index_t b = b_begin; b < b_end; ++b) {
+          const auto& wb = w.weights[static_cast<size_t>(b)];
+          for (index_t kk = 0; kk < k; ++kk)
+            apply_weights(wb, data.line(b, kk), p.num_beams, out, b, kk);
+        }
+      });
+  count_flops(8ull * static_cast<std::uint64_t>(nbins) *
+              static_cast<std::uint64_t>(k) *
+              static_cast<std::uint64_t>(p.num_beams) *
+              static_cast<std::uint64_t>(p.num_channels));
+  return out;
+}
+
+cube::CpiCube hard_beamform(const cube::CpiCube& data, const WeightSet& w,
+                            const StapParams& p) {
+  const index_t nbins = data.extent(0);
+  const index_t k = data.extent(1);
+  const index_t jj = p.num_staggered_channels();
+  PPSTAP_REQUIRE(data.extent(2) == jj,
+                 "hard beamforming expects 2J channels");
+  PPSTAP_REQUIRE(static_cast<index_t>(w.bins.size()) == nbins,
+                 "weight bins must match data bins");
+  PPSTAP_REQUIRE(static_cast<index_t>(w.weights.size()) ==
+                     nbins * p.num_segments,
+                 "num_segments weight matrices per hard bin expected");
+  PPSTAP_REQUIRE(k == p.num_range,
+                 "hard beamforming needs the full range extent (segments)");
+
+  cube::CpiCube out(nbins, p.num_beams, k);
+  for (size_t i = 0; i < w.weights.size(); ++i)
+    PPSTAP_REQUIRE(w.weights[i].rows() == jj &&
+                       w.weights[i].cols() == p.num_beams,
+                   "hard weight matrix must be 2J x M");
+  parallel_for_blocks(
+      p.intra_task_threads, nbins, [&](index_t b_begin, index_t b_end) {
+        for (index_t b = b_begin; b < b_end; ++b) {
+          for (index_t s = 0; s < p.num_segments; ++s) {
+            const auto& wbs =
+                w.weights[static_cast<size_t>(b * p.num_segments + s)];
+            const index_t lo = p.segment_begin(s);
+            const index_t hi = p.segment_end(s);
+            for (index_t kk = lo; kk < hi; ++kk)
+              apply_weights(wbs, data.line(b, kk), p.num_beams, out, b, kk);
+          }
+        }
+      });
+  count_flops(8ull * static_cast<std::uint64_t>(nbins) *
+              static_cast<std::uint64_t>(k) *
+              static_cast<std::uint64_t>(p.num_beams) *
+              static_cast<std::uint64_t>(jj));
+  return out;
+}
+
+}  // namespace ppstap::stap

@@ -1,0 +1,31 @@
+// Beamforming (paper §5.3).
+//
+// Applies the adaptive weights to the Doppler-filtered data: per easy bin a
+// single J x M weight matrix across the whole range extent; per hard bin a
+// separate 2J x M weight matrix for each of the six range segments.
+//
+// Inputs arrive in the bin-major layout the parallel pipeline redistributes
+// into (paper Fig. 8): a B x K x C cube where B indexes the owned Doppler
+// bins, K is range, and C is J (easy — single Doppler spectrum) or 2J (hard
+// — both stagger windows). The kernel walks the unit-stride channel line per
+// (bin, range), so no further reorganization is needed.
+#pragma once
+
+#include "cube/cube.hpp"
+#include "stap/params.hpp"
+#include "stap/weights.hpp"
+
+namespace ppstap::stap {
+
+/// Easy beamforming: `data` is B x K x J, `w.bins` must match the B rows of
+/// `data` with J x M weight matrices. Returns B x M x K.
+cube::CpiCube easy_beamform(const cube::CpiCube& data, const WeightSet& w,
+                            const StapParams& p);
+
+/// Hard beamforming: `data` is B x K x 2J; `w` holds num_segments matrices
+/// of 2J x M per bin. Weight matrix of segment s applies to range cells
+/// [segment_begin(s), segment_end(s)). Returns B x M x K.
+cube::CpiCube hard_beamform(const cube::CpiCube& data, const WeightSet& w,
+                            const StapParams& p);
+
+}  // namespace ppstap::stap

@@ -1,0 +1,60 @@
+#include "stap/classify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ppstap::stap {
+
+std::vector<double> clutter_doppler_profile(const cube::CpiCube& staggered,
+                                            const StapParams& p) {
+  PPSTAP_REQUIRE(staggered.extent(1) == p.num_staggered_channels() &&
+                     staggered.extent(2) == p.num_pulses,
+                 "expected a staggered K x 2J x N cube");
+  const index_t k = staggered.extent(0);
+  std::vector<double> profile(static_cast<size_t>(p.num_pulses), 0.0);
+  for (index_t kk = 0; kk < k; ++kk)
+    for (index_t ch = 0; ch < p.num_channels; ++ch) {
+      const auto line = staggered.line(kk, ch);
+      for (index_t b = 0; b < p.num_pulses; ++b)
+        profile[static_cast<size_t>(b)] +=
+            linalg::abs_sq(line[static_cast<size_t>(b)]);
+    }
+  const double norm = 1.0 / static_cast<double>(k * p.num_channels);
+  for (auto& v : profile) v *= norm;
+  return profile;
+}
+
+double profile_noise_floor(std::span<const double> profile) {
+  PPSTAP_REQUIRE(!profile.empty(), "empty profile");
+  std::vector<double> sorted(profile.begin(), profile.end());
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  return sorted[sorted.size() / 2];
+}
+
+index_t suggest_num_hard(std::span<const double> profile, double margin_db) {
+  const auto n = static_cast<index_t>(profile.size());
+  PPSTAP_REQUIRE(n >= 4, "profile too short to classify");
+  const double threshold =
+      profile_noise_floor(profile) * std::pow(10.0, margin_db / 10.0);
+
+  // Distance of bin b from DC in the circular Doppler space.
+  index_t max_dist = 0;
+  bool any = false;
+  for (index_t b = 0; b < n; ++b) {
+    if (profile[static_cast<size_t>(b)] <= threshold) continue;
+    any = true;
+    const index_t dist = std::min(b, n - b);
+    max_dist = std::max(max_dist, dist);
+  }
+  if (!any) return 0;
+  // Bins {0..max_dist} and {n-max_dist..n-1} must be hard:
+  // num_hard/2 = max_dist + 1.
+  const index_t num_hard = 2 * (max_dist + 1);
+  return std::min(num_hard, n - 2);
+}
+
+}  // namespace ppstap::stap

@@ -1,0 +1,35 @@
+// Doppler-bin classification (paper §3).
+//
+// "This simplifies indexing of Doppler bins for classification as 'easy'
+// or 'hard' depending on their proximity to mainbeam clutter." The paper's
+// parameter set fixes N_hard = 56 a priori; these utilities derive the
+// split from measured data instead: the per-bin clutter power profile of a
+// staggered CPI, and the smallest symmetric hard region that covers every
+// bin exceeding the noise floor by a margin. Because the analog front end
+// centers mainbeam clutter at zero Doppler regardless of the transmit
+// position (§3), a symmetric-about-DC region is the right shape.
+#pragma once
+
+#include <vector>
+
+#include "cube/cube.hpp"
+#include "stap/params.hpp"
+
+namespace ppstap::stap {
+
+/// Mean power per Doppler bin of a staggered (K x 2J x N) cube, averaged
+/// over range cells and the first J channels (the unstaggered spectra).
+std::vector<double> clutter_doppler_profile(const cube::CpiCube& staggered,
+                                            const StapParams& p);
+
+/// Estimate of the noise floor of a profile: the median bin power (valid
+/// while clutter occupies fewer than half the bins).
+double profile_noise_floor(std::span<const double> profile);
+
+/// Smallest even num_hard such that every bin whose power exceeds
+/// floor * 10^(margin_db/10) lies inside the symmetric hard region
+/// {0..h/2-1} U {N-h/2..N-1}. Returns 0 when no bin exceeds the margin
+/// and is capped at N-2 (at least two easy bins must remain).
+index_t suggest_num_hard(std::span<const double> profile, double margin_db);
+
+}  // namespace ppstap::stap

@@ -1,0 +1,44 @@
+// Analytic floating-point operation counts per STAP task (paper Table 1).
+//
+// These formulas mirror the accounting conventions of the instrumented
+// kernels (complex multiply-add = 8 flops, radix-2 FFT = 5 n log2 n), so
+// analytic and measured counts agree closely; both are compared against the
+// paper's Table 1 by bench/table1_flops. The analytic counts also drive the
+// discrete-event machine model's compute-time predictions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "stap/params.hpp"
+
+namespace ppstap::stap {
+
+/// The seven pipeline tasks in the paper's order (Fig. 4).
+enum class Task {
+  kDopplerFilter = 0,
+  kEasyWeight = 1,
+  kHardWeight = 2,
+  kEasyBeamform = 3,
+  kHardBeamform = 4,
+  kPulseCompression = 5,
+  kCfar = 6,
+};
+inline constexpr int kNumTasks = 7;
+
+/// Printable task name matching the paper's tables.
+const char* task_name(Task t);
+
+/// Analytic flops for one CPI through task `t` under parameters `p`.
+std::uint64_t analytic_flops(Task t, const StapParams& p);
+
+/// All seven tasks plus the total, in task order (total at index 7).
+std::array<std::uint64_t, kNumTasks + 1> analytic_flops_table(
+    const StapParams& p);
+
+/// The paper's Table 1 values (flops per CPI for the §7 parameter set),
+/// for side-by-side comparison in benches and EXPERIMENTS.md.
+std::array<std::uint64_t, kNumTasks + 1> paper_table1();
+
+}  // namespace ppstap::stap

@@ -1,0 +1,102 @@
+#include "stap/montecarlo.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "stap/sequential.hpp"
+#include "synth/steering.hpp"
+
+namespace ppstap::stap {
+
+namespace {
+
+// One chain run: adapt over train_cpis, return the scored CPI's result.
+SequentialStap::CpiResult run_trial(const DetectionStudyConfig& cfg,
+                                    const synth::ScenarioParams& scene) {
+  synth::ScenarioGenerator gen(scene);
+  auto steering = synth::steering_matrix(
+      cfg.params.num_channels, cfg.params.num_beams,
+      cfg.params.beam_center_rad, cfg.params.beam_span_rad);
+  SequentialStap chain(cfg.params, steering, gen.replica());
+  SequentialStap::CpiResult result;
+  for (index_t cpi = 0; cpi <= cfg.train_cpis; ++cpi)
+    result = chain.process(gen.generate(cpi));
+  return result;
+}
+
+void validate(const DetectionStudyConfig& cfg) {
+  cfg.params.validate();
+  PPSTAP_REQUIRE(cfg.trials >= 1, "need at least one trial");
+  PPSTAP_REQUIRE(cfg.target_range >= 0 &&
+                     cfg.target_range < cfg.params.num_range,
+                 "target range out of bounds");
+  PPSTAP_REQUIRE(cfg.target_bin >= 0 &&
+                     cfg.target_bin < cfg.params.num_pulses,
+                 "target bin out of bounds");
+  PPSTAP_REQUIRE(cfg.scene.num_range == cfg.params.num_range &&
+                     cfg.scene.num_channels == cfg.params.num_channels &&
+                     cfg.scene.num_pulses == cfg.params.num_pulses,
+                 "scene dimensions must match STAP parameters");
+}
+
+}  // namespace
+
+std::vector<DetectionPoint> detection_curve(const DetectionStudyConfig& cfg,
+                                            std::span<const double> snrs_db) {
+  validate(cfg);
+  std::vector<DetectionPoint> curve;
+  curve.reserve(snrs_db.size());
+
+  for (double snr : snrs_db) {
+    index_t hits = 0;
+    double margin_sum = 0.0;
+    for (index_t trial = 0; trial < cfg.trials; ++trial) {
+      synth::ScenarioParams scene = cfg.scene;
+      scene.seed = cfg.scene.seed + 7919ull * static_cast<std::uint64_t>(trial + 1);
+      scene.targets.clear();
+      scene.targets.push_back(synth::Target{
+          cfg.target_range,
+          static_cast<double>(cfg.target_bin) /
+              static_cast<double>(cfg.params.num_pulses),
+          cfg.target_azimuth, snr});
+      const auto result = run_trial(cfg, scene);
+      bool hit = false;
+      float best_margin = 0.0f;
+      for (const auto& d : result.detections) {
+        if (d.doppler_bin != cfg.target_bin) continue;
+        if (std::abs(d.range - cfg.target_range) > cfg.range_tolerance)
+          continue;
+        hit = true;
+        best_margin = std::max(best_margin, d.power / d.threshold);
+      }
+      if (hit) {
+        ++hits;
+        margin_sum += static_cast<double>(best_margin);
+      }
+    }
+    DetectionPoint pt;
+    pt.snr_db = snr;
+    pt.pd = static_cast<double>(hits) / static_cast<double>(cfg.trials);
+    pt.mean_margin = hits > 0 ? margin_sum / static_cast<double>(hits) : 0.0;
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+double measured_false_alarm_rate(const DetectionStudyConfig& cfg) {
+  validate(cfg);
+  std::uint64_t alarms = 0;
+  for (index_t trial = 0; trial < cfg.trials; ++trial) {
+    synth::ScenarioParams scene = cfg.scene;
+    scene.seed = cfg.scene.seed + 104729ull * static_cast<std::uint64_t>(trial + 1);
+    scene.targets.clear();
+    alarms += run_trial(cfg, scene).detections.size();
+  }
+  const double cells = static_cast<double>(cfg.trials) *
+                       static_cast<double>(cfg.params.num_pulses) *
+                       static_cast<double>(cfg.params.num_beams) *
+                       static_cast<double>(cfg.params.num_range);
+  return static_cast<double>(alarms) / cells;
+}
+
+}  // namespace ppstap::stap

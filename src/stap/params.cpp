@@ -1,0 +1,93 @@
+#include "stap/params.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ppstap::stap {
+
+std::vector<index_t> StapParams::easy_bins() const {
+  std::vector<index_t> bins;
+  bins.reserve(static_cast<size_t>(num_easy()));
+  for (index_t b = 0; b < num_pulses; ++b)
+    if (!is_hard_bin(b)) bins.push_back(b);
+  return bins;
+}
+
+std::vector<index_t> StapParams::hard_bins() const {
+  std::vector<index_t> bins;
+  bins.reserve(static_cast<size_t>(num_hard));
+  for (index_t b = 0; b < num_pulses; ++b)
+    if (is_hard_bin(b)) bins.push_back(b);
+  return bins;
+}
+
+index_t StapParams::segment_begin(index_t s) const {
+  PPSTAP_REQUIRE(s >= 0 && s < num_segments, "segment index out of range");
+  return s * num_range / num_segments;
+}
+
+index_t StapParams::segment_end(index_t s) const {
+  PPSTAP_REQUIRE(s >= 0 && s < num_segments, "segment index out of range");
+  return (s + 1) * num_range / num_segments;
+}
+
+double StapParams::cfar_scale(index_t num_ref) const {
+  PPSTAP_REQUIRE(num_ref >= 1, "CFAR needs at least one reference cell");
+  const double w = static_cast<double>(num_ref);
+  return w * (std::pow(cfar_pfa, -1.0 / w) - 1.0);
+}
+
+void StapParams::validate() const {
+  PPSTAP_REQUIRE(num_range >= 1 && num_channels >= 1 && num_pulses >= 1 &&
+                     num_beams >= 1,
+                 "cube dimensions must be positive");
+  PPSTAP_REQUIRE(stagger >= 1 && stagger < num_pulses,
+                 "stagger must be in [1, N)");
+  PPSTAP_REQUIRE(num_hard >= 0 && num_hard < num_pulses,
+                 "hard bin count must be in [0, N)");
+  PPSTAP_REQUIRE(num_hard % 2 == 0, "hard bin count must be even");
+  PPSTAP_REQUIRE(num_segments >= 1 && num_segments <= num_range,
+                 "segment count must be in [1, K]");
+  PPSTAP_REQUIRE(easy_history >= 1, "need at least one CPI of easy history");
+  PPSTAP_REQUIRE(easy_samples_per_cpi >= 1 &&
+                     easy_samples_per_cpi <= num_range,
+                 "easy training samples per CPI must be in [1, K]");
+  PPSTAP_REQUIRE(hard_samples_per_segment >= 1 &&
+                     hard_samples_per_segment <=
+                         num_range / num_segments,
+                 "hard training samples must fit inside a segment");
+  PPSTAP_REQUIRE(forgetting > 0.0 && forgetting <= 1.0,
+                 "forgetting factor must be in (0, 1]");
+  PPSTAP_REQUIRE(beam_constraint_wt > 0.0, "constraint weight must be > 0");
+  PPSTAP_REQUIRE(diagonal_loading > 0.0, "diagonal loading must be > 0");
+  PPSTAP_REQUIRE(intra_task_threads >= 1,
+                 "need at least one intra-task thread");
+  PPSTAP_REQUIRE(num_beam_positions >= 1,
+                 "need at least one transmit beam position");
+  PPSTAP_REQUIRE(range_start_cells > 0.0,
+                 "range correction needs a positive standoff");
+  PPSTAP_REQUIRE(range_correction_exp >= 0.0,
+                 "range correction exponent must be nonnegative");
+  PPSTAP_REQUIRE(cfar_ref >= 1 && cfar_guard >= 0, "invalid CFAR window");
+  PPSTAP_REQUIRE(cfar_pfa > 0.0 && cfar_pfa < 1.0, "PFA must be in (0, 1)");
+}
+
+StapParams StapParams::small_test() {
+  StapParams p;
+  p.num_range = 64;
+  p.num_channels = 4;
+  p.num_pulses = 16;
+  p.num_beams = 2;
+  p.stagger = 2;
+  p.num_hard = 6;
+  p.num_segments = 2;
+  p.easy_samples_per_cpi = 12;
+  p.hard_samples_per_segment = 12;
+  p.cfar_ref = 4;
+  p.cfar_guard = 1;
+  p.validate();
+  return p;
+}
+
+}  // namespace ppstap::stap

@@ -1,0 +1,39 @@
+// Pulse compression (paper §5.4).
+//
+// Convolution of the beamformed output with the transmit replica via
+// K-point FFT, point-wise spectrum multiply, inverse FFT. Performing this
+// *after* beamforming (possible because the mainbeam constraint preserves
+// phase across range) is one of the paper's computational savings: M beams
+// instead of J (or 2J) channels pass through the matched filter.
+//
+// The output moves to the real power domain (|.|^2), halving the data and
+// eliminating the square root, exactly as the paper describes.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "cube/cube.hpp"
+#include "stap/params.hpp"
+
+namespace ppstap::stap {
+
+class PulseCompressor {
+ public:
+  /// `replica` is the transmit waveform (its matched filter is built at
+  /// FFT size K). An empty replica degrades gracefully to a pure
+  /// detection (|.|^2) stage — useful for impulse-scene tests.
+  PulseCompressor(const StapParams& p, std::span<const cfloat> replica);
+
+  /// Input: B x M x K complex beamformed cube (range unit stride).
+  /// Output: B x M x K real power cube.
+  cube::RealCube compress(const cube::CpiCube& beamformed) const;
+
+ private:
+  StapParams p_;
+  std::vector<cfloat> filter_spec_;  // conj(FFT(replica)), size K; empty = off
+  struct Plans;
+  std::shared_ptr<const Plans> plans_;
+};
+
+}  // namespace ppstap::stap

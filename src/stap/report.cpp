@@ -1,0 +1,64 @@
+#include "stap/report.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace ppstap::stap {
+
+void write_detections_csv(std::ostream& os,
+                          std::span<const std::vector<Detection>> per_cpi) {
+  os << "cpi,doppler_bin,beam,range,power,threshold\n";
+  for (size_t cpi = 0; cpi < per_cpi.size(); ++cpi)
+    for (const auto& d : per_cpi[cpi])
+      os << cpi << ',' << d.doppler_bin << ',' << d.beam << ',' << d.range
+         << ',' << d.power << ',' << d.threshold << '\n';
+  PPSTAP_REQUIRE(os.good(), "detection CSV write failed");
+}
+
+std::vector<std::vector<Detection>> read_detections_csv(std::istream& is) {
+  std::vector<std::vector<Detection>> out;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first && line.rfind("cpi,", 0) == 0) {
+      first = false;
+      continue;
+    }
+    first = false;
+    std::istringstream row(line);
+    long cpi = -1, bin = -1, beam = -1, range = -1;
+    float power = 0, threshold = 0;
+    char c1, c2, c3, c4, c5;
+    row >> cpi >> c1 >> bin >> c2 >> beam >> c3 >> range >> c4 >> power >>
+        c5 >> threshold;
+    PPSTAP_REQUIRE(!row.fail() && c1 == ',' && c2 == ',' && c3 == ',' &&
+                       c4 == ',' && c5 == ',' && cpi >= 0,
+                   "malformed detection CSV row: " + line);
+    if (static_cast<size_t>(cpi) >= out.size())
+      out.resize(static_cast<size_t>(cpi) + 1);
+    out[static_cast<size_t>(cpi)].push_back(
+        Detection{bin, beam, range, power, threshold});
+  }
+  return out;
+}
+
+DetectionSummary summarize(std::span<const Detection> detections) {
+  DetectionSummary s;
+  s.count = static_cast<index_t>(detections.size());
+  for (const auto& d : detections) {
+    const float margin = d.threshold > 0 ? d.power / d.threshold : 0.0f;
+    if (margin > s.max_margin) {
+      s.max_margin = margin;
+      s.strongest_bin = d.doppler_bin;
+      s.strongest_range = d.range;
+    }
+  }
+  return s;
+}
+
+}  // namespace ppstap::stap

@@ -1,0 +1,34 @@
+// Detection report serialization and summarization.
+//
+// The pipeline's output — "a list of targets at specified ranges, Doppler
+// frequencies, and look directions" (paper §5.5) — as CSV for downstream
+// tooling, plus a compact per-CPI summary used by the CLI driver.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "stap/cfar.hpp"
+
+namespace ppstap::stap {
+
+/// Write detections as CSV with header:
+/// cpi,doppler_bin,beam,range,power,threshold
+void write_detections_csv(std::ostream& os,
+                          std::span<const std::vector<Detection>> per_cpi);
+
+/// Parse the CSV produced by write_detections_csv. Throws on malformed
+/// rows; tolerates the header line and blank lines.
+std::vector<std::vector<Detection>> read_detections_csv(std::istream& is);
+
+/// Compact statistics over one CPI's detections.
+struct DetectionSummary {
+  index_t count = 0;
+  float max_margin = 0.0f;      ///< max power/threshold ratio
+  index_t strongest_bin = -1;   ///< Doppler bin of the strongest detection
+  index_t strongest_range = -1;
+};
+DetectionSummary summarize(std::span<const Detection> detections);
+
+}  // namespace ppstap::stap

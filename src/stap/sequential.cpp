@@ -1,0 +1,163 @@
+#include "stap/sequential.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace ppstap::stap {
+
+SequentialStap::SequentialStap(const StapParams& p, linalg::MatrixCF steering,
+                               std::span<const cfloat> replica)
+    : SequentialStap(p,
+                     std::vector<linalg::MatrixCF>(
+                         static_cast<size_t>(p.num_beam_positions), steering),
+                     replica) {}
+
+SequentialStap::SequentialStap(
+    const StapParams& p, std::vector<linalg::MatrixCF> steering_per_position,
+    std::span<const cfloat> replica)
+    : p_(p),
+      doppler_(p),
+      compressor_(p, replica),
+      easy_bins_(p.easy_bins()),
+      hard_bins_(p.hard_bins()),
+      easy_cells_(easy_training_cells(p)) {
+  p_.validate();
+  PPSTAP_REQUIRE(static_cast<index_t>(steering_per_position.size()) ==
+                     p_.num_beam_positions,
+                 "one steering matrix per transmit beam position expected");
+  hard_cells_.reserve(static_cast<size_t>(p_.num_segments));
+  for (index_t s = 0; s < p_.num_segments; ++s)
+    hard_cells_.push_back(hard_training_cells(p_, s));
+
+  const auto hard_units = HardWeightComputer::units_for_bins(
+      p_, std::span<const index_t>(hard_bins_));
+  for (index_t pos = 0; pos < p_.num_beam_positions; ++pos) {
+    const auto& steering = steering_per_position[static_cast<size_t>(pos)];
+    easy_computers_.emplace_back(p_, steering, easy_bins_);
+    hard_computers_.emplace_back(p_, steering, hard_units);
+    // Each position's first CPI is beamformed with quiescent weights.
+    easy_w_.push_back(easy_computers_.back().compute());
+    WeightSet hw;
+    hw.bins = hard_bins_;
+    hw.weights = hard_computers_.back().compute();
+    hard_w_.push_back(std::move(hw));
+  }
+}
+
+SequentialStap::CpiResult SequentialStap::process(const cube::CpiCube& cpi) {
+  PPSTAP_REQUIRE(cpi.extent(0) == p_.num_range &&
+                     cpi.extent(1) == p_.num_channels &&
+                     cpi.extent(2) == p_.num_pulses,
+                 "CPI cube must be K x J x N");
+  const auto pos = static_cast<size_t>(cpi_counter_ % p_.num_beam_positions);
+  ++cpi_counter_;
+
+  // --- Task 0: Doppler filter processing ---------------------------------
+  last_staggered_ = doppler_.filter(cpi);
+
+  // --- Reorganization (sequential analogue of the Fig. 8 redistribution) --
+  const index_t k = p_.num_range;
+  const index_t j = p_.num_channels;
+  const index_t jj = p_.num_staggered_channels();
+  cube::CpiCube easy_data(static_cast<index_t>(easy_bins_.size()), k, j);
+  for (size_t b = 0; b < easy_bins_.size(); ++b)
+    for (index_t kk = 0; kk < k; ++kk)
+      for (index_t ch = 0; ch < j; ++ch)
+        easy_data.at(static_cast<index_t>(b), kk, ch) =
+            last_staggered_.at(kk, ch, easy_bins_[b]);
+  cube::CpiCube hard_data(static_cast<index_t>(hard_bins_.size()), k, jj);
+  for (size_t b = 0; b < hard_bins_.size(); ++b)
+    for (index_t kk = 0; kk < k; ++kk)
+      for (index_t ch = 0; ch < jj; ++ch)
+        hard_data.at(static_cast<index_t>(b), kk, ch) =
+            last_staggered_.at(kk, ch, hard_bins_[b]);
+
+  // --- Tasks 3/4: beamforming with this position's previous weights ------
+  last_easy_bf_ = easy_beamform(easy_data, easy_w_[pos], p_);
+  last_hard_bf_ = hard_beamform(hard_data, hard_w_[pos], p_);
+
+  // Assemble the N x M x K cube the pulse compression task receives.
+  cube::CpiCube combined(p_.num_pulses, p_.num_beams, k);
+  for (size_t b = 0; b < easy_bins_.size(); ++b)
+    for (index_t m = 0; m < p_.num_beams; ++m) {
+      auto dst = combined.line(easy_bins_[b], m);
+      auto src = last_easy_bf_.line(static_cast<index_t>(b), m);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  for (size_t b = 0; b < hard_bins_.size(); ++b)
+    for (index_t m = 0; m < p_.num_beams; ++m) {
+      auto dst = combined.line(hard_bins_[b], m);
+      auto src = last_hard_bf_.line(static_cast<index_t>(b), m);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+
+  // --- Task 5: pulse compression ------------------------------------------
+  last_power_ = compressor_.compress(combined);
+
+  // --- Task 6: CFAR --------------------------------------------------------
+  std::vector<index_t> all_bins(static_cast<size_t>(p_.num_pulses));
+  for (index_t b = 0; b < p_.num_pulses; ++b)
+    all_bins[static_cast<size_t>(b)] = b;
+  CpiResult result{cfar_detect(last_power_, all_bins, p_)};
+
+  // --- Tasks 1/2: weight computation for this position's next CPI ---------
+  std::vector<linalg::MatrixCF> easy_rows;
+  easy_rows.reserve(easy_bins_.size());
+  for (index_t bin : easy_bins_)
+    easy_rows.push_back(
+        gather_training(last_staggered_, easy_cells_, bin, false, p_));
+  easy_computers_[pos].push_training(std::move(easy_rows));
+  easy_w_[pos] = easy_computers_[pos].compute();
+
+  std::vector<linalg::MatrixCF> hard_rows;
+  hard_rows.reserve(hard_bins_.size() *
+                    static_cast<size_t>(p_.num_segments));
+  for (index_t bin : hard_bins_)
+    for (index_t s = 0; s < p_.num_segments; ++s)
+      hard_rows.push_back(gather_training(
+          last_staggered_, hard_cells_[static_cast<size_t>(s)], bin, true,
+          p_));
+  hard_computers_[pos].update(hard_rows);
+  hard_w_[pos].weights = hard_computers_[pos].compute();
+
+  return result;
+}
+
+void SequentialStap::save_state(std::ostream& os) const {
+  const std::uint64_t magic = 0x50505353;  // "PPSS"
+  const std::int64_t counter = cpi_counter_;
+  const std::int64_t positions = p_.num_beam_positions;
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  os.write(reinterpret_cast<const char*>(&counter), sizeof(counter));
+  os.write(reinterpret_cast<const char*>(&positions), sizeof(positions));
+  for (index_t pos = 0; pos < p_.num_beam_positions; ++pos) {
+    easy_computers_[static_cast<size_t>(pos)].save(os);
+    hard_computers_[static_cast<size_t>(pos)].save(os);
+  }
+  PPSTAP_REQUIRE(os.good(), "chain state write failed");
+}
+
+void SequentialStap::load_state(std::istream& is) {
+  std::uint64_t magic = 0;
+  std::int64_t counter = -1, positions = -1;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  is.read(reinterpret_cast<char*>(&counter), sizeof(counter));
+  is.read(reinterpret_cast<char*>(&positions), sizeof(positions));
+  PPSTAP_REQUIRE(is.good() && magic == 0x50505353,
+                 "not a ppstap chain state stream");
+  PPSTAP_REQUIRE(counter >= 0 && positions == p_.num_beam_positions,
+                 "chain state does not match this configuration");
+  for (index_t pos = 0; pos < p_.num_beam_positions; ++pos) {
+    easy_computers_[static_cast<size_t>(pos)].restore(is);
+    hard_computers_[static_cast<size_t>(pos)].restore(is);
+    easy_w_[static_cast<size_t>(pos)] =
+        easy_computers_[static_cast<size_t>(pos)].compute();
+    hard_w_[static_cast<size_t>(pos)].weights =
+        hard_computers_[static_cast<size_t>(pos)].compute();
+  }
+  cpi_counter_ = counter;
+}
+
+}  // namespace ppstap::stap

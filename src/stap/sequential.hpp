@@ -1,0 +1,99 @@
+// Sequential reference implementation of the full STAP chain.
+//
+// Processes CPIs one at a time through Doppler filtering -> beamforming
+// (with weights derived from *previous* CPIs — the paper's temporal
+// dependency TD_{1,3}/TD_{2,4}) -> pulse compression -> CFAR, then updates
+// the weight state with the current CPI for use on the next one.
+//
+// The parallel pipeline must produce identical detections on the same CPI
+// stream; this class is the oracle for those tests and the single-node
+// baseline (the round-robin RTMCARM deployment ran exactly this per node).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+#include "stap/beamform.hpp"
+#include "stap/cfar.hpp"
+#include "stap/doppler.hpp"
+#include "stap/params.hpp"
+#include "stap/pulse_compression.hpp"
+#include "stap/training.hpp"
+#include "stap/weights.hpp"
+
+namespace ppstap::stap {
+
+class SequentialStap {
+ public:
+  /// `steering` is J x M; `replica` may be empty (no pulse compression
+  /// spreading). With num_beam_positions > 1 the same steering serves
+  /// every transmit position (receive beams relative to the array).
+  SequentialStap(const StapParams& p, linalg::MatrixCF steering,
+                 std::span<const cfloat> replica);
+
+  /// Per-transmit-position steering: `steering[i]` (J x M) forms the
+  /// receive beams of position i (paper §3: six receive beams within each
+  /// transmit beam). Size must equal num_beam_positions.
+  SequentialStap(const StapParams& p,
+                 std::vector<linalg::MatrixCF> steering_per_position,
+                 std::span<const cfloat> replica);
+
+  struct CpiResult {
+    std::vector<Detection> detections;
+  };
+
+  /// Process the next CPI in the stream.
+  CpiResult process(const cube::CpiCube& cpi);
+
+  /// Intermediates of the most recent process() call, retained for tests
+  /// and analysis tools (angle-Doppler pattern inspection, SINR probes).
+  const cube::CpiCube& last_staggered() const { return last_staggered_; }
+  const cube::CpiCube& last_easy_beamformed() const { return last_easy_bf_; }
+  const cube::CpiCube& last_hard_beamformed() const { return last_hard_bf_; }
+  const cube::RealCube& last_power() const { return last_power_; }
+  /// Weights that will be applied to the next CPI at position `pos`.
+  const WeightSet& current_easy_weights(index_t pos = 0) const {
+    return easy_w_[static_cast<size_t>(pos)];
+  }
+  const WeightSet& current_hard_weights(index_t pos = 0) const {
+    return hard_w_[static_cast<size_t>(pos)];
+  }
+  /// Number of CPIs processed so far (the next CPI's transmit position is
+  /// cpis_processed() % num_beam_positions).
+  index_t cpis_processed() const { return cpi_counter_; }
+
+  /// Checkpoint / restore the chain's adaptive state (per-position easy
+  /// training history, hard triangular factors, CPI counter) — the
+  /// functional counterpart of the re-allocation state migration the
+  /// machine model prices (core::PipelineSimulator::weight_state_bytes).
+  /// A restored chain continues the CPI stream exactly where the saved
+  /// one stopped; parameters and steering must match.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
+
+  const StapParams& params() const { return p_; }
+
+ private:
+  StapParams p_;
+  DopplerFilter doppler_;
+  // Per transmit position: independent training state (paper §3 trains on
+  // "past looks at the same azimuth").
+  std::vector<EasyWeightComputer> easy_computers_;
+  std::vector<HardWeightComputer> hard_computers_;
+  PulseCompressor compressor_;
+  std::vector<index_t> easy_bins_;
+  std::vector<index_t> hard_bins_;
+  std::vector<index_t> easy_cells_;
+  std::vector<std::vector<index_t>> hard_cells_;  // per segment
+  index_t cpi_counter_ = 0;
+
+  std::vector<WeightSet> easy_w_;  // per position, applied to its next CPI
+  std::vector<WeightSet> hard_w_;
+
+  cube::CpiCube last_staggered_;
+  cube::CpiCube last_easy_bf_;
+  cube::CpiCube last_hard_bf_;
+  cube::RealCube last_power_;
+};
+
+}  // namespace ppstap::stap

@@ -1,0 +1,59 @@
+#include "stap/training.hpp"
+
+#include "common/check.hpp"
+
+namespace ppstap::stap {
+
+std::vector<index_t> easy_training_cells(const StapParams& p) {
+  std::vector<index_t> cells;
+  cells.reserve(static_cast<size_t>(p.easy_samples_per_cpi));
+  // Evenly spaced across the whole range extent: the paper notes "the entire
+  // range extent was available for sample support" in the easy regions.
+  for (index_t i = 0; i < p.easy_samples_per_cpi; ++i)
+    cells.push_back(i * p.num_range / p.easy_samples_per_cpi);
+  return cells;
+}
+
+std::vector<index_t> hard_training_cells(const StapParams& p, index_t s) {
+  const index_t lo = p.segment_begin(s);
+  const index_t hi = p.segment_end(s);
+  const index_t len = hi - lo;
+  std::vector<index_t> cells;
+  cells.reserve(static_cast<size_t>(p.hard_samples_per_segment));
+  for (index_t i = 0; i < p.hard_samples_per_segment; ++i)
+    cells.push_back(lo + i * len / p.hard_samples_per_segment);
+  return cells;
+}
+
+void gather_training_rows(const cube::CpiCube& staggered, index_t k_offset,
+                          std::span<const index_t> cells, index_t bin,
+                          bool staggered_pair, const StapParams& p,
+                          linalg::MatrixCF& out, index_t row_offset) {
+  const index_t ncols = staggered_pair ? p.num_staggered_channels()
+                                       : p.num_channels;
+  PPSTAP_REQUIRE(out.cols() == ncols, "training matrix column mismatch");
+  PPSTAP_REQUIRE(staggered.extent(1) == p.num_staggered_channels(),
+                 "expected a staggered (2J-channel) cube");
+  index_t row = row_offset;
+  const index_t k_end = k_offset + staggered.extent(0);
+  for (index_t cell : cells) {
+    if (cell < k_offset || cell >= k_end) continue;
+    PPSTAP_REQUIRE(row < out.rows(), "training matrix row overflow");
+    const index_t k_local = cell - k_offset;
+    for (index_t j = 0; j < ncols; ++j)
+      out(row, j) = staggered.at(k_local, j, bin);
+    ++row;
+  }
+}
+
+linalg::MatrixCF gather_training(const cube::CpiCube& staggered,
+                                 std::span<const index_t> cells, index_t bin,
+                                 bool staggered_pair, const StapParams& p) {
+  const index_t ncols = staggered_pair ? p.num_staggered_channels()
+                                       : p.num_channels;
+  linalg::MatrixCF out(static_cast<index_t>(cells.size()), ncols);
+  gather_training_rows(staggered, 0, cells, bin, staggered_pair, p, out, 0);
+  return out;
+}
+
+}  // namespace ppstap::stap

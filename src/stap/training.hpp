@@ -1,0 +1,48 @@
+// Training sample selection for the adaptive weight computations.
+//
+// Easy Doppler bins draw their sample support from the entire range extent
+// (a fixed set of evenly spaced cells), pooled over the preceding
+// `easy_history` CPIs. Hard bins draw evenly spaced cells from within each
+// of the six range segments of the immediately preceding CPI, and rely on
+// the recursive exponentially-forgotten QR for history (paper §5.2).
+//
+// The cell lists are a pure function of StapParams, so the Doppler task
+// (which owns a range slab) and the weight tasks (which need the samples)
+// agree on exactly which rows travel in the inter-task messages — the
+// "data collection" of paper Fig. 6(b).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cube/cube.hpp"
+#include "linalg/matrix.hpp"
+#include "stap/params.hpp"
+
+namespace ppstap::stap {
+
+/// Global range cells used for easy-bin training (sorted ascending).
+std::vector<index_t> easy_training_cells(const StapParams& p);
+
+/// Global range cells used for hard-bin training inside segment `s`
+/// (sorted ascending, all within [segment_begin(s), segment_end(s))).
+std::vector<index_t> hard_training_cells(const StapParams& p, index_t s);
+
+/// Gather the training matrix rows for Doppler bin `bin` from a staggered
+/// cube slab (extents K_local x 2J x N). `cells` holds *global* range cells;
+/// only those inside [k_offset, k_offset + K_local) contribute, in order.
+/// Columns: J (channels to J) when `staggered_pair` is false — easy bins use
+/// the single Doppler spectrum — or 2J when true (hard bins).
+/// Rows are appended to `out`.
+void gather_training_rows(const cube::CpiCube& staggered, index_t k_offset,
+                          std::span<const index_t> cells, index_t bin,
+                          bool staggered_pair, const StapParams& p,
+                          linalg::MatrixCF& out, index_t row_offset);
+
+/// Convenience: full training matrix (all cells in one slab starting at
+/// k_offset = 0, i.e. the sequential pipeline case).
+linalg::MatrixCF gather_training(const cube::CpiCube& staggered,
+                                 std::span<const index_t> cells, index_t bin,
+                                 bool staggered_pair, const StapParams& p);
+
+}  // namespace ppstap::stap

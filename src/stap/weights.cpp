@@ -1,0 +1,312 @@
+#include "stap/weights.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/serialize.hpp"
+
+namespace ppstap::stap {
+
+namespace {
+
+// Data-scale proxy for the constraint rows: mean magnitude of the retained
+// triangular factor. Scaling the constraint with the data keeps the
+// beam-shape/clutter-null compromise (Appendix A's k) independent of the
+// absolute signal level.
+float mean_abs_upper(const linalg::MatrixCF& r) {
+  double acc = 0.0;
+  index_t count = 0;
+  for (index_t i = 0; i < r.rows(); ++i)
+    for (index_t j = i; j < r.cols(); ++j) {
+      acc += std::abs(r(i, j));
+      ++count;
+    }
+  return count > 0 ? static_cast<float>(acc / static_cast<double>(count))
+                   : 0.0f;
+}
+
+}  // namespace
+
+void normalize_columns(linalg::MatrixCF& w) {
+  for (index_t c = 0; c < w.cols(); ++c) {
+    double norm_sq = 0.0;
+    for (index_t i = 0; i < w.rows(); ++i)
+      norm_sq += static_cast<double>(linalg::abs_sq(w(i, c)));
+    if (norm_sq <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (index_t i = 0; i < w.rows(); ++i) w(i, c) *= inv;
+  }
+}
+
+linalg::MatrixCF conventional_ls_weights(const linalg::MatrixCF& training,
+                                         const linalg::MatrixCF& steering) {
+  const index_t j = steering.rows();
+  const index_t m = steering.cols();
+  PPSTAP_REQUIRE(training.cols() == j,
+                 "training columns must match steering rows");
+  const index_t rows = training.rows();
+
+  linalg::MatrixCF w(j, m);
+  for (index_t beam = 0; beam < m; ++beam) {
+    // A = [conj(X); ws^H], rhs = [0 ... 0 1]^T (Fig. 12). Rows enter
+    // conjugated for the same w^H x output convention as the constrained
+    // path.
+    linalg::MatrixCF a(rows + 1, j);
+    for (index_t r = 0; r < rows; ++r)
+      for (index_t c = 0; c < j; ++c) a(r, c) = std::conj(training(r, c));
+    for (index_t c = 0; c < j; ++c)
+      a(rows, c) = std::conj(steering(c, beam));
+    linalg::MatrixCF rhs(rows + 1, 1);
+    rhs(rows, 0) = cfloat(1.0f, 0.0f);
+    auto sol = linalg::least_squares(a, rhs);
+    for (index_t c = 0; c < j; ++c) w(c, beam) = sol(c, 0);
+  }
+  normalize_columns(w);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Easy bins
+// ---------------------------------------------------------------------------
+
+EasyWeightComputer::EasyWeightComputer(const StapParams& p,
+                                       linalg::MatrixCF steering,
+                                       std::vector<index_t> bins)
+    : p_(p), steering_(std::move(steering)), bins_(std::move(bins)) {
+  p_.validate();
+  PPSTAP_REQUIRE(steering_.rows() == p_.num_channels &&
+                     steering_.cols() == p_.num_beams,
+                 "steering matrix must be J x M");
+  for (index_t b : bins_)
+    PPSTAP_REQUIRE(!p_.is_hard_bin(b), "easy computer given a hard bin");
+}
+
+void EasyWeightComputer::push_training(
+    std::vector<linalg::MatrixCF> per_bin_rows) {
+  PPSTAP_REQUIRE(per_bin_rows.size() == bins_.size(),
+                 "one training matrix per owned bin expected");
+  for (const auto& m : per_bin_rows)
+    PPSTAP_REQUIRE(m.cols() == p_.num_channels,
+                   "easy training rows must have J columns");
+  history_.push_back(std::move(per_bin_rows));
+  while (static_cast<index_t>(history_.size()) > p_.easy_history)
+    history_.pop_front();
+}
+
+WeightSet EasyWeightComputer::compute() const {
+  WeightSet out;
+  out.bins = bins_;
+  out.weights.reserve(bins_.size());
+
+  const index_t j = p_.num_channels;
+  const index_t m = p_.num_beams;
+
+  for (size_t bi = 0; bi < bins_.size(); ++bi) {
+    index_t total_rows = 0;
+    for (const auto& cpi : history_)
+      total_rows += cpi[bi].rows();
+
+    if (total_rows == 0) {
+      // Quiescent: normalized steering (no adaptation yet).
+      linalg::MatrixCF w = steering_;
+      normalize_columns(w);
+      out.weights.push_back(std::move(w));
+      continue;
+    }
+
+    // Stack the pooled history over the constraint block avg * I_J. Rows
+    // enter conjugated: the beamformer applies w^H x, so minimizing the
+    // clutter output power means minimizing |x^H w| — the least squares
+    // rows are the conjugated snapshots.
+    linalg::MatrixCF a(total_rows + j, j);
+    index_t row = 0;
+    double abs_acc = 0.0;
+    for (const auto& cpi : history_) {
+      const auto& x = cpi[bi];
+      for (index_t r = 0; r < x.rows(); ++r, ++row)
+        for (index_t c = 0; c < j; ++c) {
+          a(row, c) = std::conj(x(r, c));
+          abs_acc += std::abs(x(r, c));
+        }
+    }
+    const float avg = static_cast<float>(
+        p_.beam_constraint_wt * abs_acc /
+        static_cast<double>(total_rows * j));
+    for (index_t c = 0; c < j; ++c) a(total_rows + c, c) = avg;
+
+    linalg::MatrixCF b(total_rows + j, m);
+    for (index_t c = 0; c < m; ++c)
+      for (index_t r = 0; r < j; ++r)
+        b(total_rows + r, c) = steering_(r, c);
+
+    linalg::MatrixCF w = linalg::least_squares(a, b);
+    normalize_columns(w);
+    out.weights.push_back(std::move(w));
+  }
+  return out;
+}
+
+void EasyWeightComputer::save(std::ostream& os) const {
+  const std::uint64_t depth = history_.size();
+  os.write(reinterpret_cast<const char*>(&depth), sizeof(depth));
+  for (const auto& cpi : history_) {
+    PPSTAP_CHECK(cpi.size() == bins_.size(), "corrupt history");
+    for (const auto& m : cpi) linalg::write_matrix(os, m);
+  }
+  PPSTAP_REQUIRE(os.good(), "easy weight state write failed");
+}
+
+void EasyWeightComputer::restore(std::istream& is) {
+  std::uint64_t depth = 0;
+  is.read(reinterpret_cast<char*>(&depth), sizeof(depth));
+  PPSTAP_REQUIRE(is.good() && depth <= static_cast<std::uint64_t>(
+                                           p_.easy_history),
+                 "easy weight state header mismatch");
+  std::deque<std::vector<linalg::MatrixCF>> history;
+  for (std::uint64_t h = 0; h < depth; ++h) {
+    std::vector<linalg::MatrixCF> cpi;
+    cpi.reserve(bins_.size());
+    for (size_t b = 0; b < bins_.size(); ++b) {
+      auto m = linalg::read_matrix<cfloat>(is);
+      PPSTAP_REQUIRE(m.cols() == p_.num_channels,
+                     "easy weight state column mismatch");
+      cpi.push_back(std::move(m));
+    }
+    history.push_back(std::move(cpi));
+  }
+  history_ = std::move(history);
+}
+
+// ---------------------------------------------------------------------------
+// Hard bins
+// ---------------------------------------------------------------------------
+
+HardWeightComputer::HardWeightComputer(const StapParams& p,
+                                       linalg::MatrixCF steering,
+                                       std::vector<HardUnit> units)
+    : p_(p), steering_(std::move(steering)), units_(std::move(units)) {
+  p_.validate();
+  PPSTAP_REQUIRE(steering_.rows() == p_.num_channels &&
+                     steering_.cols() == p_.num_beams,
+                 "steering matrix must be J x M");
+  for (const auto& u : units_) {
+    PPSTAP_REQUIRE(p_.is_hard_bin(u.bin), "hard computer given an easy bin");
+    PPSTAP_REQUIRE(u.segment >= 0 && u.segment < p_.num_segments,
+                   "segment index out of range");
+  }
+
+  // Seed every R with diagonal loading so the very first solve is well
+  // posed; the loading decays geometrically under the forgetting factor.
+  const index_t jj = p_.num_staggered_channels();
+  const auto seed = static_cast<float>(p_.diagonal_loading);
+  r_.assign(units_.size(),
+            linalg::MatrixCF::identity(jj, cfloat(seed, 0.0f)));
+}
+
+std::vector<HardUnit> HardWeightComputer::units_for_bins(
+    const StapParams& p, std::span<const index_t> bins) {
+  std::vector<HardUnit> units;
+  units.reserve(bins.size() * static_cast<size_t>(p.num_segments));
+  for (index_t bin : bins)
+    for (index_t s = 0; s < p.num_segments; ++s)
+      units.push_back(HardUnit{bin, s});
+  return units;
+}
+
+void HardWeightComputer::update(
+    const std::vector<linalg::MatrixCF>& per_unit_rows) {
+  PPSTAP_REQUIRE(per_unit_rows.size() == r_.size(),
+                 "one training matrix per unit expected");
+  const auto lambda = static_cast<float>(p_.forgetting);
+  for (size_t i = 0; i < r_.size(); ++i) {
+    PPSTAP_REQUIRE(per_unit_rows[i].cols() == p_.num_staggered_channels(),
+                   "hard training rows must have 2J columns");
+    // Rows enter conjugated (the beamformer applies w^H x; see the easy
+    // path for the convention note).
+    linalg::MatrixCF x = per_unit_rows[i];
+    for (index_t a = 0; a < x.rows(); ++a)
+      for (index_t b = 0; b < x.cols(); ++b) x(a, b) = std::conj(x(a, b));
+    linalg::MatrixCF faded = r_[i];
+    for (index_t a = 0; a < faded.rows(); ++a)
+      for (index_t b = 0; b < faded.cols(); ++b) faded(a, b) *= lambda;
+    r_[i] = linalg::qr_append_rows(faded, std::move(x));
+  }
+}
+
+std::vector<linalg::MatrixCF> HardWeightComputer::compute() const {
+  std::vector<linalg::MatrixCF> out;
+  out.reserve(r_.size());
+
+  const index_t j = p_.num_channels;
+  const index_t jj = p_.num_staggered_channels();
+  const index_t m = p_.num_beams;
+  const index_t n = p_.num_pulses;
+
+  for (size_t i = 0; i < units_.size(); ++i) {
+    const index_t bin = units_[i].bin;
+    // Relative phase of the second stagger window for a target in this bin:
+    // the window is delayed by `stagger` PRIs, i.e. exp(-j 2 pi bin s / N)
+    // (Appendix B's frequency constraint factor).
+    const double phi = -2.0 * std::numbers::pi * static_cast<double>(bin) *
+                       static_cast<double>(p_.stagger) /
+                       static_cast<double>(n);
+    const cfloat stag_phase(static_cast<float>(std::cos(phi)),
+                            static_cast<float>(std::sin(phi)));
+
+    const auto& r = r_[i];
+    const float avg =
+        static_cast<float>(p_.beam_constraint_wt) * mean_abs_upper(r);
+
+    // A = [R; C] where C = avg [I_J | stag_phase I_J]: the J constraint
+    // rows demand that the pair of staggered subweights, combined with
+    // the bin's stagger phase, reproduce the steering vector.
+    linalg::MatrixCF a(jj + j, jj);
+    for (index_t row = 0; row < jj; ++row)
+      for (index_t col = row; col < jj; ++col) a(row, col) = r(row, col);
+    for (index_t row = 0; row < j; ++row) {
+      a(jj + row, row) = avg;
+      a(jj + row, j + row) = avg * stag_phase;
+    }
+
+    linalg::MatrixCF b(jj + j, m);
+    for (index_t c = 0; c < m; ++c)
+      for (index_t row = 0; row < j; ++row)
+        b(jj + row, c) = steering_(row, c);
+
+    linalg::MatrixCF w = linalg::least_squares(a, b);
+    normalize_columns(w);
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+void HardWeightComputer::save(std::ostream& os) const {
+  const std::uint64_t count = r_.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& r : r_) linalg::write_matrix(os, r);
+  PPSTAP_REQUIRE(os.good(), "hard weight state write failed");
+}
+
+void HardWeightComputer::restore(std::istream& is) {
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  PPSTAP_REQUIRE(is.good() && count == r_.size(),
+                 "hard weight state unit count mismatch");
+  std::vector<linalg::MatrixCF> rs;
+  rs.reserve(r_.size());
+  const index_t jj = p_.num_staggered_channels();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto r = linalg::read_matrix<cfloat>(is);
+    PPSTAP_REQUIRE(r.rows() == jj && r.cols() == jj,
+                   "hard weight state shape mismatch");
+    rs.push_back(std::move(r));
+  }
+  r_ = std::move(rs);
+}
+
+}  // namespace ppstap::stap

@@ -1,0 +1,126 @@
+// Adaptive weight computation (paper §5.2, Appendix A/B).
+//
+// Both weight tasks solve the mainbeam-constrained least squares problem of
+// Appendix A: minimize the clutter response ||X w|| while keeping w close to
+// the steering vector via constraint rows (avg * k) * I with right-hand side
+// w_s. Because the steering vector appears only on the right-hand side, one
+// QR factorization serves all M receive beams.
+//
+//  * Easy bins: sample support is pooled from the preceding `easy_history`
+//    CPIs (fresh QR each CPI — the "regular (non-recursive)" path).
+//  * Hard bins: per (bin, range segment), an upper-triangular R is carried
+//    across CPIs and updated with the block row-append QR under an
+//    exponential forgetting factor — the paper's recursive weight update,
+//    which substitutes temporal history for the scarce range support.
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "stap/params.hpp"
+
+namespace ppstap::stap {
+
+/// A set of weight matrices attached to (a subset of) Doppler bins.
+/// For easy bins: one J x M matrix per bin. For hard bins: num_segments
+/// matrices of 2J x M per bin, flattened as weights[bin_idx * num_segments
+/// + segment].
+struct WeightSet {
+  std::vector<index_t> bins;              ///< global bin ids, ascending
+  std::vector<linalg::MatrixCF> weights;  ///< see flattening rule above
+};
+
+/// Easy-bin weight computer. Owns the training history for a subset of easy
+/// bins (a parallel weight node owns a contiguous slice of easy_bins()).
+class EasyWeightComputer {
+ public:
+  /// `steering` is J x M; `bins` are the owned global easy-bin ids.
+  EasyWeightComputer(const StapParams& p, linalg::MatrixCF steering,
+                     std::vector<index_t> bins);
+
+  const std::vector<index_t>& bins() const { return bins_; }
+
+  /// Append this CPI's training rows: one (samples x J) matrix per owned
+  /// bin, rows ordered by global range cell. History older than
+  /// easy_history CPIs is dropped.
+  void push_training(std::vector<linalg::MatrixCF> per_bin_rows);
+
+  /// Solve for the weights of every owned bin from the accumulated history.
+  /// Until the first push, returns quiescent (normalized steering) weights.
+  WeightSet compute() const;
+
+  /// Checkpoint / restore the training history (the computer's only
+  /// mutable state) — the functional counterpart of the re-allocation
+  /// state migration the machine model prices. The restoring computer must
+  /// own the same bins under the same parameters.
+  void save(std::ostream& os) const;
+  void restore(std::istream& is);
+
+ private:
+  StapParams p_;
+  linalg::MatrixCF steering_;  // J x M
+  std::vector<index_t> bins_;
+  std::deque<std::vector<linalg::MatrixCF>> history_;  // newest at back
+};
+
+/// One independent hard weight problem: a (Doppler bin, range segment)
+/// pair. The paper's hard weight task has num_hard * num_segments such
+/// units (6 N_hard recursive QR updates per CPI) and parallelizes over
+/// them — its 112-node case exceeds the 56 hard bins.
+struct HardUnit {
+  index_t bin = 0;
+  index_t segment = 0;
+};
+
+/// Hard-bin recursive weight computer for a set of (bin, segment) units.
+class HardWeightComputer {
+ public:
+  HardWeightComputer(const StapParams& p, linalg::MatrixCF steering,
+                     std::vector<HardUnit> units);
+
+  const std::vector<HardUnit>& units() const { return units_; }
+
+  /// Recursive update: one (samples x 2J) matrix of new training rows per
+  /// owned unit, in units() order. R <- qr_append_rows(forgetting * R, X).
+  void update(const std::vector<linalg::MatrixCF>& per_unit_rows);
+
+  /// Solve the constrained problem for every owned unit from the current R
+  /// state, in units() order (each 2J x M). Valid immediately (R is seeded
+  /// with diagonal loading), improving as updates accumulate.
+  std::vector<linalg::MatrixCF> compute() const;
+
+  /// Checkpoint / restore the recursive triangular factors.
+  void save(std::ostream& os) const;
+  void restore(std::istream& is);
+
+  /// Bin-major unit list covering `bins` completely (all segments), the
+  /// flattening WeightSet uses.
+  static std::vector<HardUnit> units_for_bins(const StapParams& p,
+                                              std::span<const index_t> bins);
+
+ private:
+  StapParams p_;
+  linalg::MatrixCF steering_;          // J x M
+  std::vector<HardUnit> units_;
+  std::vector<linalg::MatrixCF> r_;    // per unit: 2J x 2J upper
+};
+
+/// Normalize every column of `w` to unit 2-norm (the paper normalizes the
+/// weight vector because the constraint scale k is operating-point
+/// dependent). Columns with zero norm are left unchanged.
+void normalize_columns(linalg::MatrixCF& w);
+
+/// The *conventional* least squares beamformer of Appendix A Fig. 12 — the
+/// approach the paper's constrained formulation replaces. The steering
+/// vector enters as one more data row with unit desired response:
+/// min || [X; ws^H] w - [0...0 1] ||. High clutter rejection, but the
+/// adapted main beam may be "highly distorted ... with a peak response far
+/// removed from the target" — the failure mode the mainbeam constraint
+/// fixes (compare in bench/ext_constraint_ablation). Column `m` of the
+/// result solves against steering column m; columns are unit-normalized.
+linalg::MatrixCF conventional_ls_weights(const linalg::MatrixCF& training,
+                                         const linalg::MatrixCF& steering);
+
+}  // namespace ppstap::stap

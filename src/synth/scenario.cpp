@@ -1,0 +1,177 @@
+#include "synth/scenario.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/waveform.hpp"
+#include "synth/steering.hpp"
+
+namespace ppstap::synth {
+
+ScenarioGenerator::ScenarioGenerator(ScenarioParams params)
+    : params_(std::move(params)) {
+  const auto& p = params_;
+  PPSTAP_REQUIRE(p.num_range >= 1 && p.num_channels >= 1 && p.num_pulses >= 1,
+                 "scenario dimensions must be positive");
+  PPSTAP_REQUIRE(p.chirp_length <= p.num_range,
+                 "chirp cannot exceed the range window");
+  for (const auto& t : p.targets)
+    PPSTAP_REQUIRE(t.range_cell >= 0 && t.range_cell < p.num_range,
+                   "target range cell out of bounds");
+
+  if (p.chirp_length > 0) replica_ = dsp::lfm_chirp(p.chirp_length);
+
+  // Fixed clutter geometry: patches evenly spaced in sin(azimuth) across the
+  // ridge, each with a spatial and a temporal signature tied by the slope.
+  const index_t c = p.clutter.num_patches;
+  if (c > 0) {
+    patch_spatial_.reserve(static_cast<size_t>(c));
+    patch_temporal_.reserve(static_cast<size_t>(c));
+    patch_doppler_.reserve(static_cast<size_t>(c));
+    const double half = p.clutter.azimuth_span_rad / 2.0;
+    for (index_t i = 0; i < c; ++i) {
+      const double frac =
+          c == 1 ? 0.5
+                 : static_cast<double>(i) / static_cast<double>(c - 1);
+      const double az = -half + 2.0 * half * frac;
+      const double f = 0.5 * p.clutter.doppler_slope * std::sin(az);
+      patch_spatial_.push_back(spatial_steering(p.num_channels, az));
+      patch_temporal_.push_back(temporal_steering(p.num_pulses, f));
+      patch_doppler_.push_back(f);
+      patch_azimuth_.push_back(az);
+    }
+    const double cnr_power =
+        p.noise_power * std::pow(10.0, p.clutter.cnr_db / 10.0);
+    patch_sigma_ = std::sqrt(cnr_power / static_cast<double>(c));
+  }
+}
+
+double ScenarioGenerator::transmit_gain(index_t cpi_index,
+                                        double azimuth_rad) const {
+  if (params_.transmit_azimuths.empty()) return 1.0;
+  const double center = params_.transmit_azimuths[static_cast<size_t>(
+      cpi_index % static_cast<index_t>(params_.transmit_azimuths.size()))];
+  const double delta = azimuth_rad - center;
+  const double half = params_.transmit_beam_width_rad / 2.0;
+  constexpr double kSidelobeFloor = 0.01;  // -40 dB in amplitude
+  if (std::abs(delta) >= half) return kSidelobeFloor;
+  const double g =
+      std::cos(std::numbers::pi / 2.0 * delta / half);
+  return std::max(g * g, kSidelobeFloor);
+}
+
+void ScenarioGenerator::add_clutter(cube::CpiCube& cpi, index_t cpi_index,
+                                    Rng& rng) const {
+  const auto& p = params_;
+  const index_t c = static_cast<index_t>(patch_spatial_.size());
+  for (index_t k = 0; k < p.num_range; ++k) {
+    for (index_t pc = 0; pc < c; ++pc) {
+      const double tx = transmit_gain(
+          cpi_index, patch_azimuth_[static_cast<size_t>(pc)]);
+      const cdouble gamma = rng.cnormal() * (patch_sigma_ * tx);
+      const cfloat g(static_cast<float>(gamma.real()),
+                     static_cast<float>(gamma.imag()));
+      const auto& a = patch_spatial_[static_cast<size_t>(pc)];
+      const auto& d = patch_temporal_[static_cast<size_t>(pc)];
+      for (index_t j = 0; j < p.num_channels; ++j) {
+        const cfloat ga = g * a[static_cast<size_t>(j)];
+        auto line = cpi.line(k, j);
+        for (index_t n = 0; n < p.num_pulses; ++n)
+          line[static_cast<size_t>(n)] += ga * d[static_cast<size_t>(n)];
+      }
+    }
+  }
+}
+
+void ScenarioGenerator::add_jammers(cube::CpiCube& cpi, Rng& rng) const {
+  const auto& p = params_;
+  for (const auto& jam : p.jammers) {
+    // Spatially coherent, temporally white: one fresh complex amplitude
+    // per (range cell, pulse) applied across the array through the
+    // jammer's steering vector. Jammers radiate continuously, so no
+    // transmit-beam gain applies.
+    const double sigma =
+        std::sqrt(p.noise_power) * std::pow(10.0, jam.jnr_db / 20.0);
+    const auto a = spatial_steering(p.num_channels, jam.azimuth_rad);
+    for (index_t k = 0; k < p.num_range; ++k)
+      for (index_t n = 0; n < p.num_pulses; ++n) {
+        const cdouble z = rng.cnormal() * sigma;
+        const cfloat g(static_cast<float>(z.real()),
+                       static_cast<float>(z.imag()));
+        for (index_t j = 0; j < p.num_channels; ++j)
+          cpi.at(k, j, n) += g * a[static_cast<size_t>(j)];
+      }
+  }
+}
+
+void ScenarioGenerator::add_noise(cube::CpiCube& cpi, Rng& rng) const {
+  const double sigma = std::sqrt(params_.noise_power);
+  cfloat* data = cpi.data();
+  const index_t total = cpi.size();
+  for (index_t i = 0; i < total; ++i) {
+    const cdouble z = rng.cnormal() * sigma;
+    data[i] += cfloat(static_cast<float>(z.real()),
+                      static_cast<float>(z.imag()));
+  }
+}
+
+void ScenarioGenerator::add_targets(cube::CpiCube& cpi,
+                                    index_t cpi_index) const {
+  const auto& p = params_;
+  for (const auto& t : p.targets) {
+    const double amp = std::sqrt(p.noise_power) *
+                       std::pow(10.0, t.snr_db / 20.0) *
+                       transmit_gain(cpi_index, t.azimuth_rad);
+    const auto a = spatial_steering(p.num_channels, t.azimuth_rad);
+    const auto d = temporal_steering(p.num_pulses, t.doppler_norm);
+    for (index_t j = 0; j < p.num_channels; ++j) {
+      const cfloat aj = static_cast<float>(amp) * a[static_cast<size_t>(j)];
+      auto line = cpi.line(t.range_cell, j);
+      for (index_t n = 0; n < p.num_pulses; ++n)
+        line[static_cast<size_t>(n)] += aj * d[static_cast<size_t>(n)];
+    }
+  }
+}
+
+void ScenarioGenerator::spread_with_chirp(cube::CpiCube& cpi) const {
+  const auto& p = params_;
+  if (replica_.empty()) return;
+  // Circular convolution along range per (channel, pulse): consistent with
+  // the K-point-FFT pulse compression the pipeline performs (paper §5.4).
+  const index_t k_fft = p.num_range;
+  dsp::FftPlan<float> fwd(k_fft, dsp::FftDirection::kForward);
+  dsp::FftPlan<float> inv(k_fft, dsp::FftDirection::kInverse);
+  std::vector<cfloat> replica_spec(static_cast<size_t>(k_fft), cfloat{});
+  std::copy(replica_.begin(), replica_.end(), replica_spec.begin());
+  fwd.execute(replica_spec);
+
+  std::vector<cfloat> column(static_cast<size_t>(k_fft));
+  for (index_t j = 0; j < p.num_channels; ++j)
+    for (index_t n = 0; n < p.num_pulses; ++n) {
+      for (index_t k = 0; k < p.num_range; ++k)
+        column[static_cast<size_t>(k)] = cpi.at(k, j, n);
+      fwd.execute(column);
+      for (index_t k = 0; k < k_fft; ++k)
+        column[static_cast<size_t>(k)] *= replica_spec[static_cast<size_t>(k)];
+      inv.execute(column);
+      for (index_t k = 0; k < p.num_range; ++k)
+        cpi.at(k, j, n) = column[static_cast<size_t>(k)];
+    }
+}
+
+cube::CpiCube ScenarioGenerator::generate(index_t cpi_index) const {
+  const auto& p = params_;
+  cube::CpiCube cpi(p.num_range, p.num_channels, p.num_pulses);
+  Rng rng = Rng(p.seed).fork(static_cast<std::uint64_t>(cpi_index));
+
+  add_clutter(cpi, cpi_index, rng);
+  add_targets(cpi, cpi_index);
+  spread_with_chirp(cpi);  // clutter+targets pass through the transmit pulse
+  add_jammers(cpi, rng);   // jammers do not carry the transmit waveform
+  add_noise(cpi, rng);     // receiver noise is added after the waveform
+  return cpi;
+}
+
+}  // namespace ppstap::synth

@@ -1,0 +1,56 @@
+#include "synth/steering.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace ppstap::synth {
+
+std::vector<cfloat> spatial_steering(index_t num_channels, double theta_rad) {
+  PPSTAP_REQUIRE(num_channels >= 1, "need at least one channel");
+  std::vector<cfloat> a(static_cast<size_t>(num_channels));
+  const double phase_step = std::numbers::pi * std::sin(theta_rad);
+  for (index_t j = 0; j < num_channels; ++j) {
+    const double ang = phase_step * static_cast<double>(j);
+    a[static_cast<size_t>(j)] =
+        cfloat(static_cast<float>(std::cos(ang)),
+               static_cast<float>(std::sin(ang)));
+  }
+  return a;
+}
+
+std::vector<cfloat> temporal_steering(index_t num_pulses, double f) {
+  PPSTAP_REQUIRE(num_pulses >= 1, "need at least one pulse");
+  std::vector<cfloat> d(static_cast<size_t>(num_pulses));
+  for (index_t n = 0; n < num_pulses; ++n) {
+    const double ang = 2.0 * std::numbers::pi * f * static_cast<double>(n);
+    d[static_cast<size_t>(n)] =
+        cfloat(static_cast<float>(std::cos(ang)),
+               static_cast<float>(std::sin(ang)));
+  }
+  return d;
+}
+
+double beam_azimuth(index_t num_beams, index_t m, double center_rad,
+                    double span_rad) {
+  PPSTAP_REQUIRE(m >= 0 && m < num_beams, "beam index out of range");
+  if (num_beams == 1) return center_rad;
+  const double lo = center_rad - span_rad / 2.0;
+  return lo + span_rad * static_cast<double>(m) /
+                  static_cast<double>(num_beams - 1);
+}
+
+linalg::MatrixCF steering_matrix(index_t num_channels, index_t num_beams,
+                                 double center_rad, double span_rad) {
+  linalg::MatrixCF s(num_channels, num_beams);
+  for (index_t m = 0; m < num_beams; ++m) {
+    const auto a = spatial_steering(
+        num_channels, beam_azimuth(num_beams, m, center_rad, span_rad));
+    for (index_t j = 0; j < num_channels; ++j)
+      s(j, m) = a[static_cast<size_t>(j)];
+  }
+  return s;
+}
+
+}  // namespace ppstap::synth

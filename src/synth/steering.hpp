@@ -1,0 +1,34 @@
+// Array steering vectors for a uniform linear array (ULA).
+//
+// The RTMCARM radar processed 16 channels of an L-band phased array; we model
+// those channels as a half-wavelength ULA. Spatial steering toward azimuth
+// theta gives element phases exp(j pi j sin(theta)); temporal (Doppler)
+// steering at normalized frequency f gives pulse phases exp(j 2 pi f n).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ppstap::synth {
+
+/// Spatial steering vector of a J-element half-wavelength ULA toward
+/// azimuth `theta_rad` (broadside = 0).
+std::vector<cfloat> spatial_steering(index_t num_channels, double theta_rad);
+
+/// Temporal steering vector over `num_pulses` at normalized Doppler
+/// `f` (cycles per PRI, in [-0.5, 0.5)).
+std::vector<cfloat> temporal_steering(index_t num_pulses, double f);
+
+/// J x M matrix whose columns are the steering vectors of the M receive
+/// beams, evenly spaced across `span_rad` centered at `center_rad` (the
+/// paper forms 6 receive beams within each 25-degree transmit beam).
+linalg::MatrixCF steering_matrix(index_t num_channels, index_t num_beams,
+                                 double center_rad, double span_rad);
+
+/// The azimuth of receive beam `m` under the same spacing rule.
+double beam_azimuth(index_t num_beams, index_t m, double center_rad,
+                    double span_rad);
+
+}  // namespace ppstap::synth

@@ -1,0 +1,232 @@
+// Tests for transmit-beam position cycling (paper §3): the scene
+// generator's transmit illumination, per-position weight training state,
+// and parallel/sequential equivalence with revisited beam positions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/pipeline.hpp"
+#include "stap/sequential.hpp"
+#include "synth/scenario.hpp"
+#include "synth/steering.hpp"
+
+namespace ppstap {
+namespace {
+
+using stap::StapParams;
+using synth::ScenarioGenerator;
+using synth::ScenarioParams;
+using synth::Target;
+
+TEST(TransmitGain, OmnidirectionalWhenDisabled) {
+  ScenarioParams sp;
+  sp.num_range = 8;
+  sp.num_channels = 2;
+  sp.num_pulses = 4;
+  sp.clutter.num_patches = 0;
+  sp.chirp_length = 0;
+  ScenarioGenerator gen(sp);
+  EXPECT_DOUBLE_EQ(gen.transmit_gain(0, 0.7), 1.0);
+  EXPECT_DOUBLE_EQ(gen.transmit_gain(3, -1.2), 1.0);
+}
+
+TEST(TransmitGain, PeaksAtBeamCenterAndCycles) {
+  ScenarioParams sp;
+  sp.num_range = 8;
+  sp.num_channels = 2;
+  sp.num_pulses = 4;
+  sp.clutter.num_patches = 0;
+  sp.chirp_length = 0;
+  sp.transmit_azimuths = {-0.4, 0.0, 0.4};
+  sp.transmit_beam_width_rad = 25.0 * std::numbers::pi / 180.0;
+  ScenarioGenerator gen(sp);
+  // CPI 1 points at 0: full gain there, sidelobe floor far away.
+  EXPECT_NEAR(gen.transmit_gain(1, 0.0), 1.0, 1e-9);
+  EXPECT_NEAR(gen.transmit_gain(1, 0.4), 0.01, 1e-9);
+  // CPI 2 points at 0.4; CPI 5 revisits it.
+  EXPECT_NEAR(gen.transmit_gain(2, 0.4), 1.0, 1e-9);
+  EXPECT_NEAR(gen.transmit_gain(5, 0.4), 1.0, 1e-9);
+  // Taper inside the mainlobe: monotone falling from the center.
+  const double g1 = gen.transmit_gain(1, 0.05);
+  const double g2 = gen.transmit_gain(1, 0.12);
+  EXPECT_GT(g1, g2);
+  EXPECT_GT(g2, 0.01);
+}
+
+TEST(TransmitGain, TargetOnlyIlluminatedInItsBeam) {
+  ScenarioParams sp;
+  sp.num_range = 16;
+  sp.num_channels = 2;
+  sp.num_pulses = 4;
+  sp.clutter.num_patches = 0;
+  sp.noise_power = 1e-12;
+  sp.chirp_length = 0;
+  sp.transmit_azimuths = {-0.5, 0.5};
+  sp.targets.push_back(Target{5, 0.25, 0.5, 20.0});
+  ScenarioGenerator gen(sp);
+  auto energy = [&](index_t cpi_index) {
+    auto c = gen.generate(cpi_index);
+    double e = 0;
+    for (index_t n = 0; n < sp.num_pulses; ++n) e += std::norm(c.at(5, 0, n));
+    return e;
+  };
+  // CPI 1 illuminates azimuth 0.5 (the target); CPI 0 points away (the
+  // ratio is bounded by the -40 dB sidelobe floor plus the noise floor).
+  EXPECT_GT(energy(1), 50.0 * energy(0));
+}
+
+StapParams cycling_params() {
+  StapParams p = StapParams::small_test();
+  p.num_range = 48;
+  p.num_channels = 4;
+  p.num_pulses = 16;
+  p.num_beams = 2;
+  p.num_hard = 6;
+  p.stagger = 2;
+  p.num_segments = 2;
+  p.easy_samples_per_cpi = 12;
+  p.hard_samples_per_segment = 10;
+  p.num_beam_positions = 2;
+  p.validate();
+  return p;
+}
+
+TEST(BeamCycling, WeightStateIsPerPosition) {
+  // Feed strongly different data at the two positions: the stored weights
+  // for position 0 must be unaffected by position 1's training.
+  StapParams p = cycling_params();
+  auto steering = synth::steering_matrix(p.num_channels, p.num_beams,
+                                         p.beam_center_rad, p.beam_span_rad);
+  ScenarioParams sp;
+  sp.num_range = p.num_range;
+  sp.num_channels = p.num_channels;
+  sp.num_pulses = p.num_pulses;
+  sp.clutter.num_patches = 4;
+  sp.clutter.cnr_db = 40.0;
+  sp.chirp_length = 0;
+  sp.transmit_azimuths = {-0.5, 0.5};
+  ScenarioGenerator gen(sp);
+
+  stap::SequentialStap chain(p, steering, gen.replica());
+  chain.process(gen.generate(0));  // position 0 trains
+  const auto w0_after_pos0 = chain.current_easy_weights(0);
+  chain.process(gen.generate(1));  // position 1 trains
+  const auto w0_after_pos1 = chain.current_easy_weights(0);
+  // Position 0's weights unchanged by position 1's CPI.
+  ASSERT_EQ(w0_after_pos0.weights.size(), w0_after_pos1.weights.size());
+  for (size_t i = 0; i < w0_after_pos0.weights.size(); ++i)
+    EXPECT_LT(linalg::frobenius_distance(w0_after_pos0.weights[i],
+                                         w0_after_pos1.weights[i]),
+              1e-7f);
+  // And the two positions' weights differ (they saw different clutter).
+  const auto w1 = chain.current_easy_weights(1);
+  float diff = 0;
+  for (size_t i = 0; i < w1.weights.size(); ++i)
+    diff += linalg::frobenius_distance(w0_after_pos1.weights[i],
+                                       w1.weights[i]);
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(BeamCycling, ParallelMatchesSequentialWithTwoPositions) {
+  StapParams p = cycling_params();
+  ScenarioParams sp;
+  sp.num_range = p.num_range;
+  sp.num_channels = p.num_channels;
+  sp.num_pulses = p.num_pulses;
+  sp.clutter.num_patches = 6;
+  sp.clutter.cnr_db = 35.0;
+  sp.chirp_length = 6;
+  sp.transmit_azimuths = {-0.3, 0.3};
+  sp.targets.push_back(Target{21, 8.0 / 16.0, 0.3, 18.0});
+  ScenarioGenerator gen(sp);
+
+  // Per-position steering: receive beams centered on each transmit beam.
+  std::vector<linalg::MatrixCF> steering;
+  for (double az : sp.transmit_azimuths)
+    steering.push_back(synth::steering_matrix(p.num_channels, p.num_beams,
+                                              az, p.beam_span_rad));
+
+  const index_t n_cpis = 6;
+  stap::SequentialStap seq(p, steering, gen.replica());
+  std::vector<std::vector<stap::Detection>> ref;
+  for (index_t cpi = 0; cpi < n_cpis; ++cpi) {
+    auto dets = seq.process(gen.generate(cpi)).detections;
+    std::sort(dets.begin(), dets.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.doppler_bin, a.beam, a.range) <
+             std::tie(b.doppler_bin, b.beam, b.range);
+    });
+    ref.push_back(std::move(dets));
+  }
+
+  core::NodeAssignment a{{3, 2, 4, 2, 2, 2, 2}};
+  core::ParallelStapPipeline par(
+      p, a, steering, {gen.replica().begin(), gen.replica().end()});
+  auto result = par.run(gen, n_cpis, 1, 1);
+
+  for (index_t cpi = 0; cpi < n_cpis; ++cpi) {
+    const auto& got = result.detections[static_cast<size_t>(cpi)];
+    const auto& want = ref[static_cast<size_t>(cpi)];
+    ASSERT_EQ(got.size(), want.size()) << "cpi=" << cpi;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].doppler_bin, want[i].doppler_bin);
+      EXPECT_EQ(got[i].beam, want[i].beam);
+      EXPECT_EQ(got[i].range, want[i].range);
+    }
+  }
+}
+
+TEST(BeamCycling, SteeringCountMustMatchPositions) {
+  StapParams p = cycling_params();  // 2 positions
+  std::vector<linalg::MatrixCF> one = {synth::steering_matrix(
+      p.num_channels, p.num_beams, 0.0, p.beam_span_rad)};
+  EXPECT_THROW(stap::SequentialStap(p, one, {}), Error);
+  core::NodeAssignment a;
+  EXPECT_THROW(core::ParallelStapPipeline(p, a, one, {}), Error);
+}
+
+TEST(BeamCycling, RevisitedPositionReusesItsHistory) {
+  // With cycling, detection of a target at position 0 should appear on the
+  // position's second or third visit (CPIs 2/4), exactly as in the
+  // single-position case but spaced by the revisit period.
+  StapParams p = cycling_params();
+  p.num_channels = 8;
+  p.num_beams = 1;
+  p.beam_span_rad = 0.0;
+  p.validate();
+  ScenarioParams sp;
+  sp.num_range = p.num_range;
+  sp.num_channels = p.num_channels;
+  sp.num_pulses = p.num_pulses;
+  sp.clutter.num_patches = 8;
+  sp.clutter.cnr_db = 40.0;
+  sp.chirp_length = 6;
+  sp.transmit_azimuths = {0.0, 0.6};
+  sp.targets.push_back(Target{30, 6.0 / 16.0, 0.0, 18.0});
+  ScenarioGenerator gen(sp);
+  std::vector<linalg::MatrixCF> steering;
+  for (double az : sp.transmit_azimuths)
+    steering.push_back(
+        synth::steering_matrix(p.num_channels, 1, az, 0.0));
+
+  stap::SequentialStap chain(p, steering, gen.replica());
+  bool detected_pos0 = false, phantom_pos1 = false;
+  for (index_t cpi = 0; cpi < 8; ++cpi) {
+    auto r = chain.process(gen.generate(cpi));
+    for (const auto& d : r.detections) {
+      // Short windows leak the tone into adjacent Doppler bins.
+      const bool is_target =
+          std::abs(d.doppler_bin - 6) <= 1 && std::abs(d.range - 30) <= 1;
+      if (!is_target) continue;
+      if (cpi % 2 == 0 && cpi >= 4) detected_pos0 = true;
+      if (cpi % 2 == 1) phantom_pos1 = true;
+    }
+  }
+  EXPECT_TRUE(detected_pos0);
+  // The target sits at azimuth 0; CPIs pointing at 0.6 rad barely
+  // illuminate it and must not report it.
+  EXPECT_FALSE(phantom_pos1);
+}
+
+}  // namespace
+}  // namespace ppstap

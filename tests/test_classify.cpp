@@ -1,0 +1,122 @@
+// Tests for measured Doppler-bin classification: clutter profiles, noise
+// floor estimation, and the suggested easy/hard split against scenes with
+// known clutter extent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stap/classify.hpp"
+#include "stap/doppler.hpp"
+#include "synth/scenario.hpp"
+
+namespace ppstap::stap {
+namespace {
+
+StapParams profile_params() {
+  StapParams p = StapParams::small_test();
+  p.num_range = 96;
+  p.num_channels = 4;
+  p.num_pulses = 32;
+  p.num_hard = 8;
+  p.hard_samples_per_segment = 16;
+  p.validate();
+  return p;
+}
+
+cube::CpiCube staggered_scene(const StapParams& p, double doppler_slope,
+                              double cnr_db) {
+  synth::ScenarioParams sp;
+  sp.num_range = p.num_range;
+  sp.num_channels = p.num_channels;
+  sp.num_pulses = p.num_pulses;
+  sp.clutter.num_patches = 16;
+  sp.clutter.cnr_db = cnr_db;
+  sp.clutter.doppler_slope = doppler_slope;
+  sp.chirp_length = 0;
+  synth::ScenarioGenerator gen(sp);
+  return DopplerFilter(p).filter(gen.generate(0));
+}
+
+TEST(Profile, ClutterEnergyConcentratesNearDc) {
+  const auto p = profile_params();
+  // Narrow ridge: clutter Doppler in [-0.05, 0.05] => bins near 0/31.
+  const auto stag = staggered_scene(p, 0.1, 45.0);
+  const auto profile = clutter_doppler_profile(stag, p);
+  ASSERT_EQ(profile.size(), 32u);
+  // DC region far above mid-band.
+  EXPECT_GT(profile[0], 100.0 * profile[16]);
+  EXPECT_GT(profile[1] + profile[31], 10.0 * profile[15] + profile[17]);
+}
+
+TEST(Profile, NoiseFloorTracksNoisePower) {
+  const auto p = profile_params();
+  synth::ScenarioParams sp;
+  sp.num_range = p.num_range;
+  sp.num_channels = p.num_channels;
+  sp.num_pulses = p.num_pulses;
+  sp.clutter.num_patches = 0;
+  sp.noise_power = 4.0;
+  sp.chirp_length = 0;
+  synth::ScenarioGenerator gen(sp);
+  const auto stag = DopplerFilter(p).filter(gen.generate(0));
+  const auto profile = clutter_doppler_profile(stag, p);
+  const double floor = profile_noise_floor(profile);
+  // Windowed FFT noise gain: noise_power * sum(w^2); Hanning(30) has
+  // sum(w^2) ~ 0.375 * 30. Just require the right order of magnitude.
+  EXPECT_GT(floor, 4.0);
+  EXPECT_LT(floor, 4.0 * 30.0);
+}
+
+TEST(SuggestNumHard, GrowsWithClutterDopplerExtent) {
+  const auto p = profile_params();
+  // Slopes chosen so clutter occupies well under half the bins in both
+  // cases (the median noise-floor estimator's validity domain).
+  const auto narrow =
+      clutter_doppler_profile(staggered_scene(p, 0.1, 45.0), p);
+  const auto wide =
+      clutter_doppler_profile(staggered_scene(p, 0.45, 45.0), p);
+  const auto h_narrow = suggest_num_hard(narrow, 15.0);
+  const auto h_wide = suggest_num_hard(wide, 15.0);
+  EXPECT_GT(h_narrow, 0);
+  EXPECT_GT(h_wide, h_narrow);
+  // Even and leaving at least two easy bins.
+  EXPECT_EQ(h_narrow % 2, 0);
+  EXPECT_LE(h_wide, p.num_pulses - 2);
+}
+
+TEST(SuggestNumHard, SuggestedSplitCoversTheRidge) {
+  // Every bin above the margin must be classified hard by the suggestion.
+  const auto p = profile_params();
+  const auto profile =
+      clutter_doppler_profile(staggered_scene(p, 0.5, 45.0), p);
+  const auto h = suggest_num_hard(profile, 15.0);
+  StapParams q = p;
+  q.num_hard = h;
+  q.validate();
+  const double threshold =
+      profile_noise_floor(profile) * std::pow(10.0, 1.5);
+  for (index_t b = 0; b < q.num_pulses; ++b)
+    if (profile[static_cast<size_t>(b)] > threshold) {
+      EXPECT_TRUE(q.is_hard_bin(b)) << "bin " << b;
+    }
+}
+
+TEST(SuggestNumHard, NoiseOnlyGivesZero) {
+  std::vector<double> flat(32, 1.0);
+  EXPECT_EQ(suggest_num_hard(flat, 10.0), 0);
+}
+
+TEST(SuggestNumHard, CappedBelowAllBins) {
+  std::vector<double> loud(32, 1.0);
+  loud[16] = 1e9;  // maximal distance from DC
+  EXPECT_LE(suggest_num_hard(loud, 10.0), 30);
+}
+
+TEST(Profile, RejectsWrongCubeShape) {
+  const auto p = profile_params();
+  cube::CpiCube not_staggered(p.num_range, p.num_channels, p.num_pulses);
+  EXPECT_THROW(clutter_doppler_profile(not_staggered, p), Error);
+}
+
+}  // namespace
+}  // namespace ppstap::stap

@@ -1,0 +1,294 @@
+// Tests for the in-process message-passing runtime: point-to-point
+// semantics, tag matching, flow control, barriers, abort-on-error, and the
+// all-to-all personalized exchange pattern the pipeline uses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/world.hpp"
+
+namespace ppstap::comm {
+namespace {
+
+TEST(World, PingPong) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> payload = {1, 2, 3};
+      c.send<int>(1, 7, payload);
+      auto echo = c.recv<int>(1, 8);
+      ASSERT_EQ(echo.size(), 3u);
+      EXPECT_EQ(echo[2], 6);
+    } else {
+      auto got = c.recv<int>(0, 7);
+      for (auto& v : got) v *= 2;
+      c.send<int>(0, 8, got);
+    }
+  });
+}
+
+TEST(World, TagMatchingOutOfOrder) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> a = {1}, b = {2}, d = {3};
+      c.send<int>(1, 10, a);
+      c.send<int>(1, 20, b);
+      c.send<int>(1, 30, d);
+    } else {
+      // Receive in reverse tag order: matching must be by tag, not arrival.
+      EXPECT_EQ(c.recv<int>(0, 30)[0], 3);
+      EXPECT_EQ(c.recv<int>(0, 20)[0], 2);
+      EXPECT_EQ(c.recv<int>(0, 10)[0], 1);
+    }
+  });
+}
+
+TEST(World, SameTagPreservesFifoPerSource) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        std::vector<int> v = {i};
+        c.send<int>(1, 5, v);
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(c.recv<int>(0, 5)[0], i);
+    }
+  });
+}
+
+TEST(World, EmptyMessagesAreDelivered) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> empty;
+      c.send<int>(1, 1, empty);
+    } else {
+      EXPECT_TRUE(c.recv<int>(0, 1).empty());
+    }
+  });
+}
+
+TEST(World, AllToAllPersonalized) {
+  // Every rank sends a distinct value to every other rank — the pipeline's
+  // redistribution pattern.
+  const int n = 6;
+  World world(n);
+  world.run([n](Comm& c) {
+    for (int dst = 0; dst < n; ++dst) {
+      std::vector<int> v = {c.rank() * 100 + dst};
+      c.send<int>(dst, 42, v);
+    }
+    for (int src = 0; src < n; ++src)
+      EXPECT_EQ(c.recv<int>(src, 42)[0], src * 100 + c.rank());
+  });
+}
+
+TEST(World, BarrierSynchronizes) {
+  const int n = 4;
+  World world(n);
+  std::atomic<int> before{0}, after{0};
+  world.run([&](Comm& c) {
+    before.fetch_add(1);
+    c.barrier();
+    // Every rank must have passed `before` by now.
+    EXPECT_EQ(before.load(), n);
+    after.fetch_add(1);
+    c.barrier();
+    EXPECT_EQ(after.load(), n);
+  });
+}
+
+TEST(World, RepeatedBarriers) {
+  World world(3);
+  world.run([](Comm& c) {
+    for (int i = 0; i < 50; ++i) c.barrier();
+  });
+}
+
+TEST(World, RankExceptionPropagatesWithoutHanging) {
+  World world(3);
+  EXPECT_THROW(world.run([](Comm& c) {
+                 if (c.rank() == 1) throw Error("rank 1 exploded");
+                 // Other ranks block on a receive that will never be
+                 // satisfied; the abort must wake them.
+                 (void)c.recv<int>(2, 99);
+               }),
+               Error);
+}
+
+TEST(World, AbortWakesBarrierWaiters) {
+  World world(3);
+  EXPECT_THROW(world.run([](Comm& c) {
+                 if (c.rank() == 0) throw Error("boom");
+                 c.barrier();
+               }),
+               Error);
+}
+
+TEST(World, FlowControlThrottlesWithoutDeadlock) {
+  // Tiny mailbox: the producer must block until the consumer drains, but
+  // every message still arrives exactly once.
+  World world(2, /*mailbox_capacity_bytes=*/64);
+  world.run([](Comm& c) {
+    const int count = 100;
+    if (c.rank() == 0) {
+      for (int i = 0; i < count; ++i) {
+        std::vector<int> v(16, i);  // 64 bytes each
+        c.send<int>(1, 1, v);
+      }
+    } else {
+      for (int i = 0; i < count; ++i) {
+        auto v = c.recv<int>(0, 1);
+        ASSERT_EQ(v.size(), 16u);
+        EXPECT_EQ(v[0], i);
+      }
+    }
+  });
+}
+
+TEST(World, OversizedMessageStillAdmitted) {
+  World world(2, /*mailbox_capacity_bytes=*/8);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> big(1000, 7);
+      c.send<int>(1, 1, big);
+    } else {
+      EXPECT_EQ(c.recv<int>(0, 1).size(), 1000u);
+    }
+  });
+}
+
+TEST(World, TryRecvNeverBlocksAndConsumesOnce) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      EXPECT_FALSE(c.try_recv<int>(1, 5).has_value());  // nothing yet
+      c.barrier();  // rank 1 sends before this barrier
+      c.barrier();
+      auto got = c.try_recv<int>(1, 5);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ((*got)[0], 42);
+      EXPECT_FALSE(c.try_recv<int>(1, 5).has_value());  // consumed
+    } else {
+      std::vector<int> v = {42};
+      c.barrier();
+      c.send<int>(0, 5, v);
+      c.barrier();
+    }
+  });
+}
+
+TEST(World, TryRecvMatchesTagsSelectively) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> v = {7};
+      c.send<int>(1, 99, v);
+      c.barrier();
+    } else {
+      c.barrier();
+      EXPECT_FALSE(c.try_recv<int>(0, 98).has_value());
+      EXPECT_TRUE(c.try_recv<int>(0, 99).has_value());
+    }
+  });
+}
+
+TEST(World, PendingRecvPostThenWait) {
+  // The Fig. 10 structure: post receives for the next iteration (line 6),
+  // wait for the current one (line 7).
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 3; ++i) {
+        std::vector<int> v = {i * 10};
+        c.send<int>(1, i, v);
+      }
+    } else {
+      auto r0 = c.irecv<int>(0, 0);
+      auto r1 = c.irecv<int>(0, 1);  // posted before r0 completes
+      EXPECT_EQ(r0.wait()[0], 0);
+      EXPECT_EQ(r1.wait()[0], 10);
+      auto r2 = c.irecv<int>(0, 2);
+      // ready() does not consume; wait() still returns the payload.
+      while (!r2.ready()) {
+      }
+      EXPECT_EQ(r2.wait()[0], 20);
+    }
+  });
+}
+
+TEST(World, StatsCountBytesAndMessages) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> v(10);
+      c.send<double>(1, 3, v);
+      c.send<double>(1, 4, v);
+    } else {
+      (void)c.recv<double>(0, 3);
+      (void)c.recv<double>(0, 4);
+    }
+  });
+  const auto& stats = world.last_stats();
+  EXPECT_EQ(stats[0].messages_sent, 2u);
+  EXPECT_EQ(stats[0].bytes_sent, 160u);
+  EXPECT_EQ(stats[1].messages_received, 2u);
+  EXPECT_EQ(stats[1].bytes_received, 160u);
+}
+
+TEST(World, ReusableAcrossRuns) {
+  World world(2);
+  for (int round = 0; round < 3; ++round) {
+    world.run([round](Comm& c) {
+      if (c.rank() == 0) {
+        std::vector<int> v = {round};
+        c.send<int>(1, 0, v);
+      } else {
+        EXPECT_EQ(c.recv<int>(0, 0)[0], round);
+      }
+    });
+  }
+}
+
+TEST(World, InvalidRankThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& c) {
+                 std::vector<int> v = {1};
+                 c.send<int>(5, 0, v);
+               }),
+               Error);
+}
+
+TEST(World, SingleRankWorldWorks) {
+  World world(1);
+  world.run([](Comm& c) {
+    std::vector<int> v = {42};
+    c.send<int>(0, 0, v);  // self-send
+    EXPECT_EQ(c.recv<int>(0, 0)[0], 42);
+    c.barrier();
+  });
+}
+
+TEST(World, ManyRanksStress) {
+  // Ring exchange with 32 ranks on one core: exercises scheduling fairness.
+  const int n = 32;
+  World world(n);
+  world.run([n](Comm& c) {
+    const int next = (c.rank() + 1) % n;
+    const int prev = (c.rank() + n - 1) % n;
+    int token = c.rank();
+    for (int step = 0; step < 8; ++step) {
+      std::vector<int> v = {token};
+      c.send<int>(next, step, v);
+      token = c.recv<int>(prev, step)[0];
+    }
+    // After 8 hops the token originated 8 ranks back.
+    EXPECT_EQ(token, (c.rank() + n - 8) % n);
+  });
+}
+
+}  // namespace
+}  // namespace ppstap::comm

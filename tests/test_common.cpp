@@ -1,0 +1,120 @@
+// Tests for the common substrate: error handling, flop counting, RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/flops.hpp"
+#include "common/rng.hpp"
+
+namespace ppstap {
+namespace {
+
+TEST(Check, RequireThrowsWithContext) {
+  try {
+    PPSTAP_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingRequireDoesNotThrow) {
+  EXPECT_NO_THROW(PPSTAP_REQUIRE(true, "fine"));
+  EXPECT_NO_THROW(PPSTAP_CHECK(2 + 2 == 4, "fine"));
+}
+
+TEST(Flops, CountsOnlyInsideScope) {
+  count_flops(100);  // no active scope: ignored
+  FlopScope scope;
+  EXPECT_EQ(scope.count(), 0u);
+  count_flops(42);
+  EXPECT_EQ(scope.count(), 42u);
+  count_flops(8);
+  EXPECT_EQ(scope.count(), 50u);
+}
+
+TEST(Flops, NestedScopesSeeInnerCounts) {
+  FlopScope outer;
+  count_flops(10);
+  {
+    FlopScope inner;
+    count_flops(5);
+    EXPECT_EQ(inner.count(), 5u);
+  }
+  count_flops(1);
+  EXPECT_EQ(outer.count(), 16u);
+}
+
+TEST(Flops, ThreadLocalIsolation) {
+  FlopScope scope;
+  std::thread t([] {
+    // No scope on this thread: counting is off and must not leak across.
+    count_flops(1000);
+  });
+  t.join();
+  count_flops(3);
+  EXPECT_EQ(scope.count(), 3u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(99);
+  const int n = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ComplexNormalUnitPower) {
+  Rng r(5);
+  const int n = 100000;
+  double power = 0;
+  for (int i = 0; i < n; ++i) {
+    const cdouble z = r.cnormal();
+    power += std::norm(z);
+  }
+  EXPECT_NEAR(power / n, 1.0, 0.03);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng base(42);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1_again = Rng(42).fork(1);
+  EXPECT_EQ(f1.next_u64(), f1_again.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+}  // namespace
+}  // namespace ppstap

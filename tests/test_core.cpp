@@ -1,0 +1,282 @@
+// Tests for the parallel pipelined STAP system: node assignment rules, the
+// CPI source, and — centrally — that the parallel pipeline produces the
+// same detections as the sequential reference for arbitrary processor
+// assignments (the paper's correctness premise: parallelization changes
+// performance, never results).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/assignment.hpp"
+#include "core/cpi_source.hpp"
+#include "core/pipeline.hpp"
+#include "stap/sequential.hpp"
+#include "synth/steering.hpp"
+
+namespace ppstap::core {
+namespace {
+
+using stap::StapParams;
+using stap::Task;
+using synth::ScenarioGenerator;
+using synth::ScenarioParams;
+using synth::Target;
+
+TEST(Assignment, PaperCasesHavePaperTotals) {
+  EXPECT_EQ(NodeAssignment::paper_case1().total(), 236);
+  EXPECT_EQ(NodeAssignment::paper_case2().total(), 118);
+  EXPECT_EQ(NodeAssignment::paper_case3().total(), 59);
+  EXPECT_EQ(NodeAssignment::paper_table9().total(), 122);
+  EXPECT_EQ(NodeAssignment::paper_table10().total(), 138);
+}
+
+TEST(Assignment, PaperCasesValidateAgainstPaperParams) {
+  StapParams p;  // defaults = paper configuration
+  NodeAssignment::paper_case1().validate(p);
+  NodeAssignment::paper_case2().validate(p);
+  NodeAssignment::paper_case3().validate(p);
+  NodeAssignment::paper_table9().validate(p);
+  NodeAssignment::paper_table10().validate(p);
+}
+
+TEST(Assignment, FirstRankLayoutIsContiguous) {
+  auto a = NodeAssignment::paper_case3();  // {8,4,28,4,7,4,4}
+  EXPECT_EQ(a.first_rank(Task::kDopplerFilter), 0);
+  EXPECT_EQ(a.first_rank(Task::kEasyWeight), 8);
+  EXPECT_EQ(a.first_rank(Task::kHardWeight), 12);
+  EXPECT_EQ(a.first_rank(Task::kEasyBeamform), 40);
+  EXPECT_EQ(a.first_rank(Task::kHardBeamform), 44);
+  EXPECT_EQ(a.first_rank(Task::kPulseCompression), 51);
+  EXPECT_EQ(a.first_rank(Task::kCfar), 55);
+}
+
+TEST(Assignment, RejectsOversubscription) {
+  StapParams p = StapParams::small_test();
+  NodeAssignment a;
+  a[Task::kDopplerFilter] = static_cast<int>(p.num_range) + 1;
+  EXPECT_THROW(a.validate(p), Error);
+  NodeAssignment b;
+  b[Task::kEasyWeight] = static_cast<int>(p.num_easy()) + 1;
+  EXPECT_THROW(b.validate(p), Error);
+  NodeAssignment c;
+  c[Task::kHardWeight] =
+      static_cast<int>(p.num_hard * p.num_segments);  // exactly at limit: ok
+  c.validate(p);
+  c[Task::kHardWeight] += 1;
+  EXPECT_THROW(c.validate(p), Error);
+}
+
+TEST(Assignment, RejectsZeroNodes) {
+  StapParams p = StapParams::small_test();
+  NodeAssignment a;
+  a[Task::kCfar] = 0;
+  EXPECT_THROW(a.validate(p), Error);
+}
+
+TEST(CpiSource, SharesGeneratedCubes) {
+  ScenarioParams sp;
+  sp.num_range = 16;
+  sp.num_channels = 2;
+  sp.num_pulses = 8;
+  sp.clutter.num_patches = 2;
+  sp.chirp_length = 0;
+  ScenarioGenerator gen(sp);
+  CpiSource source(gen);
+  auto a = source.get(0);
+  auto b = source.get(0);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(source.regeneration_count(), 0);
+}
+
+TEST(CpiSource, RegeneratesEvictedCpisCorrectly) {
+  ScenarioParams sp;
+  sp.num_range = 16;
+  sp.num_channels = 2;
+  sp.num_pulses = 8;
+  sp.clutter.num_patches = 2;
+  sp.chirp_length = 0;
+  ScenarioGenerator gen(sp);
+  CpiSource source(gen, /*window=*/1);
+  auto first = source.get(0);
+  (void)source.get(5);  // evicts 0
+  auto again = source.get(0);
+  EXPECT_EQ(source.regeneration_count(), 1);
+  for (index_t i = 0; i < first->size(); ++i)
+    EXPECT_EQ(first->data()[i], again->data()[i]);
+}
+
+TEST(CpiSource, ConcurrentConsumersShareOneGeneration) {
+  ScenarioParams sp;
+  sp.num_range = 24;
+  sp.num_channels = 2;
+  sp.num_pulses = 8;
+  sp.clutter.num_patches = 2;
+  sp.chirp_length = 0;
+  ScenarioGenerator gen(sp);
+  CpiSource source(gen, /*window=*/8);
+  // Many threads demanding overlapping CPI windows: every cube identical
+  // per index, no regeneration while within the window.
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (index_t cpi = 0; cpi < 6; ++cpi) {
+        auto a = source.get(cpi);
+        auto b = source.get(cpi);
+        if (a.get() != b.get()) mismatches.fetch_add(1);
+        (void)t;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(source.regeneration_count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel pipeline == sequential reference
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+  StapParams p;
+  ScenarioParams sp;
+
+  static Fixture make() {
+    Fixture f;
+    f.p = StapParams::small_test();
+    f.p.num_range = 48;
+    f.p.num_channels = 4;
+    f.p.num_pulses = 16;
+    f.p.num_beams = 2;
+    f.p.num_hard = 6;
+    f.p.stagger = 2;
+    f.p.num_segments = 2;
+    f.p.easy_samples_per_cpi = 12;
+    f.p.hard_samples_per_segment = 10;
+    f.p.cfar_ref = 4;
+    f.p.cfar_guard = 1;
+    f.p.validate();
+
+    f.sp.num_range = f.p.num_range;
+    f.sp.num_channels = f.p.num_channels;
+    f.sp.num_pulses = f.p.num_pulses;
+    f.sp.clutter.num_patches = 6;
+    f.sp.clutter.cnr_db = 35.0;
+    f.sp.chirp_length = 6;
+    f.sp.targets.push_back(Target{21, 8.0 / 16.0, 0.05, 15.0});
+    return f;
+  }
+
+  linalg::MatrixCF steering() const {
+    return synth::steering_matrix(p.num_channels, p.num_beams,
+                                  p.beam_center_rad, p.beam_span_rad);
+  }
+};
+
+// Run both implementations on the same stream and compare detections.
+void expect_matches_sequential(const Fixture& f, const NodeAssignment& a,
+                               index_t n_cpis) {
+  ScenarioGenerator gen(f.sp);
+
+  stap::SequentialStap seq(f.p, f.steering(), gen.replica());
+  std::vector<std::vector<stap::Detection>> ref;
+  for (index_t cpi = 0; cpi < n_cpis; ++cpi)
+    ref.push_back(seq.process(gen.generate(cpi)).detections);
+
+  ParallelStapPipeline par(f.p, a, f.steering(),
+                           {gen.replica().begin(), gen.replica().end()});
+  auto result = par.run(gen, n_cpis, /*warmup=*/1, /*cooldown=*/1);
+
+  ASSERT_EQ(result.detections.size(), static_cast<size_t>(n_cpis));
+  for (index_t cpi = 0; cpi < n_cpis; ++cpi) {
+    auto sorted_ref = ref[static_cast<size_t>(cpi)];
+    std::sort(sorted_ref.begin(), sorted_ref.end(),
+              [](const auto& x, const auto& y) {
+                return std::tie(x.doppler_bin, x.beam, x.range) <
+                       std::tie(y.doppler_bin, y.beam, y.range);
+              });
+    const auto& got = result.detections[static_cast<size_t>(cpi)];
+    ASSERT_EQ(got.size(), sorted_ref.size()) << "cpi=" << cpi;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].doppler_bin, sorted_ref[i].doppler_bin);
+      EXPECT_EQ(got[i].beam, sorted_ref[i].beam);
+      EXPECT_EQ(got[i].range, sorted_ref[i].range);
+      EXPECT_NEAR(got[i].power, sorted_ref[i].power,
+                  2e-2f * std::abs(sorted_ref[i].power) + 1e-5f);
+    }
+  }
+}
+
+TEST(ParallelPipeline, SingleNodePerTaskMatchesSequential) {
+  auto f = Fixture::make();
+  NodeAssignment a;  // all ones
+  expect_matches_sequential(f, a, 4);
+}
+
+TEST(ParallelPipeline, BalancedAssignmentMatchesSequential) {
+  auto f = Fixture::make();
+  NodeAssignment a{{4, 2, 4, 2, 2, 2, 2}};
+  expect_matches_sequential(f, a, 5);
+}
+
+TEST(ParallelPipeline, UnevenAssignmentMatchesSequential) {
+  auto f = Fixture::make();
+  // Deliberately awkward: partitions that do not divide the work evenly and
+  // more weight nodes than beamform nodes.
+  NodeAssignment a{{3, 5, 7, 2, 3, 5, 3}};
+  expect_matches_sequential(f, a, 4);
+}
+
+TEST(ParallelPipeline, MaximallyParallelWeightTask) {
+  auto f = Fixture::make();
+  // Hard weights at one unit per node (num_hard * segments = 12).
+  NodeAssignment a{{2, 2, 12, 2, 6, 2, 2}};
+  expect_matches_sequential(f, a, 4);
+}
+
+TEST(ParallelPipeline, ReportsTimingAndThroughput) {
+  auto f = Fixture::make();
+  NodeAssignment a{{2, 1, 2, 1, 1, 1, 1}};
+  ScenarioGenerator gen(f.sp);
+  ParallelStapPipeline par(f.p, a, f.steering(),
+                           {gen.replica().begin(), gen.replica().end()});
+  auto result = par.run(gen, 6, 2, 2);
+  EXPECT_GT(result.throughput, 0.0);
+  EXPECT_GT(result.latency, 0.0);
+  for (int t = 0; t < stap::kNumTasks; ++t) {
+    const auto& tt = result.timing[static_cast<size_t>(t)];
+    EXPECT_GE(tt.recv, 0.0);
+    EXPECT_GE(tt.comp, 0.0);
+    EXPECT_GE(tt.send, 0.0);
+  }
+  // Compute must be nonzero for the compute-heavy tasks.
+  EXPECT_GT(result.timing[static_cast<size_t>(Task::kDopplerFilter)].comp,
+            0.0);
+  EXPECT_GT(result.timing[static_cast<size_t>(Task::kHardWeight)].comp, 0.0);
+  // Sanity on measured inter-task volume: Doppler sends the most data.
+  EXPECT_GT(result.bytes_sent_per_cpi[static_cast<size_t>(
+                Task::kDopplerFilter)],
+            result.bytes_sent_per_cpi[static_cast<size_t>(Task::kEasyWeight)]);
+}
+
+TEST(ParallelPipeline, RejectsMismatchedScenario) {
+  auto f = Fixture::make();
+  NodeAssignment a;
+  ScenarioParams other = f.sp;
+  other.num_range = f.sp.num_range * 2;
+  ScenarioGenerator gen(other);
+  ParallelStapPipeline par(f.p, a, f.steering(), {});
+  EXPECT_THROW(par.run(gen, 4), Error);
+}
+
+TEST(ParallelPipeline, RejectsTooFewCpis) {
+  auto f = Fixture::make();
+  NodeAssignment a;
+  ScenarioGenerator gen(f.sp);
+  ParallelStapPipeline par(f.p, a, f.steering(), {});
+  EXPECT_THROW(par.run(gen, 4, /*warmup=*/3, /*cooldown=*/2), Error);
+}
+
+}  // namespace
+}  // namespace ppstap::core

@@ -1,0 +1,313 @@
+// Tests for the DSP substrate: FFT (radix-2 and Bluestein), windows, and
+// the LFM transmit waveform / matched filter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/waveform.hpp"
+#include "dsp/window.hpp"
+
+namespace ppstap::dsp {
+namespace {
+
+std::vector<cdouble> random_signal(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cdouble> x(static_cast<size_t>(n));
+  for (auto& v : x) v = rng.cnormal();
+  return x;
+}
+
+// Direct O(n^2) DFT reference.
+std::vector<cdouble> naive_dft(std::span<const cdouble> x) {
+  const auto n = static_cast<index_t>(x.size());
+  std::vector<cdouble> out(x.size());
+  for (index_t k = 0; k < n; ++k) {
+    cdouble acc{};
+    for (index_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) *
+                         static_cast<double>(t) / static_cast<double>(n);
+      acc += x[static_cast<size_t>(t)] * cdouble(std::cos(ang), std::sin(ang));
+    }
+    out[static_cast<size_t>(k)] = acc;
+  }
+  return out;
+}
+
+double max_error(std::span<const cdouble> a, std::span<const cdouble> b) {
+  double m = 0;
+  for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+class FftSizeSweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(FftSizeSweep, MatchesNaiveDft) {
+  const index_t n = GetParam();
+  auto x = random_signal(n, 1000 + static_cast<std::uint64_t>(n));
+  auto ref = naive_dft(x);
+  auto got = fft<double>(x);
+  EXPECT_LT(max_error(got, ref), 1e-9 * static_cast<double>(n)) << "n=" << n;
+}
+
+TEST_P(FftSizeSweep, InverseRoundTrip) {
+  const index_t n = GetParam();
+  auto x = random_signal(n, 2000 + static_cast<std::uint64_t>(n));
+  auto back = ifft<double>(std::span<const cdouble>(fft<double>(x)));
+  EXPECT_LT(max_error(back, x), 1e-10 * static_cast<double>(n)) << "n=" << n;
+}
+
+TEST_P(FftSizeSweep, ParsevalHolds) {
+  const index_t n = GetParam();
+  auto x = random_signal(n, 3000 + static_cast<std::uint64_t>(n));
+  auto spec = fft<double>(std::span<const cdouble>(x));
+  double time_e = 0, freq_e = 0;
+  for (auto& v : x) time_e += std::norm(v);
+  for (auto& v : spec) freq_e += std::norm(v);
+  EXPECT_NEAR(freq_e, time_e * static_cast<double>(n),
+              1e-8 * time_e * static_cast<double>(n));
+}
+
+// Power-of-two (radix-2 path) and awkward sizes (Bluestein path).
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeSweep,
+                         ::testing::Values<index_t>(1, 2, 4, 8, 16, 64, 128,
+                                                    512, 3, 5, 6, 7, 12, 100,
+                                                    125, 127, 255));
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<cdouble> x(16, cdouble{});
+  x[0] = cdouble(1, 0);
+  auto spec = fft<double>(std::span<const cdouble>(x));
+  for (auto& v : spec) EXPECT_NEAR(std::abs(v - cdouble(1, 0)), 0.0, 1e-12);
+}
+
+TEST(Fft, DcGivesSingleBin) {
+  std::vector<cdouble> x(32, cdouble(1, 0));
+  auto spec = fft<double>(std::span<const cdouble>(x));
+  EXPECT_NEAR(std::abs(spec[0] - cdouble(32, 0)), 0.0, 1e-10);
+  for (size_t k = 1; k < spec.size(); ++k)
+    EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-10);
+}
+
+TEST(Fft, ComplexToneLandsInCorrectBin) {
+  const index_t n = 128;
+  const index_t bin = 37;
+  std::vector<cdouble> x(static_cast<size_t>(n));
+  for (index_t t = 0; t < n; ++t) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(bin * t) /
+                       static_cast<double>(n);
+    x[static_cast<size_t>(t)] = cdouble(std::cos(ang), std::sin(ang));
+  }
+  auto spec = fft<double>(std::span<const cdouble>(x));
+  for (index_t k = 0; k < n; ++k) {
+    const double expected = (k == bin) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(spec[static_cast<size_t>(k)]), expected, 1e-8);
+  }
+}
+
+TEST(Fft, LinearityHolds) {
+  const index_t n = 64;
+  auto x = random_signal(n, 41);
+  auto y = random_signal(n, 43);
+  const cdouble a(1.5, -0.25), b(-0.5, 2.0);
+  std::vector<cdouble> combo(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    combo[static_cast<size_t>(i)] = a * x[static_cast<size_t>(i)] +
+                                    b * y[static_cast<size_t>(i)];
+  auto fx = fft<double>(std::span<const cdouble>(x));
+  auto fy = fft<double>(std::span<const cdouble>(y));
+  auto fc = fft<double>(std::span<const cdouble>(combo));
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(fc[static_cast<size_t>(i)] -
+                       (a * fx[static_cast<size_t>(i)] +
+                        b * fy[static_cast<size_t>(i)])),
+              1e-10);
+}
+
+TEST(Fft, CircularShiftTheorem) {
+  // x[(t - s) mod n] <-> X[k] exp(-j 2 pi k s / n).
+  const index_t n = 32, s = 5;
+  auto x = random_signal(n, 47);
+  std::vector<cdouble> shifted(static_cast<size_t>(n));
+  for (index_t t = 0; t < n; ++t)
+    shifted[static_cast<size_t>((t + s) % n)] = x[static_cast<size_t>(t)];
+  auto fx = fft<double>(std::span<const cdouble>(x));
+  auto fs = fft<double>(std::span<const cdouble>(shifted));
+  for (index_t k = 0; k < n; ++k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * s) /
+                       static_cast<double>(n);
+    const cdouble expected =
+        fx[static_cast<size_t>(k)] * cdouble(std::cos(ang), std::sin(ang));
+    EXPECT_LT(std::abs(fs[static_cast<size_t>(k)] - expected), 1e-9);
+  }
+}
+
+TEST(Fft, RealInputHasConjugateSymmetricSpectrum) {
+  const index_t n = 64;
+  Rng rng(53);
+  std::vector<cdouble> x(static_cast<size_t>(n));
+  for (auto& v : x) v = cdouble(rng.normal(), 0.0);
+  auto spec = fft<double>(std::span<const cdouble>(x));
+  for (index_t k = 1; k < n; ++k)
+    EXPECT_LT(std::abs(spec[static_cast<size_t>(k)] -
+                       std::conj(spec[static_cast<size_t>(n - k)])),
+              1e-9);
+}
+
+TEST(Fft, BluesteinAgreesWithRadix2OnSharedSizes) {
+  // Embed a power-of-two-length signal into a Bluestein-size plan by
+  // comparing against the zero-padded naive DFT of the odd size instead:
+  // both paths must produce the same spectrum for the same odd length.
+  const index_t n = 27;
+  auto x = random_signal(n, 59);
+  auto got = fft<double>(std::span<const cdouble>(x));
+  auto ref = naive_dft(x);
+  EXPECT_LT(max_error(got, ref), 1e-9);
+}
+
+TEST(Fft, PlanReuseIsIdempotent) {
+  const index_t n = 128;
+  FftPlan<double> plan(n, FftDirection::kForward);
+  auto x = random_signal(n, 61);
+  auto a = x;
+  plan.execute(a);
+  auto b = x;
+  plan.execute(b);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_EQ(a[static_cast<size_t>(i)], b[static_cast<size_t>(i)]);
+}
+
+TEST(Fft, PlanRejectsWrongLength) {
+  FftPlan<double> plan(8, FftDirection::kForward);
+  std::vector<cdouble> x(7);
+  EXPECT_THROW(plan.execute(std::span<cdouble>(x)), Error);
+}
+
+TEST(Fft, SinglePrecisionAccuracy) {
+  auto xd = random_signal(128, 77);
+  std::vector<cfloat> x(xd.size());
+  for (size_t i = 0; i < x.size(); ++i)
+    x[i] = cfloat(static_cast<float>(xd[i].real()),
+                  static_cast<float>(xd[i].imag()));
+  auto got = fft<float>(std::span<const cfloat>(x));
+  auto ref = naive_dft(xd);
+  double err = 0;
+  for (size_t i = 0; i < got.size(); ++i)
+    err = std::max(err, std::abs(cdouble(got[i].real(), got[i].imag()) -
+                                 ref[i]));
+  EXPECT_LT(err, 1e-3);
+}
+
+TEST(Window, HanningMatchesMatlabDefinition) {
+  // MATLAB hanning(n): w(k) = 0.5*(1 - cos(2*pi*k/(n+1))), k = 1..n.
+  auto w = make_window(WindowKind::kHanning, 5);
+  ASSERT_EQ(w.size(), 5u);
+  for (int k = 0; k < 5; ++k) {
+    const double expected =
+        0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * (k + 1) / 6.0));
+    EXPECT_NEAR(w[static_cast<size_t>(k)], expected, 1e-6);
+  }
+  // Symmetric, endpoints nonzero.
+  EXPECT_FLOAT_EQ(w[0], w[4]);
+  EXPECT_GT(w[0], 0.0f);
+}
+
+TEST(Window, HammingEndpointsAndPeak) {
+  auto w = make_window(WindowKind::kHamming, 21);
+  EXPECT_NEAR(w[0], 0.08f, 1e-5);
+  EXPECT_NEAR(w[20], 0.08f, 1e-5);
+  EXPECT_NEAR(w[10], 1.0f, 1e-5);
+}
+
+TEST(Window, RectangularIsAllOnes) {
+  auto w = make_window(WindowKind::kRectangular, 7);
+  for (float v : w) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(Window, BlackmanNonNegativeAndPeaked) {
+  auto w = make_window(WindowKind::kBlackman, 33);
+  for (float v : w) EXPECT_GE(v, -1e-6f);
+  EXPECT_NEAR(w[16], 1.0f, 1e-5);
+}
+
+TEST(Window, SidelobeOrdering) {
+  // Window quality: leakage into a far bin should be rect > hamming.
+  const index_t n = 64;
+  const double f = 10.3;  // off-bin tone
+  auto leak = [&](WindowKind kind) {
+    auto w = make_window(kind, n);
+    std::vector<cdouble> x(static_cast<size_t>(n));
+    for (index_t t = 0; t < n; ++t) {
+      const double ang = 2.0 * std::numbers::pi * f * static_cast<double>(t) /
+                         static_cast<double>(n);
+      x[static_cast<size_t>(t)] =
+          cdouble(std::cos(ang), std::sin(ang)) *
+          static_cast<double>(w[static_cast<size_t>(t)]);
+    }
+    auto spec = fft<double>(std::span<const cdouble>(x));
+    // Energy far from the tone (bins 30..50) relative to the peak.
+    double far = 0, peak = 0;
+    for (index_t k = 0; k < n; ++k) {
+      const double p = std::norm(spec[static_cast<size_t>(k)]);
+      peak = std::max(peak, p);
+      if (k >= 30 && k <= 50) far += p;
+    }
+    return far / peak;
+  };
+  EXPECT_LT(leak(WindowKind::kHamming), leak(WindowKind::kRectangular));
+  EXPECT_LT(leak(WindowKind::kBlackman), leak(WindowKind::kRectangular));
+}
+
+TEST(Window, NameRoundTrip) {
+  for (auto kind : {WindowKind::kRectangular, WindowKind::kHanning,
+                    WindowKind::kHamming, WindowKind::kBlackman})
+    EXPECT_EQ(window_from_name(window_name(kind)), kind);
+  EXPECT_THROW(window_from_name("kaiser"), Error);
+}
+
+TEST(Waveform, ChirpHasUnitEnergy) {
+  auto s = lfm_chirp(32);
+  double e = 0;
+  for (auto& v : s) e += std::norm(v);
+  EXPECT_NEAR(e, 1.0, 1e-5);
+}
+
+TEST(Waveform, MatchedFilterCompressesOwnChirp) {
+  const index_t l = 32, n = 256;
+  auto s = lfm_chirp(l);
+  // Place the chirp at offset 40 in a length-n buffer.
+  std::vector<cfloat> x(static_cast<size_t>(n), cfloat{});
+  for (index_t i = 0; i < l; ++i)
+    x[static_cast<size_t>(40 + i)] = s[static_cast<size_t>(i)];
+  auto h = matched_filter_spectrum(s, n);
+  auto spec = fft<float>(std::span<const cfloat>(x));
+  for (index_t k = 0; k < n; ++k)
+    spec[static_cast<size_t>(k)] *= h[static_cast<size_t>(k)];
+  auto y = ifft<float>(std::span<const cfloat>(spec));
+  // Peak must land at the chirp start with magnitude ~ chirp energy (1).
+  index_t peak = 0;
+  for (index_t k = 1; k < n; ++k)
+    if (std::abs(y[static_cast<size_t>(k)]) >
+        std::abs(y[static_cast<size_t>(peak)]))
+      peak = k;
+  EXPECT_EQ(peak, 40);
+  EXPECT_NEAR(std::abs(y[40]), 1.0, 1e-3);
+  // Compression: sidelobes well below the peak.
+  double side = 0;
+  for (index_t k = 0; k < n; ++k)
+    if (std::abs(k - peak) > 3)
+      side = std::max(side,
+                      static_cast<double>(std::abs(y[static_cast<size_t>(k)])));
+  EXPECT_LT(side, 0.5);
+}
+
+TEST(Waveform, ReplicaLongerThanFftThrows) {
+  auto s = lfm_chirp(64);
+  EXPECT_THROW(matched_filter_spectrum(s, 32), Error);
+}
+
+}  // namespace
+}  // namespace ppstap::dsp

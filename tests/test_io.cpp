@@ -1,0 +1,128 @@
+// Tests for persistence: binary cube round-trips and detection CSV.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "cube/io.hpp"
+#include "stap/report.hpp"
+
+namespace ppstap {
+namespace {
+
+TEST(CubeIo, StreamRoundTripComplex) {
+  cube::Cube<cfloat> c(3, 4, 5);
+  Rng rng(1);
+  for (index_t i = 0; i < c.size(); ++i) {
+    auto z = rng.cnormal();
+    c.data()[i] = cfloat(static_cast<float>(z.real()),
+                         static_cast<float>(z.imag()));
+  }
+  std::stringstream ss;
+  cube::write_cube(ss, c);
+  auto back = cube::read_cube<cfloat>(ss);
+  ASSERT_TRUE(back.same_shape(c));
+  for (index_t i = 0; i < c.size(); ++i)
+    EXPECT_EQ(back.data()[i], c.data()[i]);
+}
+
+TEST(CubeIo, StreamRoundTripReal) {
+  cube::Cube<float> c(2, 1, 7);
+  for (index_t i = 0; i < c.size(); ++i)
+    c.data()[i] = static_cast<float>(i) * 0.5f;
+  std::stringstream ss;
+  cube::write_cube(ss, c);
+  auto back = cube::read_cube<float>(ss);
+  ASSERT_TRUE(back.same_shape(c));
+  for (index_t i = 0; i < c.size(); ++i)
+    EXPECT_EQ(back.data()[i], c.data()[i]);
+}
+
+TEST(CubeIo, TypeMismatchThrows) {
+  cube::Cube<float> c(2, 2, 2);
+  std::stringstream ss;
+  cube::write_cube(ss, c);
+  EXPECT_THROW(cube::read_cube<cfloat>(ss), Error);
+}
+
+TEST(CubeIo, CorruptMagicThrows) {
+  std::stringstream ss;
+  ss << "NOPE" << std::string(64, '\0');
+  EXPECT_THROW(cube::read_cube<float>(ss), Error);
+}
+
+TEST(CubeIo, TruncatedPayloadThrows) {
+  cube::Cube<float> c(4, 4, 4);
+  std::stringstream ss;
+  cube::write_cube(ss, c);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() - 10);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(cube::read_cube<float>(truncated), Error);
+}
+
+TEST(CubeIo, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "ppstap_cube_test.bin")
+          .string();
+  cube::Cube<cfloat> c(2, 3, 4);
+  c.at(1, 2, 3) = cfloat(7.0f, -8.0f);
+  cube::save_cube(path, c);
+  auto back = cube::load_cube<cfloat>(path);
+  EXPECT_EQ(back.at(1, 2, 3), cfloat(7.0f, -8.0f));
+  std::remove(path.c_str());
+  EXPECT_THROW(cube::load_cube<cfloat>(path), Error);
+}
+
+TEST(DetectionCsv, RoundTrip) {
+  std::vector<std::vector<stap::Detection>> per_cpi(3);
+  per_cpi[0].push_back(stap::Detection{10, 1, 45, 100.0f, 25.0f});
+  per_cpi[2].push_back(stap::Detection{23, 0, 90, 55.5f, 12.25f});
+  per_cpi[2].push_back(stap::Detection{24, 1, 91, 60.0f, 13.0f});
+
+  std::stringstream ss;
+  stap::write_detections_csv(ss, per_cpi);
+  auto back = stap::read_detections_csv(ss);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_TRUE(back[1].empty());
+  ASSERT_EQ(back[2].size(), 2u);
+  EXPECT_EQ(back[0][0].doppler_bin, 10);
+  EXPECT_EQ(back[0][0].range, 45);
+  EXPECT_FLOAT_EQ(back[2][0].power, 55.5f);
+  EXPECT_FLOAT_EQ(back[2][1].threshold, 13.0f);
+}
+
+TEST(DetectionCsv, MalformedRowThrows) {
+  std::stringstream ss("cpi,doppler_bin,beam,range,power,threshold\n"
+                       "0,1,2,not_a_number,5,6\n");
+  EXPECT_THROW(stap::read_detections_csv(ss), Error);
+}
+
+TEST(DetectionCsv, EmptyInputGivesEmptyResult) {
+  std::stringstream ss;
+  EXPECT_TRUE(stap::read_detections_csv(ss).empty());
+}
+
+TEST(Summary, PicksStrongestDetection) {
+  std::vector<stap::Detection> dets = {
+      {10, 0, 45, 100.0f, 50.0f},   // margin 2
+      {23, 1, 90, 300.0f, 30.0f},   // margin 10 <- strongest
+      {24, 0, 91, 40.0f, 39.0f},
+  };
+  auto s = stap::summarize(dets);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_FLOAT_EQ(s.max_margin, 10.0f);
+  EXPECT_EQ(s.strongest_bin, 23);
+  EXPECT_EQ(s.strongest_range, 90);
+}
+
+TEST(Summary, EmptyListIsWellDefined) {
+  auto s = stap::summarize(std::span<const stap::Detection>{});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.strongest_bin, -1);
+}
+
+}  // namespace
+}  // namespace ppstap

@@ -1,0 +1,229 @@
+// Tests for intra-task threading: parallel_for_blocks semantics and the
+// guarantee that every threaded kernel produces output bitwise identical to
+// its sequential run for any thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "dsp/waveform.hpp"
+#include "stap/beamform.hpp"
+#include "stap/cfar.hpp"
+#include "stap/doppler.hpp"
+#include "stap/pulse_compression.hpp"
+#include "stap/sequential.hpp"
+#include "synth/scenario.hpp"
+#include "synth/steering.hpp"
+
+namespace ppstap {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (index_t threads : {1, 2, 3, 7}) {
+    for (index_t total : {0, 1, 5, 100}) {
+      std::vector<std::atomic<int>> hits(static_cast<size_t>(total));
+      parallel_for_blocks(threads, total, [&](index_t b, index_t e) {
+        for (index_t i = b; i < e; ++i)
+          hits[static_cast<size_t>(i)].fetch_add(1);
+      });
+      for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ParallelFor, BlocksAreContiguousAndOrderedPerThread) {
+  std::mutex mu;
+  std::vector<std::pair<index_t, index_t>> blocks;
+  parallel_for_blocks(4, 10, [&](index_t b, index_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    blocks.emplace_back(b, e);
+  });
+  ASSERT_EQ(blocks.size(), 4u);
+  std::sort(blocks.begin(), blocks.end());
+  index_t expect = 0;
+  for (const auto& [b, e] : blocks) {
+    EXPECT_EQ(b, expect);
+    EXPECT_GT(e, b);
+    expect = e;
+  }
+  EXPECT_EQ(expect, 10);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
+  std::atomic<int> calls{0};
+  parallel_for_blocks(16, 3, [&](index_t b, index_t e) {
+    calls.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ParallelFor, WorkerExceptionPropagates) {
+  EXPECT_THROW(parallel_for_blocks(4, 8,
+                                   [&](index_t b, index_t) {
+                                     if (b > 0)
+                                       throw Error("worker boom");
+                                   }),
+               Error);
+  EXPECT_THROW(parallel_for_blocks(-1, 8, [](index_t, index_t) {}), Error);
+}
+
+// --------------------------------------------------------------------------
+// Threaded kernels == sequential kernels, bit for bit.
+// --------------------------------------------------------------------------
+
+struct KernelFixture {
+  stap::StapParams p;
+  cube::CpiCube cpi;
+
+  static KernelFixture make(index_t threads) {
+    KernelFixture f;
+    f.p = stap::StapParams::small_test();
+    f.p.num_range = 64;
+    f.p.num_channels = 4;
+    f.p.num_pulses = 16;
+    f.p.num_beams = 2;
+    f.p.intra_task_threads = threads;
+    f.p.validate();
+    synth::ScenarioParams sp;
+    sp.num_range = f.p.num_range;
+    sp.num_channels = f.p.num_channels;
+    sp.num_pulses = f.p.num_pulses;
+    sp.clutter.num_patches = 6;
+    sp.chirp_length = 6;
+    sp.targets.push_back(synth::Target{20, 0.3, 0.0, 15.0});
+    f.cpi = synth::ScenarioGenerator(sp).generate(0);
+    return f;
+  }
+};
+
+TEST(ThreadedKernels, DopplerFilterBitwiseIdentical) {
+  const auto seq = KernelFixture::make(1);
+  const auto out1 = stap::DopplerFilter(seq.p).filter(seq.cpi);
+  for (index_t threads : {2, 3, 5}) {
+    auto f = KernelFixture::make(threads);
+    const auto outn = stap::DopplerFilter(f.p).filter(f.cpi);
+    ASSERT_TRUE(outn.same_shape(out1));
+    for (index_t i = 0; i < out1.size(); ++i)
+      ASSERT_EQ(outn.data()[i], out1.data()[i]) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadedKernels, BeamformBitwiseIdentical) {
+  const auto base = KernelFixture::make(1);
+  const auto stag = stap::DopplerFilter(base.p).filter(base.cpi);
+  // Build bin-major data + weights once.
+  const auto easy_bins = base.p.easy_bins();
+  cube::CpiCube data(static_cast<index_t>(easy_bins.size()),
+                     base.p.num_range, base.p.num_channels);
+  for (size_t b = 0; b < easy_bins.size(); ++b)
+    for (index_t kk = 0; kk < base.p.num_range; ++kk)
+      for (index_t ch = 0; ch < base.p.num_channels; ++ch)
+        data.at(static_cast<index_t>(b), kk, ch) =
+            stag.at(kk, ch, easy_bins[b]);
+  stap::WeightSet w;
+  Rng rng(5);
+  for (index_t bin : easy_bins) {
+    w.bins.push_back(bin);
+    linalg::MatrixCF wm(base.p.num_channels, base.p.num_beams);
+    for (index_t r = 0; r < wm.rows(); ++r)
+      for (index_t c = 0; c < wm.cols(); ++c) {
+        auto z = rng.cnormal();
+        wm(r, c) = cfloat(static_cast<float>(z.real()),
+                          static_cast<float>(z.imag()));
+      }
+    w.weights.push_back(std::move(wm));
+  }
+  const auto out1 = stap::easy_beamform(data, w, base.p);
+  for (index_t threads : {2, 4}) {
+    auto p = base.p;
+    p.intra_task_threads = threads;
+    const auto outn = stap::easy_beamform(data, w, p);
+    for (index_t i = 0; i < out1.size(); ++i)
+      ASSERT_EQ(outn.data()[i], out1.data()[i]);
+  }
+}
+
+TEST(ThreadedKernels, PulseCompressionBitwiseIdentical) {
+  const auto base = KernelFixture::make(1);
+  auto replica = dsp::lfm_chirp(8);
+  cube::CpiCube bf(base.p.num_pulses, base.p.num_beams, base.p.num_range);
+  Rng rng(9);
+  for (index_t i = 0; i < bf.size(); ++i) {
+    auto z = rng.cnormal();
+    bf.data()[i] = cfloat(static_cast<float>(z.real()),
+                          static_cast<float>(z.imag()));
+  }
+  const auto out1 = stap::PulseCompressor(base.p, replica).compress(bf);
+  for (index_t threads : {2, 3}) {
+    auto p = base.p;
+    p.intra_task_threads = threads;
+    const auto outn = stap::PulseCompressor(p, replica).compress(bf);
+    for (index_t i = 0; i < out1.size(); ++i)
+      ASSERT_EQ(outn.data()[i], out1.data()[i]);
+  }
+}
+
+TEST(ThreadedKernels, CfarIdenticalIncludingOrder) {
+  const auto base = KernelFixture::make(1);
+  cube::RealCube power(base.p.num_pulses, base.p.num_beams,
+                       base.p.num_range);
+  Rng rng(13);
+  for (index_t i = 0; i < power.size(); ++i)
+    power.data()[i] = static_cast<float>(std::norm(rng.cnormal()));
+  power.at(3, 1, 40) = 1e6f;
+  power.at(9, 0, 10) = 1e6f;
+  std::vector<index_t> bins(static_cast<size_t>(base.p.num_pulses));
+  for (index_t b = 0; b < base.p.num_pulses; ++b)
+    bins[static_cast<size_t>(b)] = b;
+  const auto d1 = stap::cfar_detect(power, bins, base.p);
+  ASSERT_GE(d1.size(), 2u);
+  for (index_t threads : {2, 5}) {
+    auto p = base.p;
+    p.intra_task_threads = threads;
+    const auto dn = stap::cfar_detect(power, bins, p);
+    ASSERT_EQ(dn.size(), d1.size());
+    for (size_t i = 0; i < d1.size(); ++i) {
+      EXPECT_EQ(dn[i].doppler_bin, d1[i].doppler_bin);
+      EXPECT_EQ(dn[i].beam, d1[i].beam);
+      EXPECT_EQ(dn[i].range, d1[i].range);
+      EXPECT_EQ(dn[i].power, d1[i].power);
+    }
+  }
+}
+
+TEST(ThreadedKernels, FullSequentialChainIdenticalDetections) {
+  auto run = [&](index_t threads) {
+    auto f = KernelFixture::make(threads);
+    synth::ScenarioParams sp;
+    sp.num_range = f.p.num_range;
+    sp.num_channels = f.p.num_channels;
+    sp.num_pulses = f.p.num_pulses;
+    sp.clutter.num_patches = 6;
+    sp.chirp_length = 6;
+    sp.targets.push_back(synth::Target{20, 0.3, 0.0, 15.0});
+    synth::ScenarioGenerator gen(sp);
+    auto steering =
+        synth::steering_matrix(f.p.num_channels, f.p.num_beams,
+                               f.p.beam_center_rad, f.p.beam_span_rad);
+    stap::SequentialStap chain(f.p, steering, gen.replica());
+    std::vector<stap::Detection> all;
+    for (index_t cpi = 0; cpi < 4; ++cpi) {
+      auto r = chain.process(gen.generate(cpi));
+      all.insert(all.end(), r.detections.begin(), r.detections.end());
+    }
+    return all;
+  };
+  const auto d1 = run(1);
+  const auto d3 = run(3);
+  ASSERT_EQ(d1.size(), d3.size());
+  for (size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].range, d3[i].range);
+    EXPECT_EQ(d1[i].power, d3[i].power);
+  }
+}
+
+}  // namespace
+}  // namespace ppstap

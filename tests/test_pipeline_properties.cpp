@@ -1,0 +1,252 @@
+// Property tests for the parallel pipelined system: equivalence with the
+// sequential reference swept across processor assignments and algorithm
+// configurations, determinism, timing sanity, and failure injection.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "stap/sequential.hpp"
+#include "synth/steering.hpp"
+
+namespace ppstap::core {
+namespace {
+
+using stap::StapParams;
+using stap::Task;
+using synth::ScenarioGenerator;
+using synth::ScenarioParams;
+using synth::Target;
+
+struct Config {
+  const char* name;
+  NodeAssignment assignment;
+  bool range_correction = false;
+  index_t num_hard = 6;
+  index_t num_segments = 2;
+};
+
+StapParams make_params(const Config& cfg) {
+  StapParams p = StapParams::small_test();
+  p.num_range = 48;
+  p.num_channels = 4;
+  p.num_pulses = 16;
+  p.num_beams = 2;
+  p.num_hard = cfg.num_hard;
+  p.stagger = 2;
+  p.num_segments = cfg.num_segments;
+  p.easy_samples_per_cpi = 12;
+  p.hard_samples_per_segment = 10;
+  p.cfar_ref = 4;
+  p.cfar_guard = 1;
+  p.range_correction = cfg.range_correction;
+  p.validate();
+  return p;
+}
+
+ScenarioParams make_scene(const StapParams& p) {
+  ScenarioParams sp;
+  sp.num_range = p.num_range;
+  sp.num_channels = p.num_channels;
+  sp.num_pulses = p.num_pulses;
+  sp.clutter.num_patches = 6;
+  sp.clutter.cnr_db = 35.0;
+  sp.chirp_length = 6;
+  sp.targets.push_back(Target{21, 8.0 / 16.0, 0.05, 15.0});
+  return sp;
+}
+
+class AssignmentSweep : public ::testing::TestWithParam<Config> {};
+
+TEST_P(AssignmentSweep, ParallelMatchesSequentialDetections) {
+  const Config cfg = GetParam();
+  const StapParams p = make_params(cfg);
+  const ScenarioParams sp = make_scene(p);
+  ScenarioGenerator gen(sp);
+  auto steering = synth::steering_matrix(p.num_channels, p.num_beams,
+                                         p.beam_center_rad, p.beam_span_rad);
+
+  const index_t n_cpis = 4;
+  stap::SequentialStap seq(p, steering, gen.replica());
+  std::vector<std::vector<stap::Detection>> ref;
+  for (index_t cpi = 0; cpi < n_cpis; ++cpi) {
+    auto dets = seq.process(gen.generate(cpi)).detections;
+    std::sort(dets.begin(), dets.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.doppler_bin, a.beam, a.range) <
+             std::tie(b.doppler_bin, b.beam, b.range);
+    });
+    ref.push_back(std::move(dets));
+  }
+
+  ParallelStapPipeline par(p, cfg.assignment, steering,
+                           {gen.replica().begin(), gen.replica().end()});
+  auto result = par.run(gen, n_cpis, 1, 1);
+
+  for (index_t cpi = 0; cpi < n_cpis; ++cpi) {
+    const auto& got = result.detections[static_cast<size_t>(cpi)];
+    const auto& want = ref[static_cast<size_t>(cpi)];
+    ASSERT_EQ(got.size(), want.size()) << cfg.name << " cpi=" << cpi;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].doppler_bin, want[i].doppler_bin) << cfg.name;
+      EXPECT_EQ(got[i].beam, want[i].beam) << cfg.name;
+      EXPECT_EQ(got[i].range, want[i].range) << cfg.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Assignments, AssignmentSweep,
+    ::testing::Values(
+        Config{"all_single", NodeAssignment{{1, 1, 1, 1, 1, 1, 1}}},
+        Config{"doppler_heavy", NodeAssignment{{8, 1, 2, 1, 1, 1, 1}}},
+        Config{"weights_heavy", NodeAssignment{{2, 4, 8, 1, 1, 1, 1}}},
+        Config{"back_heavy", NodeAssignment{{2, 1, 2, 4, 4, 6, 6}}},
+        Config{"prime_counts", NodeAssignment{{5, 3, 7, 3, 5, 7, 3}}},
+        Config{"range_corrected", NodeAssignment{{3, 2, 4, 2, 2, 2, 2}},
+               /*range_correction=*/true},
+        Config{"single_segment", NodeAssignment{{3, 2, 4, 2, 3, 2, 2}},
+               /*range_correction=*/false, /*num_hard=*/4,
+               /*num_segments=*/1},
+        Config{"many_segments", NodeAssignment{{3, 2, 8, 2, 2, 2, 2}},
+               /*range_correction=*/false, /*num_hard=*/6,
+               /*num_segments=*/4}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return info.param.name;
+    });
+
+TEST(PipelineProperties, AllFeaturesCombinedMatchSequential) {
+  // Range correction + intra-task threading + transmit-beam cycling +
+  // jammer, all at once, against an uneven assignment: the union of every
+  // feature must still reproduce the sequential reference exactly.
+  stap::StapParams p = StapParams::small_test();
+  p.num_range = 48;
+  p.num_channels = 4;
+  p.num_pulses = 16;
+  p.num_beams = 2;
+  p.num_hard = 6;
+  p.stagger = 2;
+  p.num_segments = 2;
+  p.easy_samples_per_cpi = 12;
+  p.hard_samples_per_segment = 10;
+  p.range_correction = true;
+  p.intra_task_threads = 3;
+  p.num_beam_positions = 2;
+  p.validate();
+
+  ScenarioParams sp;
+  sp.num_range = p.num_range;
+  sp.num_channels = p.num_channels;
+  sp.num_pulses = p.num_pulses;
+  sp.clutter.num_patches = 6;
+  sp.clutter.cnr_db = 35.0;
+  sp.chirp_length = 6;
+  sp.transmit_azimuths = {-0.3, 0.3};
+  sp.jammers.push_back(synth::Jammer{0.6, 30.0});
+  sp.targets.push_back(Target{21, 8.0 / 16.0, 0.3, 18.0});
+  ScenarioGenerator gen(sp);
+
+  std::vector<linalg::MatrixCF> steering;
+  for (double az : sp.transmit_azimuths)
+    steering.push_back(synth::steering_matrix(p.num_channels, p.num_beams,
+                                              az, p.beam_span_rad));
+
+  const index_t n_cpis = 6;
+  stap::SequentialStap seq(p, steering, gen.replica());
+  std::vector<std::vector<stap::Detection>> ref;
+  for (index_t cpi = 0; cpi < n_cpis; ++cpi) {
+    auto dets = seq.process(gen.generate(cpi)).detections;
+    std::sort(dets.begin(), dets.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.doppler_bin, a.beam, a.range) <
+             std::tie(b.doppler_bin, b.beam, b.range);
+    });
+    ref.push_back(std::move(dets));
+  }
+
+  NodeAssignment a{{5, 3, 7, 2, 3, 4, 3}};
+  ParallelStapPipeline par(p, a, steering,
+                           {gen.replica().begin(), gen.replica().end()});
+  auto result = par.run(gen, n_cpis, 1, 1);
+  for (index_t cpi = 0; cpi < n_cpis; ++cpi) {
+    const auto& got = result.detections[static_cast<size_t>(cpi)];
+    const auto& want = ref[static_cast<size_t>(cpi)];
+    ASSERT_EQ(got.size(), want.size()) << "cpi=" << cpi;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].doppler_bin, want[i].doppler_bin);
+      EXPECT_EQ(got[i].beam, want[i].beam);
+      EXPECT_EQ(got[i].range, want[i].range);
+    }
+  }
+}
+
+TEST(PipelineProperties, RepeatedRunsAreDeterministic) {
+  const Config cfg{"det", NodeAssignment{{3, 2, 4, 2, 2, 2, 2}}};
+  const StapParams p = make_params(cfg);
+  ScenarioGenerator gen(make_scene(p));
+  auto steering = synth::steering_matrix(p.num_channels, p.num_beams,
+                                         p.beam_center_rad, p.beam_span_rad);
+  ParallelStapPipeline par(p, cfg.assignment, steering,
+                           {gen.replica().begin(), gen.replica().end()});
+  auto a = par.run(gen, 4, 1, 1);
+  auto b = par.run(gen, 4, 1, 1);
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (size_t cpi = 0; cpi < a.detections.size(); ++cpi) {
+    ASSERT_EQ(a.detections[cpi].size(), b.detections[cpi].size());
+    for (size_t i = 0; i < a.detections[cpi].size(); ++i) {
+      EXPECT_EQ(a.detections[cpi][i].range, b.detections[cpi][i].range);
+      EXPECT_EQ(a.detections[cpi][i].power, b.detections[cpi][i].power);
+    }
+  }
+}
+
+TEST(PipelineProperties, TimingPhasesArePlausible) {
+  const Config cfg{"timing", NodeAssignment{{3, 2, 4, 2, 2, 2, 2}}};
+  const StapParams p = make_params(cfg);
+  ScenarioGenerator gen(make_scene(p));
+  auto steering = synth::steering_matrix(p.num_channels, p.num_beams,
+                                         p.beam_center_rad, p.beam_span_rad);
+  ParallelStapPipeline par(p, cfg.assignment, steering,
+                           {gen.replica().begin(), gen.replica().end()});
+  auto r = par.run(gen, 6, 2, 2);
+  EXPECT_GT(r.throughput, 0.0);
+  EXPECT_GT(r.latency, 0.0);
+  // Latency cannot be below the fastest possible single-CPI path, and the
+  // per-CPI latencies should all be positive.
+  for (double lat : r.per_cpi_latency) EXPECT_GT(lat, 0.0);
+  // Sum of per-task compute must be positive and the CFAR task must not
+  // dominate (it is the cheapest task by two orders of magnitude).
+  double total_comp = 0.0;
+  for (const auto& tt : r.timing) total_comp += tt.comp;
+  EXPECT_GT(total_comp, 0.0);
+  EXPECT_LT(r.timing[static_cast<size_t>(Task::kCfar)].comp,
+            0.5 * total_comp);
+}
+
+TEST(PipelineProperties, OversubscribedAssignmentRejectedUpFront) {
+  const Config cfg{"bad", NodeAssignment{{1, 1, 1, 1, 1, 1, 1}}};
+  const StapParams p = make_params(cfg);
+  NodeAssignment bad;
+  bad[Task::kHardBeamform] = static_cast<int>(p.num_hard) + 1;
+  auto steering = synth::steering_matrix(p.num_channels, p.num_beams,
+                                         p.beam_center_rad, p.beam_span_rad);
+  EXPECT_THROW(ParallelStapPipeline(p, bad, steering, {}), Error);
+}
+
+TEST(PipelineProperties, SteeringShapeMismatchRejected) {
+  const Config cfg{"bad2", NodeAssignment{{1, 1, 1, 1, 1, 1, 1}}};
+  const StapParams p = make_params(cfg);
+  linalg::MatrixCF wrong(p.num_channels + 1, p.num_beams);
+  EXPECT_THROW(ParallelStapPipeline(p, cfg.assignment, wrong, {}), Error);
+}
+
+TEST(PipelineProperties, ScenarioDimensionMismatchRejectedAtRun) {
+  const Config cfg{"bad3", NodeAssignment{{1, 1, 1, 1, 1, 1, 1}}};
+  const StapParams p = make_params(cfg);
+  auto steering = synth::steering_matrix(p.num_channels, p.num_beams,
+                                         p.beam_center_rad, p.beam_span_rad);
+  ParallelStapPipeline par(p, cfg.assignment, steering, {});
+  ScenarioParams wrong = make_scene(p);
+  wrong.num_pulses = p.num_pulses * 2;
+  ScenarioGenerator gen(wrong);
+  EXPECT_THROW(par.run(gen, 4, 1, 1), Error);
+}
+
+}  // namespace
+}  // namespace ppstap::core
