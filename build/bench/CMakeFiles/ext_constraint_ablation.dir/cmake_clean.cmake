@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_constraint_ablation.dir/ext_constraint_ablation.cpp.o"
+  "CMakeFiles/ext_constraint_ablation.dir/ext_constraint_ablation.cpp.o.d"
+  "ext_constraint_ablation"
+  "ext_constraint_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_constraint_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dynamic_reallocation.dir/ext_dynamic_reallocation.cpp.o"
+  "CMakeFiles/ext_dynamic_reallocation.dir/ext_dynamic_reallocation.cpp.o.d"
+  "ext_dynamic_reallocation"
+  "ext_dynamic_reallocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_reallocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

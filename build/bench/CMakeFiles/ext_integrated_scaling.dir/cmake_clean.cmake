@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_integrated_scaling.dir/ext_integrated_scaling.cpp.o"
+  "CMakeFiles/ext_integrated_scaling.dir/ext_integrated_scaling.cpp.o.d"
+  "ext_integrated_scaling"
+  "ext_integrated_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_integrated_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

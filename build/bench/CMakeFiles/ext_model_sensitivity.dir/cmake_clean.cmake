@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_model_sensitivity.dir/ext_model_sensitivity.cpp.o"
+  "CMakeFiles/ext_model_sensitivity.dir/ext_model_sensitivity.cpp.o.d"
+  "ext_model_sensitivity"
+  "ext_model_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_model_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_replication.dir/ext_replication.cpp.o"
+  "CMakeFiles/ext_replication.dir/ext_replication.cpp.o.d"
+  "ext_replication"
+  "ext_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

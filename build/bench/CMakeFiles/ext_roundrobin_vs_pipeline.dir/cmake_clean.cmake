@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_roundrobin_vs_pipeline.dir/ext_roundrobin_vs_pipeline.cpp.o"
+  "CMakeFiles/ext_roundrobin_vs_pipeline.dir/ext_roundrobin_vs_pipeline.cpp.o.d"
+  "ext_roundrobin_vs_pipeline"
+  "ext_roundrobin_vs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_roundrobin_vs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_window_study.dir/ext_window_study.cpp.o"
+  "CMakeFiles/ext_window_study.dir/ext_window_study.cpp.o.d"
+  "ext_window_study"
+  "ext_window_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_window_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

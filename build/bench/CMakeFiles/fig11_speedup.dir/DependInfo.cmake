@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_speedup.cpp" "bench/CMakeFiles/fig11_speedup.dir/fig11_speedup.cpp.o" "gcc" "bench/CMakeFiles/fig11_speedup.dir/fig11_speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppstap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/ppstap_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stap/CMakeFiles/ppstap_stap.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ppstap_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/ppstap_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ppstap_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppstap_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppstap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_add_pc_cfar.dir/table10_add_pc_cfar.cpp.o"
+  "CMakeFiles/table10_add_pc_cfar.dir/table10_add_pc_cfar.cpp.o.d"
+  "table10_add_pc_cfar"
+  "table10_add_pc_cfar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_add_pc_cfar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table10_add_pc_cfar.
+# This may be replaced when dependencies are built.

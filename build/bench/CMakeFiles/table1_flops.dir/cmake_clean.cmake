@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_flops.dir/table1_flops.cpp.o"
+  "CMakeFiles/table1_flops.dir/table1_flops.cpp.o.d"
+  "table1_flops"
+  "table1_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_comm_doppler.dir/table2_comm_doppler.cpp.o"
+  "CMakeFiles/table2_comm_doppler.dir/table2_comm_doppler.cpp.o.d"
+  "table2_comm_doppler"
+  "table2_comm_doppler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_comm_doppler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_comm_easywt.dir/table3_comm_easywt.cpp.o"
+  "CMakeFiles/table3_comm_easywt.dir/table3_comm_easywt.cpp.o.d"
+  "table3_comm_easywt"
+  "table3_comm_easywt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_comm_easywt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

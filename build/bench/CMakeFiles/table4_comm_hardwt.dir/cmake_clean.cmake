@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_comm_hardwt.dir/table4_comm_hardwt.cpp.o"
+  "CMakeFiles/table4_comm_hardwt.dir/table4_comm_hardwt.cpp.o.d"
+  "table4_comm_hardwt"
+  "table4_comm_hardwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_comm_hardwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

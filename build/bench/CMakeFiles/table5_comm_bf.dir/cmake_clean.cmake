@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_comm_bf.dir/table5_comm_bf.cpp.o"
+  "CMakeFiles/table5_comm_bf.dir/table5_comm_bf.cpp.o.d"
+  "table5_comm_bf"
+  "table5_comm_bf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_comm_bf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_comm_pc.dir/table6_comm_pc.cpp.o"
+  "CMakeFiles/table6_comm_pc.dir/table6_comm_pc.cpp.o.d"
+  "table6_comm_pc"
+  "table6_comm_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_comm_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_cases.dir/table7_cases.cpp.o"
+  "CMakeFiles/table7_cases.dir/table7_cases.cpp.o.d"
+  "table7_cases"
+  "table7_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_throughput_latency.dir/table8_throughput_latency.cpp.o"
+  "CMakeFiles/table8_throughput_latency.dir/table8_throughput_latency.cpp.o.d"
+  "table8_throughput_latency"
+  "table8_throughput_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_throughput_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

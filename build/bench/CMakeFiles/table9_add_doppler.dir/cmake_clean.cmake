@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_add_doppler.dir/table9_add_doppler.cpp.o"
+  "CMakeFiles/table9_add_doppler.dir/table9_add_doppler.cpp.o.d"
+  "table9_add_doppler"
+  "table9_add_doppler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_add_doppler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table9_add_doppler.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapted_pattern.dir/adapted_pattern.cpp.o"
+  "CMakeFiles/adapted_pattern.dir/adapted_pattern.cpp.o.d"
+  "adapted_pattern"
+  "adapted_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapted_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

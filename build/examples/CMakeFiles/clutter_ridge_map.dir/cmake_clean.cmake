@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clutter_ridge_map.dir/clutter_ridge_map.cpp.o"
+  "CMakeFiles/clutter_ridge_map.dir/clutter_ridge_map.cpp.o.d"
+  "clutter_ridge_map"
+  "clutter_ridge_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clutter_ridge_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

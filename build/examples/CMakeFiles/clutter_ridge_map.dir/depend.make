@@ -1,0 +1,2 @@
+# Empty dependencies file for clutter_ridge_map.
+# This may be replaced when dependencies are built.

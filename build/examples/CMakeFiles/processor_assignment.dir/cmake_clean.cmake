@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processor_assignment.dir/processor_assignment.cpp.o"
+  "CMakeFiles/processor_assignment.dir/processor_assignment.cpp.o.d"
+  "processor_assignment"
+  "processor_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processor_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtmcarm_flight.dir/rtmcarm_flight.cpp.o"
+  "CMakeFiles/rtmcarm_flight.dir/rtmcarm_flight.cpp.o.d"
+  "rtmcarm_flight"
+  "rtmcarm_flight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtmcarm_flight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

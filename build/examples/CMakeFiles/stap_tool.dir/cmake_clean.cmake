@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stap_tool.dir/stap_tool.cpp.o"
+  "CMakeFiles/stap_tool.dir/stap_tool.cpp.o.d"
+  "stap_tool"
+  "stap_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stap_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

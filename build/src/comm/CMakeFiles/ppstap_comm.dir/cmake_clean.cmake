@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppstap_comm.dir/world.cpp.o"
+  "CMakeFiles/ppstap_comm.dir/world.cpp.o.d"
+  "libppstap_comm.a"
+  "libppstap_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppstap_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

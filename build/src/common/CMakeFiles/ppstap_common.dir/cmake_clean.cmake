@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppstap_common.dir/check.cpp.o"
+  "CMakeFiles/ppstap_common.dir/check.cpp.o.d"
+  "CMakeFiles/ppstap_common.dir/flops.cpp.o"
+  "CMakeFiles/ppstap_common.dir/flops.cpp.o.d"
+  "CMakeFiles/ppstap_common.dir/parallel.cpp.o"
+  "CMakeFiles/ppstap_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/ppstap_common.dir/rng.cpp.o"
+  "CMakeFiles/ppstap_common.dir/rng.cpp.o.d"
+  "libppstap_common.a"
+  "libppstap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppstap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

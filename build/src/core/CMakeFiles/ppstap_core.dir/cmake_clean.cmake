@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppstap_core.dir/assignment.cpp.o"
+  "CMakeFiles/ppstap_core.dir/assignment.cpp.o.d"
+  "CMakeFiles/ppstap_core.dir/cpi_source.cpp.o"
+  "CMakeFiles/ppstap_core.dir/cpi_source.cpp.o.d"
+  "CMakeFiles/ppstap_core.dir/machine.cpp.o"
+  "CMakeFiles/ppstap_core.dir/machine.cpp.o.d"
+  "CMakeFiles/ppstap_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ppstap_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ppstap_core.dir/sim.cpp.o"
+  "CMakeFiles/ppstap_core.dir/sim.cpp.o.d"
+  "libppstap_core.a"
+  "libppstap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppstap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

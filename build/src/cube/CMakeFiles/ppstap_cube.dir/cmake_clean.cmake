@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppstap_cube.dir/cube.cpp.o"
+  "CMakeFiles/ppstap_cube.dir/cube.cpp.o.d"
+  "CMakeFiles/ppstap_cube.dir/io.cpp.o"
+  "CMakeFiles/ppstap_cube.dir/io.cpp.o.d"
+  "libppstap_cube.a"
+  "libppstap_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppstap_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppstap_dsp.dir/fft.cpp.o"
+  "CMakeFiles/ppstap_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/ppstap_dsp.dir/waveform.cpp.o"
+  "CMakeFiles/ppstap_dsp.dir/waveform.cpp.o.d"
+  "CMakeFiles/ppstap_dsp.dir/window.cpp.o"
+  "CMakeFiles/ppstap_dsp.dir/window.cpp.o.d"
+  "libppstap_dsp.a"
+  "libppstap_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppstap_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

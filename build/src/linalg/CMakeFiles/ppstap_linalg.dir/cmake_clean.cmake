@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppstap_linalg.dir/gemm.cpp.o"
+  "CMakeFiles/ppstap_linalg.dir/gemm.cpp.o.d"
+  "CMakeFiles/ppstap_linalg.dir/qr.cpp.o"
+  "CMakeFiles/ppstap_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/ppstap_linalg.dir/serialize.cpp.o"
+  "CMakeFiles/ppstap_linalg.dir/serialize.cpp.o.d"
+  "libppstap_linalg.a"
+  "libppstap_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppstap_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stap/analysis.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/analysis.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/analysis.cpp.o.d"
+  "/root/repo/src/stap/beamform.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/beamform.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/beamform.cpp.o.d"
+  "/root/repo/src/stap/cfar.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/cfar.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/cfar.cpp.o.d"
+  "/root/repo/src/stap/classify.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/classify.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/classify.cpp.o.d"
+  "/root/repo/src/stap/doppler.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/doppler.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/doppler.cpp.o.d"
+  "/root/repo/src/stap/flops.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/flops.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/flops.cpp.o.d"
+  "/root/repo/src/stap/montecarlo.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/montecarlo.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/stap/params.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/params.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/params.cpp.o.d"
+  "/root/repo/src/stap/pulse_compression.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/pulse_compression.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/pulse_compression.cpp.o.d"
+  "/root/repo/src/stap/report.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/report.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/report.cpp.o.d"
+  "/root/repo/src/stap/sequential.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/sequential.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/sequential.cpp.o.d"
+  "/root/repo/src/stap/training.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/training.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/training.cpp.o.d"
+  "/root/repo/src/stap/weights.cpp" "src/stap/CMakeFiles/ppstap_stap.dir/weights.cpp.o" "gcc" "src/stap/CMakeFiles/ppstap_stap.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppstap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/ppstap_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ppstap_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppstap_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ppstap_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

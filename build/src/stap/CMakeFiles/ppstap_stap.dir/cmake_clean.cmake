@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppstap_stap.dir/analysis.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/analysis.cpp.o.d"
+  "CMakeFiles/ppstap_stap.dir/beamform.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/beamform.cpp.o.d"
+  "CMakeFiles/ppstap_stap.dir/cfar.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/cfar.cpp.o.d"
+  "CMakeFiles/ppstap_stap.dir/classify.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/classify.cpp.o.d"
+  "CMakeFiles/ppstap_stap.dir/doppler.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/doppler.cpp.o.d"
+  "CMakeFiles/ppstap_stap.dir/flops.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/flops.cpp.o.d"
+  "CMakeFiles/ppstap_stap.dir/montecarlo.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/ppstap_stap.dir/params.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/params.cpp.o.d"
+  "CMakeFiles/ppstap_stap.dir/pulse_compression.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/pulse_compression.cpp.o.d"
+  "CMakeFiles/ppstap_stap.dir/report.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/report.cpp.o.d"
+  "CMakeFiles/ppstap_stap.dir/sequential.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/sequential.cpp.o.d"
+  "CMakeFiles/ppstap_stap.dir/training.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/training.cpp.o.d"
+  "CMakeFiles/ppstap_stap.dir/weights.cpp.o"
+  "CMakeFiles/ppstap_stap.dir/weights.cpp.o.d"
+  "libppstap_stap.a"
+  "libppstap_stap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppstap_stap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppstap_synth.dir/scenario.cpp.o"
+  "CMakeFiles/ppstap_synth.dir/scenario.cpp.o.d"
+  "CMakeFiles/ppstap_synth.dir/steering.cpp.o"
+  "CMakeFiles/ppstap_synth.dir/steering.cpp.o.d"
+  "libppstap_synth.a"
+  "libppstap_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppstap_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppstap_synth.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beam_cycling.dir/test_beam_cycling.cpp.o"
+  "CMakeFiles/test_beam_cycling.dir/test_beam_cycling.cpp.o.d"
+  "test_beam_cycling"
+  "test_beam_cycling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beam_cycling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

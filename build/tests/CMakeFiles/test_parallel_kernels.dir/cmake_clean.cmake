@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_kernels.dir/test_parallel_kernels.cpp.o"
+  "CMakeFiles/test_parallel_kernels.dir/test_parallel_kernels.cpp.o.d"
+  "test_parallel_kernels"
+  "test_parallel_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stap.dir/test_stap.cpp.o"
+  "CMakeFiles/test_stap.dir/test_stap.cpp.o.d"
+  "test_stap"
+  "test_stap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
