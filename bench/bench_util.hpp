@@ -2,15 +2,108 @@
 //
 // Each bench prints the simulated (or host-measured) values next to the
 // paper's published numbers so the comparison EXPERIMENTS.md records is
-// visible directly in the binary's output.
+// visible directly in the binary's output. In addition every bench binary
+// accepts `--json <path>` (or `--json=<path>`): the same rows that are
+// printed are collected as obs::Json objects and written out as one
+// machine-readable document, so table regressions can be diffed across
+// commits without scraping stdout (see EXPERIMENTS.md, "Machine-readable
+// output").
 #pragma once
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/machine.hpp"
 #include "core/sim.hpp"
+#include "obs/json.hpp"
 
 namespace ppstap::bench {
+
+/// Collects rows for the `--json` output of one bench binary. Inert (zero
+/// rows stored is fine, nothing written) unless --json was passed.
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport r;
+    return r;
+  }
+
+  /// Parses `--json <path>` / `--json=<path>` out of argv. Call first in
+  /// main(); unknown arguments are ignored so binaries stay permissive.
+  void init(const char* bench_name, int argc, char** argv) {
+    name_ = bench_name;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc)
+        path_ = argv[++i];
+      else if (arg.rfind("--json=", 0) == 0)
+        path_ = arg.substr(7);
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void add_row(obs::Json row) { rows_.push_back(std::move(row)); }
+
+  /// Extra top-level field (e.g. parameters shared by every row).
+  void set(std::string key, obs::Json value) {
+    extra_.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Writes the document if --json was requested; returns main()'s exit
+  /// code (the requested `code`, or 1 if the file could not be written).
+  int finish(int code = 0) {
+    if (path_.empty()) return code;
+    obs::Json doc = obs::Json::object();
+    doc["schema"] = "ppstap-bench-v1";
+    doc["bench"] = name_;
+    doc["exit_code"] = code;
+    for (auto& [k, v] : extra_) doc[k] = std::move(v);
+    obs::Json rows = obs::Json::array();
+    for (auto& r : rows_) rows.push_back(std::move(r));
+    doc["rows"] = std::move(rows);
+    const std::string text = doc.dump(2);
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\n[json] wrote %zu rows to %s\n", rows_.size(),
+                path_.c_str());
+    return code;
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<obs::Json> rows_;
+  std::vector<std::pair<std::string, obs::Json>> extra_;
+};
+
+inline void report_init(const char* name, int argc, char** argv) {
+  JsonReport::instance().init(name, argc, argv);
+}
+
+/// Builds one row object from key/value pairs, preserving order.
+inline obs::Json row(
+    std::initializer_list<std::pair<const char*, obs::Json>> kv) {
+  obs::Json r = obs::Json::object();
+  for (const auto& [k, v] : kv) r[k] = v;
+  return r;
+}
+
+inline void report_row(obs::Json r) {
+  JsonReport::instance().add_row(std::move(r));
+}
+
+inline int report_finish(int code = 0) {
+  return JsonReport::instance().finish(code);
+}
 
 inline core::PipelineSimulator paper_simulator() {
   return core::PipelineSimulator(stap::StapParams{},
@@ -29,10 +122,14 @@ inline void print_vs(double sim, double paper) {
 }
 
 /// One full per-task table in the style of the paper's Table 7 panels.
+/// Also records one JSON row per task plus a summary row under `case_id`
+/// (the title when no explicit id is given).
 inline void print_case_table(const core::PipelineSimulator& sim,
                              const core::NodeAssignment& a,
-                             const char* title) {
+                             const char* title,
+                             const char* case_id = nullptr) {
   const auto r = sim.simulate(a);
+  const char* id = case_id != nullptr ? case_id : title;
   print_header(title);
   std::printf("%-28s %7s %8s %8s %8s %8s\n", "task", "# nodes", "recv",
               "comp", "send", "total");
@@ -42,9 +139,24 @@ inline void print_case_table(const core::PipelineSimulator& sim,
                 stap::task_name(static_cast<stap::Task>(t)),
                 a.nodes[static_cast<size_t>(t)], tt.recv, tt.comp, tt.send,
                 tt.total());
+    report_row(row({{"case", id},
+                    {"kind", "task_timing"},
+                    {"task", stap::task_name(static_cast<stap::Task>(t))},
+                    {"nodes", a.nodes[static_cast<size_t>(t)]},
+                    {"recv_s", tt.recv},
+                    {"comp_s", tt.comp},
+                    {"send_s", tt.send},
+                    {"total_s", tt.total()}}));
   }
   std::printf("throughput %7.4f CPI/s   latency %7.4f s\n",
               r.throughput_measured, r.latency_measured);
+  report_row(row({{"case", id},
+                  {"kind", "summary"},
+                  {"total_nodes", a.total()},
+                  {"throughput_eq_cpi_per_s", r.throughput_equation},
+                  {"throughput_cpi_per_s", r.throughput_measured},
+                  {"latency_eq_s", r.latency_equation},
+                  {"latency_s", r.latency_measured}}));
 }
 
 }  // namespace ppstap::bench

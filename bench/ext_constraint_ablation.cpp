@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <numbers>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "stap/analysis.hpp"
 #include "stap/weights.hpp"
@@ -65,7 +66,8 @@ linalg::MatrixCF true_covariance(std::span<const cfloat> u, double power) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("ext_constraint_ablation", argc, argv);
   const index_t j = 16;
   std::printf("Mainbeam constraint ablation (J=16 ULA, look = broadside)\n");
   std::printf("%-10s %-14s %12s %14s %10s %10s\n", "interferer", "method",
@@ -113,6 +115,13 @@ int main() {
                   method == 0 ? "constrained" : "conventional",
                   rep.peak_offset_deg, rep.target_gain_db, rep.null_db,
                   rep.sinr_db);
+      bench::report_row(bench::row(
+          {{"interferer_az_deg", az_deg},
+           {"method", method == 0 ? "constrained" : "conventional"},
+           {"peak_offset_deg", rep.peak_offset_deg},
+           {"target_gain_db", rep.target_gain_db},
+           {"null_db", rep.null_db},
+           {"sinr_db", rep.sinr_db}}));
     }
   }
   std::printf(
@@ -123,5 +132,5 @@ int main() {
       "solution holds the main beam within 0.1 dB of the matched gain: "
       "'preservation of main beam shape ... is often offset by an increase "
       "in array gain on the desired target.'\n");
-  return 0;
+  return bench::report_finish();
 }

@@ -16,7 +16,8 @@
 using namespace ppstap;
 using core::NodeAssignment;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("ext_dynamic_reallocation", argc, argv);
   auto sim = bench::paper_simulator();
 
   core::ReallocationPlan plan;
@@ -37,6 +38,15 @@ int main() {
               r.latency_before);
   std::printf("%-10s %11.3f /s %12.4f s\n", "after", r.throughput_after,
               r.latency_after);
+  bench::report_row(bench::row({{"phase", "before"},
+                                {"nodes", plan.before.total()},
+                                {"throughput_cpi_per_s", r.throughput_before},
+                                {"latency_s", r.latency_before}}));
+  bench::report_row(bench::row({{"phase", "after"},
+                                {"nodes", plan.after.total()},
+                                {"throughput_cpi_per_s", r.throughput_after},
+                                {"latency_s", r.latency_after},
+                                {"migration_stall_s", r.migration_stall}}));
 
   // Static references for comparison.
   const auto s3 = sim.simulate(plan.before);
@@ -57,5 +67,5 @@ int main() {
       "couple of CPIs of the switch; the migration itself costs well under "
       "one second because the adaptive state is small (the data cubes are "
       "transient and never migrate).\n");
-  return 0;
+  return bench::report_finish();
 }

@@ -15,7 +15,8 @@
 
 using namespace ppstap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("ext_integrated_scaling", argc, argv);
   auto sim = bench::paper_simulator();
   bench::print_header(
       "Integrated scaling sweep (throughput-optimal assignment per budget)");
@@ -31,9 +32,15 @@ int main() {
     std::printf("%8d %12.3f %12.4f %12.5f %9.0f%%\n", nodes,
                 r.throughput_measured, r.latency_measured, per_node,
                 100.0 * per_node / base_per_node);
+    bench::report_row(
+        bench::row({{"nodes", nodes},
+                    {"throughput_cpi_per_s", r.throughput_measured},
+                    {"latency_s", r.latency_measured},
+                    {"throughput_per_node", per_node},
+                    {"efficiency_vs_59", per_node / base_per_node}}));
   }
   std::printf(
       "\nPaper anchors: 59 -> 1.99 CPI/s, 118 -> 3.80, 236 -> 7.27 (Table "
       "8); saturation beyond 236 nodes is the paper's own §8 prediction.\n");
-  return 0;
+  return bench::report_finish();
 }

@@ -53,7 +53,8 @@ Verdict check(const ParagonParams& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("ext_model_sensitivity", argc, argv);
   bench::print_header(
       "Machine-model sensitivity: do the Table 9/10 conclusions survive "
       "+-25% perturbations of each constant?");
@@ -95,6 +96,14 @@ int main() {
                 v.t9_throughput ? "ok" : "X", v.t9_latency ? "ok" : "X",
                 v.t10_flat_throughput ? "ok" : "X",
                 v.t10_latency ? "ok" : "X");
+    bench::report_row(bench::row(
+        {{"perturbation", name},
+         {"verdict",
+          v.holds() ? "holds" : (regime_only ? "regime" : "flips")},
+         {"t9_throughput_ok", v.t9_throughput},
+         {"t9_latency_ok", v.t9_latency},
+         {"t10_flat_throughput_ok", v.t10_flat_throughput},
+         {"t10_latency_ok", v.t10_latency}}));
     if (!v.holds()) {
       if (regime_only)
         ++regime_changes;
@@ -127,5 +136,5 @@ int main() {
             "they come from the pipeline dataflow, not the calibration."
           : "WARNING: structural conclusions flipped under perturbation.",
       regime_changes, regime_changes == 1 ? "" : "s");
-  return structural_failures == 0 ? 0 : 1;
+  return bench::report_finish(structural_failures == 0 ? 0 : 1);
 }

@@ -16,7 +16,8 @@ using core::NodeAssignment;
 using core::ReplicationPlan;
 using stap::Task;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("ext_replication", argc, argv);
   auto sim = bench::paper_simulator();
 
   // A pipeline whose bottleneck is the (stateless) pulse compression task.
@@ -29,6 +30,11 @@ int main() {
   std::printf("%-44s thr %7.3f CPI/s   lat %7.4f s   (nodes %d)\n",
               "base (PC x1, 4 nodes)", r0.throughput_measured,
               r0.latency_measured, base.total());
+  bench::report_row(
+      bench::row({{"variant", "base"},
+                  {"nodes", base.total()},
+                  {"throughput_cpi_per_s", r0.throughput_measured},
+                  {"latency_s", r0.latency_measured}}));
 
   for (int replicas : {2, 3}) {
     ReplicationPlan plan;
@@ -39,6 +45,12 @@ int main() {
                               : "replicate PC x3 (4 nodes each)",
                 r.throughput_measured, r.latency_measured,
                 plan.total_nodes(base));
+    bench::report_row(
+        bench::row({{"variant", replicas == 2 ? "replicate_x2"
+                                              : "replicate_x3"},
+                    {"nodes", plan.total_nodes(base)},
+                    {"throughput_cpi_per_s", r.throughput_measured},
+                    {"latency_s", r.latency_measured}}));
   }
   for (int wide : {8, 12}) {
     NodeAssignment widened = base;
@@ -48,6 +60,11 @@ int main() {
                 wide == 8 ? "widen PC to 8 nodes (same extra nodes as x2)"
                           : "widen PC to 12 nodes (same as x3)",
                 r.throughput_measured, r.latency_measured, widened.total());
+    bench::report_row(
+        bench::row({{"variant", wide == 8 ? "widen_8" : "widen_12"},
+                    {"nodes", widened.total()},
+                    {"throughput_cpi_per_s", r.throughput_measured},
+                    {"latency_s", r.latency_measured}}));
   }
 
   std::printf(
@@ -58,5 +75,5 @@ int main() {
       "items, or (the paper's real case) when the communication fan-in of "
       "a very wide stage stops paying. The weight tasks can never use it: "
       "their training state spans consecutive CPIs.\n");
-  return 0;
+  return bench::report_finish();
 }

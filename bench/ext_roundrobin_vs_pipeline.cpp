@@ -14,7 +14,8 @@
 using namespace ppstap;
 using core::NodeAssignment;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("ext_roundrobin_vs_pipeline", argc, argv);
   auto sim = bench::paper_simulator();
 
   bench::print_header(
@@ -36,6 +37,13 @@ int main() {
     std::printf("%8d | %10.3f CPI/s %10.3f s | %10.3f CPI/s %10.3f s\n",
                 row.nodes, rr.throughput, rr.latency, pp.throughput_measured,
                 pp.latency_measured);
+    bench::report_row(
+        bench::row({{"nodes", row.nodes},
+                    {"roundrobin_throughput_cpi_per_s", rr.throughput},
+                    {"roundrobin_latency_s", rr.latency},
+                    {"pipeline_throughput_cpi_per_s",
+                     pp.throughput_measured},
+                    {"pipeline_latency_s", pp.latency_measured}}));
   }
 
   const auto rr1 = sim.round_robin(1);
@@ -48,5 +56,5 @@ int main() {
       "node-count independent: round-robin latency is flat, pipelined "
       "latency scales down.\n",
       rr1.latency, rr1.latency, sim.round_robin(25).throughput);
-  return 0;
+  return bench::report_finish();
 }

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "linalg/matrix.hpp"
 #include "stap/doppler.hpp"
 #include "stap/params.hpp"
@@ -18,7 +19,8 @@
 
 using namespace ppstap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("ext_window_study", argc, argv);
   stap::StapParams p;
   p.num_range = 128;  // enough range cells for stable statistics
   p.num_channels = 8;
@@ -65,6 +67,11 @@ int main() {
         }
     std::printf("%-12s %18.4g %18.4g %14.1f\n", dsp::window_name(kind),
                 hard_e, easy_e, 10.0 * std::log10(easy_e / hard_e));
+    bench::report_row(
+        bench::row({{"window", dsp::window_name(kind)},
+                    {"hard_region_energy", hard_e},
+                    {"easy_region_leak", easy_e},
+                    {"leak_ratio_db", 10.0 * std::log10(easy_e / hard_e)}}));
   }
   std::printf(
       "\nReading: rectangular leaks clutter across the whole Doppler space "
@@ -72,5 +79,5 @@ int main() {
       "the cost of a wider clutter passband. This is why the paper's hard/"
       "easy split (and its uneven processor assignment) depends on the "
       "window choice.\n");
-  return 0;
+  return bench::report_finish();
 }

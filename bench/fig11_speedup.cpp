@@ -11,7 +11,8 @@
 
 using namespace ppstap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("fig11_speedup", argc, argv);
   auto sim = bench::paper_simulator();
   const int node_counts[] = {1, 2, 4, 8, 16, 32, 64, 128};
 
@@ -28,7 +29,13 @@ int main() {
         std::printf(" %8s", "-");
         continue;
       }
-      std::printf(" %8.4f", sim.compute_time(task, n));
+      const double ct = sim.compute_time(task, n);
+      std::printf(" %8.4f", ct);
+      bench::report_row(bench::row({{"task", stap::task_name(task)},
+                                    {"nodes", n},
+                                    {"compute_s", ct},
+                                    {"speedup",
+                                     sim.compute_time(task, 1) / ct}}));
     }
     std::printf("\n");
   }
@@ -58,5 +65,5 @@ int main() {
       sim.compute_time(stap::Task::kDopplerFilter, 32),
       sim.compute_time(stap::Task::kHardWeight, 112),
       sim.compute_time(stap::Task::kCfar, 16));
-  return 0;
+  return bench::report_finish();
 }

@@ -10,6 +10,7 @@
 // sequential reference) are asserted in tests/test_core.cpp.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/timer.hpp"
 #include "core/pipeline.hpp"
 #include "stap/sequential.hpp"
@@ -17,7 +18,8 @@
 
 using namespace ppstap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("host_pipeline", argc, argv);
   stap::StapParams p;
   p.num_range = 128;
   p.num_channels = 8;
@@ -74,6 +76,14 @@ int main() {
                 stap::task_name(static_cast<stap::Task>(t)),
                 a.nodes[static_cast<size_t>(t)], tt.recv, tt.comp, tt.send,
                 tt.total());
+    bench::report_row(bench::row(
+        {{"kind", "task_timing"},
+         {"task", stap::task_name(static_cast<stap::Task>(t))},
+         {"nodes", a.nodes[static_cast<size_t>(t)]},
+         {"recv_s", tt.recv},
+         {"comp_s", tt.comp},
+         {"send_s", tt.send},
+         {"queue_wait_s", r.queue_wait_per_cpi[static_cast<size_t>(t)]}}));
   }
   size_t par_dets = 0;
   for (const auto& d : r.detections) par_dets += d.size();
@@ -84,5 +94,16 @@ int main() {
       "detections            %zu (sequential reference: %zu)\n",
       r.throughput, r.latency, seq_per_cpi, 1.0 / seq_per_cpi, par_dets,
       seq_dets);
-  return 0;
+  bench::report_row(bench::row(
+      {{"kind", "summary"},
+       {"ranks", a.total()},
+       {"throughput_cpi_per_s", r.throughput},
+       {"latency_s", r.latency},
+       {"latency_p50_s", r.latency_percentiles.p50},
+       {"latency_p95_s", r.latency_percentiles.p95},
+       {"latency_p99_s", r.latency_percentiles.p99},
+       {"sequential_s_per_cpi", seq_per_cpi},
+       {"detections", par_dets},
+       {"sequential_detections", seq_dets}}));
+  return bench::report_finish();
 }

@@ -12,14 +12,17 @@
 using namespace ppstap;
 using core::NodeAssignment;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("table10_add_pc_cfar", argc, argv);
   auto sim = bench::paper_simulator();
   bench::print_case_table(sim, NodeAssignment::paper_table9(),
                           "Baseline: Table 9 assignment, 122 nodes (paper: "
-                          "thr 5.0213, lat 0.5498)");
+                          "thr 5.0213, lat 0.5498)",
+                          "table9_baseline");
   bench::print_case_table(sim, NodeAssignment::paper_table10(),
                           "Table 10: +8 PC, +8 CFAR nodes, 138 total "
-                          "(paper: thr 4.9052, lat 0.4247)");
+                          "(paper: thr 4.9052, lat 0.4247)",
+                          "table10");
 
   const auto t9 = sim.simulate(NodeAssignment::paper_table9());
   const auto t10 = sim.simulate(NodeAssignment::paper_table10());
@@ -39,6 +42,13 @@ int main() {
                 t10.timing[static_cast<size_t>(t)].recv,
                 t9.timing[static_cast<size_t>(t)].comp,
                 t10.timing[static_cast<size_t>(t)].comp);
+    bench::report_row(bench::row(
+        {{"kind", "idle_growth"},
+         {"task", stap::task_name(t)},
+         {"recv_t9_s", t9.timing[static_cast<size_t>(t)].recv},
+         {"recv_t10_s", t10.timing[static_cast<size_t>(t)].recv},
+         {"comp_t9_s", t9.timing[static_cast<size_t>(t)].comp},
+         {"comp_t10_s", t10.timing[static_cast<size_t>(t)].comp}}));
   }
-  return 0;
+  return bench::report_finish();
 }

@@ -6,6 +6,7 @@
 // full-size CPI with the thread-local flop counter enabled.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/flops.hpp"
 #include "stap/flops.hpp"
 #include "stap/sequential.hpp"
@@ -146,7 +147,8 @@ std::array<std::uint64_t, stap::kNumTasks> measured_flops(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("table1_flops", argc, argv);
   stap::StapParams p;  // paper configuration (K=512, J=16, N=128, ...)
   const auto paper = stap::paper_table1();
   const auto analytic = stap::analytic_flops_table(p);
@@ -167,6 +169,11 @@ int main() {
                 static_cast<unsigned long long>(measured[i]),
                 static_cast<double>(analytic[i]) /
                     static_cast<double>(paper[i]));
+    bench::report_row(bench::row(
+        {{"task", stap::task_name(static_cast<stap::Task>(t))},
+         {"paper_flops", paper[i]},
+         {"analytic_flops", analytic[i]},
+         {"measured_flops", measured[i]}}));
   }
   std::printf("%-28s %15llu %15llu %15llu %8.2fx\n", "Total",
               static_cast<unsigned long long>(paper[stap::kNumTasks]),
@@ -174,5 +181,9 @@ int main() {
               static_cast<unsigned long long>(mtotal),
               static_cast<double>(analytic[stap::kNumTasks]) /
                   static_cast<double>(paper[stap::kNumTasks]));
-  return 0;
+  bench::report_row(bench::row({{"task", "total"},
+                                {"paper_flops", paper[stap::kNumTasks]},
+                                {"analytic_flops", analytic[stap::kNumTasks]},
+                                {"measured_flops", mtotal}}));
+  return bench::report_finish();
 }

@@ -29,7 +29,8 @@ constexpr PaperRow kHardBf[] = {{.1332, .4395}, {.0679, .1843}, {.0340, .0519}};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("table2_comm_doppler", argc, argv);
   auto sim = bench::paper_simulator();
   bench::print_header(
       "Table 2: Doppler filter -> successors, send/recv (s). Successor "
@@ -66,10 +67,30 @@ int main() {
     bench::print_vs(edge(r56, SimEdge::kDopToEasyBf).recv, kEasyBf[row].recv);
     bench::print_vs(edge(r56, SimEdge::kDopToHardBf).recv, kHardBf[row].recv);
     std::printf("\n");
+
+    const struct {
+      const char* successor;
+      const core::SimResult& r;
+      SimEdge e;
+      const PaperRow& paper;
+    } cols[] = {
+        {"easy_wt_16", r56, SimEdge::kDopToEasyWt, kEasyWt[row]},
+        {"hard_wt_56", r56, SimEdge::kDopToHardWt, kHardWt56[row]},
+        {"hard_wt_112", r112, SimEdge::kDopToHardWt, kHardWt112[row]},
+        {"easy_bf_16", r56, SimEdge::kDopToEasyBf, kEasyBf[row]},
+        {"hard_bf_16", r56, SimEdge::kDopToHardBf, kHardBf[row]},
+    };
+    for (const auto& col : cols)
+      bench::report_row(bench::row({{"doppler_nodes", d},
+                                    {"successor", col.successor},
+                                    {"send_s", edge(col.r, col.e).send},
+                                    {"recv_s", edge(col.r, col.e).recv},
+                                    {"paper_send_s", col.paper.send},
+                                    {"paper_recv_s", col.paper.recv}}));
   }
   std::printf(
       "\nTrend checks: send scales ~1/P_doppler; recv (incl. idle waiting "
       "for the Doppler task) collapses superlinearly as Doppler nodes "
       "grow.\n");
-  return 0;
+  return bench::report_finish();
 }

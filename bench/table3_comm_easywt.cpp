@@ -8,7 +8,8 @@ using namespace ppstap;
 using core::NodeAssignment;
 using core::SimEdge;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("table3_comm_easywt", argc, argv);
   auto sim = bench::paper_simulator();
   bench::print_header(
       "Table 3: easy weight -> easy beamforming, send/recv (s)");
@@ -39,6 +40,12 @@ int main() {
       const auto& e =
           results[col].edges[static_cast<size_t>(SimEdge::kEasyWtToBf)];
       bench::print_vs(e.recv, paper[row][col][1]);
+      bench::report_row(bench::row({{"easy_wt_nodes", wt_nodes[row]},
+                                    {"easy_bf_nodes", bf_nodes[col]},
+                                    {"send_s", e.send},
+                                    {"recv_s", e.recv},
+                                    {"paper_send_s", paper[row][col][0]},
+                                    {"paper_recv_s", paper[row][col][1]}}));
     }
     std::printf("\n");
   }
@@ -46,5 +53,5 @@ int main() {
       "\nTrend checks: weight vectors are tiny, so send is dominated by "
       "message startup; recv is dominated by the beamformer's idle wait "
       "for the (slow) weight task and shrinks as weight nodes grow.\n");
-  return 0;
+  return bench::report_finish();
 }

@@ -8,7 +8,8 @@ using namespace ppstap;
 using core::NodeAssignment;
 using core::SimEdge;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("table4_comm_hardwt", argc, argv);
   auto sim = bench::paper_simulator();
   bench::print_header(
       "Table 4: hard weight -> hard beamforming, send/recv (s)");
@@ -39,11 +40,17 @@ int main() {
       const auto& e =
           results[col].edges[static_cast<size_t>(SimEdge::kHardWtToBf)];
       bench::print_vs(e.recv, paper[row][col][1]);
+      bench::report_row(bench::row({{"hard_wt_nodes", wt_nodes[row]},
+                                    {"hard_bf_nodes", bf_nodes[col]},
+                                    {"send_s", e.send},
+                                    {"recv_s", e.recv},
+                                    {"paper_send_s", paper[row][col][0]},
+                                    {"paper_recv_s", paper[row][col][1]}}));
     }
     std::printf("\n");
   }
   std::printf(
       "\nTrend checks: more weight nodes shrink the beamformer's idle "
       "wait; the recv floor is set by the volume 6*Nhard*2J*M weights.\n");
-  return 0;
+  return bench::report_finish();
 }

@@ -8,7 +8,8 @@ using namespace ppstap;
 using core::NodeAssignment;
 using core::SimEdge;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("table5_comm_bf", argc, argv);
   auto sim = bench::paper_simulator();
   bench::print_header(
       "Table 5: beamforming -> pulse compression, send/recv (s)");
@@ -51,6 +52,14 @@ int main() {
         const auto& et = results[col].edges[static_cast<size_t>(e)];
         const auto& pv = hard ? paper_hard[row][col] : paper_easy[row][col];
         bench::print_vs(et.recv, pv[1]);
+        bench::report_row(bench::row(
+            {{"beamformer", hard ? "hard" : "easy"},
+             {"bf_nodes", bf_nodes[row]},
+             {"pc_nodes", pc_nodes[col]},
+             {"send_s", et.send},
+             {"recv_s", et.recv},
+             {"paper_send_s", pv[0]},
+             {"paper_recv_s", pv[1]}}));
       }
       std::printf("\n");
     }
@@ -59,5 +68,5 @@ int main() {
       "\nTrend checks: no reorganization on this edge (same partition "
       "dimension), so send stays small; recv idle time collapses as the "
       "beamformers speed up.\n");
-  return 0;
+  return bench::report_finish();
 }

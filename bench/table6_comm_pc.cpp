@@ -8,7 +8,8 @@ using namespace ppstap;
 using core::NodeAssignment;
 using core::SimEdge;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("table6_comm_pc", argc, argv);
   auto sim = bench::paper_simulator();
   bench::print_header("Table 6: pulse compression -> CFAR, send/recv (s)");
 
@@ -38,6 +39,12 @@ int main() {
       const auto& e =
           results[col].edges[static_cast<size_t>(SimEdge::kPcToCfar)];
       bench::print_vs(e.recv, paper[row][col][1]);
+      bench::report_row(bench::row({{"pc_nodes", pc_nodes[row]},
+                                    {"cfar_nodes", cfar_nodes[col]},
+                                    {"send_s", e.send},
+                                    {"recv_s", e.recv},
+                                    {"paper_send_s", paper[row][col][0]},
+                                    {"paper_recv_s", paper[row][col][1]}}));
     }
     std::printf("\n");
   }
@@ -45,5 +52,5 @@ int main() {
       "\nTrend checks: the real (power-domain) data is half the size of "
       "the complex cubes; recv is dominated by waiting for pulse "
       "compression and shrinks as PC nodes grow.\n");
-  return 0;
+  return bench::report_finish();
 }

@@ -7,16 +7,20 @@
 using namespace ppstap;
 using core::NodeAssignment;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("table7_cases", argc, argv);
   auto sim = bench::paper_simulator();
   bench::print_case_table(
       sim, NodeAssignment::paper_case1(),
-      "Table 7 case 1: 236 nodes (paper: throughput 7.2659, latency 0.3622)");
+      "Table 7 case 1: 236 nodes (paper: throughput 7.2659, latency 0.3622)",
+      "case1");
   bench::print_case_table(
       sim, NodeAssignment::paper_case2(),
-      "Table 7 case 2: 118 nodes (paper: throughput 3.7959, latency 0.6805)");
+      "Table 7 case 2: 118 nodes (paper: throughput 3.7959, latency 0.6805)",
+      "case2");
   bench::print_case_table(
       sim, NodeAssignment::paper_case3(),
-      "Table 7 case 3: 59 nodes (paper: throughput 1.9898, latency 1.3530)");
-  return 0;
+      "Table 7 case 3: 59 nodes (paper: throughput 1.9898, latency 1.3530)",
+      "case3");
+  return bench::report_finish();
 }

@@ -13,7 +13,8 @@
 using namespace ppstap;
 using core::NodeAssignment;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("table8_throughput_latency", argc, argv);
   auto sim = bench::paper_simulator();
   struct Case {
     NodeAssignment a;
@@ -40,9 +41,19 @@ int main() {
     std::printf(" |");
     bench::print_vs(r.latency_measured, c.lat_real);
     std::printf("\n");
+    bench::report_row(bench::row(
+        {{"nodes", c.nodes},
+         {"throughput_eq_cpi_per_s", r.throughput_equation},
+         {"throughput_cpi_per_s", r.throughput_measured},
+         {"latency_eq_s", r.latency_equation},
+         {"latency_s", r.latency_measured},
+         {"paper_throughput_eq", c.thr_eq},
+         {"paper_throughput", c.thr_real},
+         {"paper_latency_eq", c.lat_eq},
+         {"paper_latency", c.lat_real}}));
   }
   std::printf(
       "\nTrend checks: linear scalability (2x nodes -> ~2x throughput, "
       "~1/2 latency); measured latency below the eq.(2) upper bound.\n");
-  return 0;
+  return bench::report_finish();
 }

@@ -13,14 +13,17 @@
 using namespace ppstap;
 using core::NodeAssignment;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::report_init("table9_add_doppler", argc, argv);
   auto sim = bench::paper_simulator();
   bench::print_case_table(sim, NodeAssignment::paper_case2(),
                           "Baseline: case 2, 118 nodes (paper: thr 3.7959, "
-                          "lat 0.6805)");
+                          "lat 0.6805)",
+                          "case2_baseline");
   bench::print_case_table(sim, NodeAssignment::paper_table9(),
                           "Table 9: +4 Doppler nodes, 122 total (paper: thr "
-                          "5.0213, lat 0.5498)");
+                          "5.0213, lat 0.5498)",
+                          "table9");
 
   const auto base = sim.simulate(NodeAssignment::paper_case2());
   const auto more = sim.simulate(NodeAssignment::paper_table9());
@@ -36,6 +39,11 @@ int main() {
     std::printf("  %-28s recv %.4f -> %.4f\n", stap::task_name(t),
                 base.timing[static_cast<size_t>(t)].recv,
                 more.timing[static_cast<size_t>(t)].recv);
+    bench::report_row(bench::row(
+        {{"kind", "recv_reduction"},
+         {"task", stap::task_name(t)},
+         {"recv_base_s", base.timing[static_cast<size_t>(t)].recv},
+         {"recv_more_s", more.timing[static_cast<size_t>(t)].recv}}));
   }
-  return 0;
+  return bench::report_finish();
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the observability checks:
+#
+#   1. Configure, build, and run the full test suite (ROADMAP tier-1).
+#   2. Seed the machine-readable benchmark baseline: table 8 with --json
+#      writes BENCH_table8.json (tracked across PRs, never committed).
+#   3. Build-both-ways check: the tree must also compile and pass the
+#      obs-labelled tests with -DPPSTAP_ENABLE_TRACING=OFF, proving the
+#      no-op stub API stays in sync with the real one.
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== tier-1: build + ctest (tracing ON) ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== bench baseline: BENCH_table8.json ==="
+./build/bench/table8_throughput_latency --json BENCH_table8.json
+
+echo "=== build-both-ways: PPSTAP_ENABLE_TRACING=OFF ==="
+cmake -B build-notrace -S . -DCMAKE_BUILD_TYPE=Release \
+      -DPPSTAP_ENABLE_TRACING=OFF
+cmake --build build-notrace -j "$JOBS"
+ctest --test-dir build-notrace -L obs --output-on-failure -j "$JOBS"
+
+echo "ci.sh: all checks passed"

@@ -15,19 +15,25 @@
 #include <vector>
 
 #include "comm/world.hpp"
+#include "obs/trace.hpp"
 
 namespace ppstap::comm {
 
 /// Root's `data` is copied to every rank; other ranks' `data` is replaced.
+/// Each collective emits one obs span per participating rank carrying the
+/// local payload bytes and the participant count.
 template <typename T>
 void broadcast(Comm& c, int root, std::vector<T>& data, int tag) {
   PPSTAP_REQUIRE(root >= 0 && root < c.size(), "invalid broadcast root");
+  obs::ScopedSpan span("broadcast", "comm", c.rank(), obs::kCommTrack);
+  span.set_items(c.size());
   if (c.rank() == root) {
     for (int r = 0; r < c.size(); ++r)
       if (r != root) c.send<T>(r, tag, data);
   } else {
     data = c.recv<T>(root, tag);
   }
+  span.set_bytes(static_cast<std::int64_t>(data.size() * sizeof(T)));
 }
 
 /// Root receives every rank's contribution (indexed by rank); non-roots
@@ -36,6 +42,9 @@ template <typename T>
 std::vector<std::vector<T>> gather(Comm& c, int root,
                                    std::span<const T> mine, int tag) {
   PPSTAP_REQUIRE(root >= 0 && root < c.size(), "invalid gather root");
+  obs::ScopedSpan span("gather", "comm", c.rank(), obs::kCommTrack);
+  span.set_items(c.size());
+  span.set_bytes(static_cast<std::int64_t>(mine.size() * sizeof(T)));
   std::vector<std::vector<T>> out;
   if (c.rank() == root) {
     out.resize(static_cast<size_t>(c.size()));
@@ -53,6 +62,9 @@ std::vector<std::vector<T>> gather(Comm& c, int root,
 template <typename T>
 std::vector<std::vector<T>> all_gather(Comm& c, std::span<const T> mine,
                                        int tag) {
+  obs::ScopedSpan span("all_gather", "comm", c.rank(), obs::kCommTrack);
+  span.set_items(c.size());
+  span.set_bytes(static_cast<std::int64_t>(mine.size() * sizeof(T)));
   auto gathered = gather(c, 0, mine, tag);
   // Serialize as (count, payload) per rank for the broadcast leg.
   std::vector<std::uint64_t> counts;
@@ -83,6 +95,12 @@ std::vector<std::vector<T>> all_to_all(Comm& c,
                                        int tag) {
   PPSTAP_REQUIRE(static_cast<int>(send.size()) == c.size(),
                  "all_to_all needs one send buffer per rank");
+  obs::ScopedSpan span("all_to_all", "comm", c.rank(), obs::kCommTrack);
+  span.set_items(c.size());
+  std::int64_t send_bytes = 0;
+  for (const auto& v : send)
+    send_bytes += static_cast<std::int64_t>(v.size() * sizeof(T));
+  span.set_bytes(send_bytes);
   for (int r = 0; r < c.size(); ++r)
     c.send<T>(r, tag, std::span<const T>(send[static_cast<size_t>(r)]));
   std::vector<std::vector<T>> out(static_cast<size_t>(c.size()));
@@ -94,6 +112,9 @@ std::vector<std::vector<T>> all_to_all(Comm& c,
 /// Sum-reduction to every rank (for scalars and element-wise vectors).
 template <typename T>
 std::vector<T> all_reduce_sum(Comm& c, std::span<const T> mine, int tag) {
+  obs::ScopedSpan span("all_reduce_sum", "comm", c.rank(), obs::kCommTrack);
+  span.set_items(c.size());
+  span.set_bytes(static_cast<std::int64_t>(mine.size() * sizeof(T)));
   auto all = all_gather(c, mine, tag);
   std::vector<T> out(mine.size(), T{});
   for (const auto& v : all) {

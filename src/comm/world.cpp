@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/timer.hpp"
+
 namespace ppstap::comm {
 
 namespace {
@@ -130,11 +132,13 @@ void World::do_send(Comm& c, int dest, int tag,
   std::unique_lock<std::mutex> lock(box.mu);
   // Flow control: block while the mailbox is full, but always admit a
   // message into an empty mailbox so one oversized message cannot wedge.
+  const double wait_start = WallTimer::now();
   box.cv.wait(lock, [&] {
     if (shared_->aborted) return true;
     return box.messages.empty() || box.buffered_bytes + bytes.size() <=
                                        capacity_;
   });
+  c.stats_.send_wait_seconds += WallTimer::now() - wait_start;
   {
     std::lock_guard<std::mutex> slock(shared_->mu);
     if (shared_->aborted) throw Error("comm world aborted during send");
@@ -152,6 +156,7 @@ std::vector<std::byte> World::do_recv(Comm& c, int src, int tag) {
   Mailbox& box = *boxes_[static_cast<size_t>(c.rank())];
   std::unique_lock<std::mutex> lock(box.mu);
   auto match = box.messages.end();
+  const double wait_start = WallTimer::now();
   box.cv.wait(lock, [&] {
     if (shared_->aborted) return true;
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
@@ -162,6 +167,7 @@ std::vector<std::byte> World::do_recv(Comm& c, int src, int tag) {
     }
     return false;
   });
+  c.stats_.recv_wait_seconds += WallTimer::now() - wait_start;
   {
     std::lock_guard<std::mutex> slock(shared_->mu);
     if (shared_->aborted) throw Error("comm world aborted during recv");

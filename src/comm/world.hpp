@@ -42,6 +42,12 @@ struct CommStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
+  /// Seconds this rank spent blocked inside recv waiting for a matching
+  /// message to arrive (the queue-wait component of Fig. 10's receive
+  /// phase; feeds the per-task queue-wait gauges).
+  double recv_wait_seconds = 0.0;
+  /// Seconds this rank spent blocked in send on mailbox flow control.
+  double send_wait_seconds = 0.0;
 };
 
 /// A rank's handle to the world. Valid only inside World::run's callback,

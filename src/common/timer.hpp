@@ -6,8 +6,21 @@
 namespace ppstap {
 
 /// Monotonic wall-clock timer with seconds-resolution double output.
+///
+/// The time base is std::chrono::steady_clock — a monotonic clock with an
+/// *unspecified* epoch (typically boot time), NOT the wall (UTC) epoch.
+/// Like MPI_Wtime(), only differences between two now() values are
+/// meaningful; absolute values are not comparable across processes or
+/// reboots. Every timestamp in the repo — Figure-10 phase timing,
+/// obs trace spans, latency measurement — uses this one consistent
+/// monotonic base, so spans and phase times can be subtracted freely.
 class WallTimer {
  public:
+  /// The underlying clock. steady_clock by contract (asserted in tests):
+  /// monotonic and immune to wall-clock adjustments.
+  using clock = std::chrono::steady_clock;
+  static_assert(clock::is_steady, "WallTimer requires a monotonic clock");
+
   WallTimer() : start_(clock::now()) {}
 
   /// Seconds elapsed since construction or the last reset().
@@ -17,14 +30,14 @@ class WallTimer {
 
   void reset() { start_ = clock::now(); }
 
-  /// Current time point in seconds, analogous to MPI_Wtime().
+  /// Seconds since the steady_clock epoch, analogous to MPI_Wtime():
+  /// meaningful only as a difference against another now() value.
   static double now() {
     return std::chrono::duration<double>(clock::now().time_since_epoch())
         .count();
   }
 
  private:
-  using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
 

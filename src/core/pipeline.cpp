@@ -1,12 +1,15 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 
 #include "comm/world.hpp"
 #include "common/timer.hpp"
 #include "core/cpi_source.hpp"
+#include "core/sim.hpp"
 #include "cube/partition.hpp"
+#include "obs/trace.hpp"
 #include "stap/beamform.hpp"
 #include "stap/doppler.hpp"
 #include "stap/pulse_compression.hpp"
@@ -90,6 +93,9 @@ struct Shared {
   std::array<TaskTiming, stap::kNumTasks> timing_sum{};
   std::array<int, stap::kNumTasks> timing_ranks{};
   std::array<std::uint64_t, stap::kNumTasks> bytes_sent{};
+  // Per-link (Fig. 4 edge) byte counters over the measured CPIs; updated
+  // with relaxed atomics from the sending ranks.
+  std::array<std::atomic<std::uint64_t>, kNumPipelineEdges> edge_bytes{};
 
   bool measured(index_t cpi) const {
     return cpi >= warmup && cpi < n_cpis - cooldown;
@@ -129,10 +135,29 @@ struct PhaseAcc {
   }
 };
 
-void send_cf(Comm& c, int dest, int tag, const std::vector<cfloat>& buf,
-             bool measured, PhaseAcc& acc) {
-  c.send<cfloat>(dest, tag, buf);
-  if (measured) acc.bytes += buf.size() * sizeof(cfloat);
+void send_cf(Comm& c, Shared& s, int dest, index_t cpi, Edge e,
+             const std::vector<cfloat>& buf, bool measured, PhaseAcc& acc) {
+  c.send<cfloat>(dest, tag_for(cpi, e), buf);
+  if (measured) {
+    const std::uint64_t n = buf.size() * sizeof(cfloat);
+    acc.bytes += n;
+    s.edge_bytes[static_cast<size_t>(e)].fetch_add(n,
+                                                   std::memory_order_relaxed);
+  }
+}
+
+// One obs span per Figure-10 phase: recv [t0,t1), comp [t1,t2),
+// send [t2,t3). `send_bytes` annotates the send span (0 on unmeasured
+// CPIs, where byte accounting is off).
+void emit_phase_spans(int rank, Task t, index_t cpi, double t0, double t1,
+                      double t2, double t3, std::uint64_t send_bytes) {
+  if (!obs::tracing_enabled()) return;
+  const int task = static_cast<int>(t);
+  const auto c = static_cast<std::int64_t>(cpi);
+  obs::emit({"recv", "pipeline", rank, task, c, t0, t1, -1, -1});
+  obs::emit({"comp", "pipeline", rank, task, c, t1, t2, -1, -1});
+  obs::emit({"send", "pipeline", rank, task, c, t2, t3,
+             static_cast<std::int64_t>(send_bytes), -1});
 }
 
 // ---------------------------------------------------------------------------
@@ -149,6 +174,7 @@ void run_doppler(Comm& c, Shared& s, int me) {
 
   for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
     const bool meas = s.measured(cpi);
+    const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
     if (me == 0) {
       std::lock_guard<std::mutex> lock(s.mu);
@@ -181,8 +207,8 @@ void run_doppler(Comm& c, Shared& s, int me) {
           for (index_t ch = 0; ch < j; ++ch)
             buf.push_back(stag.at(cell - k0, ch, bin));
         }
-      send_cf(c, s.base(Task::kEasyWeight) + r, tag_for(cpi, kDopToEasyWt),
-              buf, meas, acc);
+      send_cf(c, s, s.base(Task::kEasyWeight) + r, cpi, kDopToEasyWt, buf,
+              meas, acc);
     }
     // Hard weight task: 2J-channel training rows per (bin, segment) unit.
     for (int r = 0; r < s.count(Task::kHardWeight); ++r) {
@@ -194,8 +220,8 @@ void run_doppler(Comm& c, Shared& s, int me) {
           for (index_t ch = 0; ch < jj; ++ch)
             buf.push_back(stag.at(cell - k0, ch, u.bin));
         }
-      send_cf(c, s.base(Task::kHardWeight) + r, tag_for(cpi, kDopToHardWt),
-              buf, meas, acc);
+      send_cf(c, s, s.base(Task::kHardWeight) + r, cpi, kDopToHardWt, buf,
+              meas, acc);
     }
     // Easy beamforming: the full slab for the destination's bins, J
     // channels, reorganized to (bin, range, channel) — Fig. 8.
@@ -207,8 +233,8 @@ void run_doppler(Comm& c, Shared& s, int me) {
         for (index_t k = 0; k < kl; ++k)
           for (index_t ch = 0; ch < j; ++ch)
             buf.push_back(stag.at(k, ch, bin));
-      send_cf(c, s.base(Task::kEasyBeamform) + r, tag_for(cpi, kDopToEasyBf),
-              buf, meas, acc);
+      send_cf(c, s, s.base(Task::kEasyBeamform) + r, cpi, kDopToEasyBf, buf,
+              meas, acc);
     }
     // Hard beamforming: same with both stagger halves (2J channels).
     for (int r = 0; r < s.count(Task::kHardBeamform); ++r) {
@@ -219,10 +245,12 @@ void run_doppler(Comm& c, Shared& s, int me) {
         for (index_t k = 0; k < kl; ++k)
           for (index_t ch = 0; ch < jj; ++ch)
             buf.push_back(stag.at(k, ch, bin));
-      send_cf(c, s.base(Task::kHardBeamform) + r, tag_for(cpi, kDopToHardBf),
-              buf, meas, acc);
+      send_cf(c, s, s.base(Task::kHardBeamform) + r, cpi, kDopToHardBf, buf,
+              meas, acc);
     }
     const double t3 = WallTimer::now();
+    emit_phase_spans(c.rank(), Task::kDopplerFilter, cpi, t0, t1, t2, t3,
+                     acc.bytes - bytes0);
 
     if (meas) {
       acc.recv += t1 - t0;
@@ -271,8 +299,8 @@ void run_easy_wt(Comm& c, Shared& s, int me) {
             w.weights[static_cast<size_t>(pos - s.part_ewt.offset(me))];
         buf.insert(buf.end(), wm.data(), wm.data() + wm.size());
       }
-      send_cf(c, s.base(Task::kEasyBeamform) + r,
-              tag_for(for_cpi, kEasyWtToBf), buf, s.measured(for_cpi), acc);
+      send_cf(c, s, s.base(Task::kEasyBeamform) + r, for_cpi, kEasyWtToBf,
+              buf, s.measured(for_cpi), acc);
     }
   };
   for (index_t pos = 0; pos < positions && pos < s.n_cpis; ++pos)
@@ -281,6 +309,7 @@ void run_easy_wt(Comm& c, Shared& s, int me) {
   const index_t total_cells = static_cast<index_t>(s.easy_cells.size());
   for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
     const bool meas = s.measured(cpi);
+    const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
 
     std::vector<MatrixCF> training(bins.size(), MatrixCF(total_cells, j));
@@ -307,6 +336,8 @@ void run_easy_wt(Comm& c, Shared& s, int me) {
     // These weights serve the *next visit* of the same transmit position.
     if (cpi + positions < s.n_cpis) send_weights(w, cpi + positions);
     const double t3 = WallTimer::now();
+    emit_phase_spans(c.rank(), Task::kEasyWeight, cpi, t0, t1, t2, t3,
+                     acc.bytes - bytes0);
 
     if (meas) {
       acc.recv += t1 - t0;
@@ -356,8 +387,8 @@ void run_hard_wt(Comm& c, Shared& s, int me) {
         const auto& wm = w[static_cast<size_t>(pos - u_base)];
         buf.insert(buf.end(), wm.data(), wm.data() + wm.size());
       }
-      send_cf(c, s.base(Task::kHardBeamform) + r,
-              tag_for(for_cpi, kHardWtToBf), buf, s.measured(for_cpi), acc);
+      send_cf(c, s, s.base(Task::kHardBeamform) + r, for_cpi, kHardWtToBf,
+              buf, s.measured(for_cpi), acc);
     }
   };
   for (index_t pos = 0; pos < positions && pos < s.n_cpis; ++pos)
@@ -365,6 +396,7 @@ void run_hard_wt(Comm& c, Shared& s, int me) {
 
   for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
     const bool meas = s.measured(cpi);
+    const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
 
     std::vector<MatrixCF> training;
@@ -395,6 +427,8 @@ void run_hard_wt(Comm& c, Shared& s, int me) {
     // These weights serve the *next visit* of the same transmit position.
     if (cpi + positions < s.n_cpis) send_weights(w, cpi + positions);
     const double t3 = WallTimer::now();
+    emit_phase_spans(c.rank(), Task::kHardWeight, cpi, t0, t1, t2, t3,
+                     acc.bytes - bytes0);
 
     if (meas) {
       acc.recv += t1 - t0;
@@ -429,6 +463,7 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
 
   for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
     const bool meas = s.measured(cpi);
+    const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
 
     // Weights for this CPI (sent by the weight task while processing the
@@ -495,10 +530,11 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
           buf.insert(buf.end(), line.begin(), line.end());
         }
       }
-      send_cf(c, s.base(Task::kPulseCompression) + r, tag_for(cpi, out_edge),
-              buf, meas, acc);
+      send_cf(c, s, s.base(Task::kPulseCompression) + r, cpi, out_edge, buf,
+              meas, acc);
     }
     const double t3 = WallTimer::now();
+    emit_phase_spans(c.rank(), task, cpi, t0, t1, t2, t3, acc.bytes - bytes0);
 
     if (meas) {
       acc.recv += t1 - t0;
@@ -548,6 +584,7 @@ void run_pc(Comm& c, Shared& s, int me) {
 
   for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
     const bool meas = s.measured(cpi);
+    const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
 
     cube::CpiCube bf(gl, m, k);
@@ -572,9 +609,16 @@ void run_pc(Comm& c, Shared& s, int me) {
         buf.insert(buf.end(), src, src + m * k);
       }
       c.send<float>(s.base(Task::kCfar) + r, tag_for(cpi, kPcToCfar), buf);
-      if (meas) acc.bytes += buf.size() * sizeof(float);
+      if (meas) {
+        const std::uint64_t n = buf.size() * sizeof(float);
+        acc.bytes += n;
+        s.edge_bytes[static_cast<size_t>(kPcToCfar)].fetch_add(
+            n, std::memory_order_relaxed);
+      }
     }
     const double t3 = WallTimer::now();
+    emit_phase_spans(c.rank(), Task::kPulseCompression, cpi, t0, t1, t2, t3,
+                     acc.bytes - bytes0);
 
     if (meas) {
       acc.recv += t1 - t0;
@@ -633,6 +677,11 @@ void run_cfar(Comm& c, Shared& s, int me) {
           s.count(Task::kCfar))
         s.completion[static_cast<size_t>(cpi)] = WallTimer::now();
     }
+    // The sink has no downstream send; its "send" span is the detection
+    // report commit, so every task traces a full recv/comp/send triple.
+    if (obs::tracing_enabled())
+      emit_phase_spans(c.rank(), Task::kCfar, cpi, t0, t1, t2,
+                       WallTimer::now(), 0);
 
     if (meas) {
       acc.recv += t1 - t0;
@@ -710,6 +759,10 @@ PipelineResult ParallelStapPipeline::run(
   s.cfar_done.assign(static_cast<size_t>(num_cpis), 0);
   s.detections.assign(static_cast<size_t>(num_cpis), {});
 
+  if (obs::tracing_enabled())
+    for (int t = 0; t < stap::kNumTasks; ++t)
+      obs::set_track_name(t, stap::task_name(static_cast<stap::Task>(t)));
+
   comm::World world(assign_.total());
   world.run([&](Comm& c) {
     int rank = c.rank();
@@ -764,6 +817,10 @@ PipelineResult ParallelStapPipeline::run(
   int gap_count = 0;
   double latency_sum = 0.0;
   int latency_count = 0;
+  // Latency histogram: exponential buckets from 10 µs to ~1000 s cover
+  // every regime from the small-test pipelines to the full paper runs.
+  obs::Histogram latency_hist(
+      obs::Histogram::exponential_bounds(1e-5, 1e3, 1.35));
   for (index_t cpi = 0; cpi < num_cpis; ++cpi) {
     if (!s.measured(cpi)) continue;
     const auto i = static_cast<size_t>(cpi);
@@ -773,6 +830,7 @@ PipelineResult ParallelStapPipeline::run(
     }
     const double lat = s.completion[i] - s.input_ready[i];
     result.per_cpi_latency.push_back(lat);
+    latency_hist.observe(lat);
     latency_sum += lat;
     ++latency_count;
   }
@@ -780,6 +838,48 @@ PipelineResult ParallelStapPipeline::run(
     result.throughput = static_cast<double>(gap_count) / gap_sum;
   if (latency_count > 0)
     result.latency = latency_sum / static_cast<double>(latency_count);
+  result.latency_percentiles = {latency_hist.quantile(0.50),
+                                latency_hist.quantile(0.95),
+                                latency_hist.quantile(0.99)};
+  result.latency_histogram = latency_hist.snapshot();
+
+  // Queue-wait gauge per task: mean blocked-in-recv seconds per CPI over
+  // the task's ranks and the whole stream.
+  const auto& stats = world.last_stats();
+  for (int t = 0; t < stap::kNumTasks; ++t) {
+    const stap::Task task = static_cast<stap::Task>(t);
+    double wait = 0.0;
+    for (int r = 0; r < s.count(task); ++r)
+      wait += stats[static_cast<size_t>(s.base(task) + r)].recv_wait_seconds;
+    result.queue_wait_per_cpi[static_cast<size_t>(t)] =
+        wait / (static_cast<double>(s.count(task)) *
+                static_cast<double>(num_cpis));
+  }
+
+  for (int e = 0; e < kNumPipelineEdges; ++e)
+    result.bytes_per_edge_per_cpi[static_cast<size_t>(e)] =
+        static_cast<double>(
+            s.edge_bytes[static_cast<size_t>(e)].load(
+                std::memory_order_relaxed)) /
+        static_cast<double>(s.measured_count());
+
+  // Publish to the process-wide metrics registry for exporters.
+  auto& reg = obs::Registry::global();
+  auto& hist = reg.histogram("pipeline.cpi_latency_seconds",
+                             obs::Histogram::exponential_bounds(1e-5, 1e3,
+                                                                1.35));
+  for (const double lat : result.per_cpi_latency) hist.observe(lat);
+  reg.gauge("pipeline.throughput_cpi_per_s").set(result.throughput);
+  for (int t = 0; t < stap::kNumTasks; ++t) {
+    const std::string name = stap::task_name(static_cast<stap::Task>(t));
+    reg.gauge("pipeline.queue_wait_s." + name)
+        .set(result.queue_wait_per_cpi[static_cast<size_t>(t)]);
+  }
+  for (int e = 0; e < kNumPipelineEdges; ++e)
+    reg.counter(std::string("pipeline.edge_bytes.") +
+                sim_edge_name(static_cast<SimEdge>(e)))
+        .add(s.edge_bytes[static_cast<size_t>(e)].load(
+            std::memory_order_relaxed));
   return result;
 }
 

@@ -21,11 +21,15 @@
 
 #include "core/assignment.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/metrics.hpp"
 #include "stap/cfar.hpp"
 #include "stap/params.hpp"
 #include "synth/scenario.hpp"
 
 namespace ppstap::core {
+
+/// Number of inter-task edges of Fig. 4 (indexed like SimEdge in sim.hpp).
+inline constexpr int kNumPipelineEdges = 9;
 
 /// Figure-10 phase times for one task (seconds per CPI, averaged over the
 /// measured CPIs and over the task's ranks).
@@ -50,9 +54,31 @@ struct PipelineResult {
   double latency = 0.0;
   std::vector<double> per_cpi_latency;
 
+  /// Per-CPI latency percentiles extracted from `latency_histogram` —
+  /// within one bucket of the exact order statistics of per_cpi_latency.
+  struct LatencyPercentiles {
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  LatencyPercentiles latency_percentiles;
+  /// The fixed-bucket histogram behind the percentiles (bounds + counts),
+  /// for export and cross-PR trend tracking.
+  obs::Histogram::Snapshot latency_histogram;
+
+  /// Mean seconds per CPI (averaged over the whole stream and the task's
+  /// ranks) spent blocked in recv waiting for upstream data — the
+  /// queue-wait gauge: idle time, as opposed to the unpack work also
+  /// charged to Fig. 10's receive phase.
+  std::array<double, stap::kNumTasks> queue_wait_per_cpi{};
+
   /// Total bytes moved between tasks per measured CPI (send side), indexed
   /// by sending task — feeds the machine-model volume validation.
   std::array<double, stap::kNumTasks> bytes_sent_per_cpi{};
+
+  /// Per-link byte counters: bytes per measured CPI crossing each Fig. 4
+  /// edge, indexed like core::SimEdge (sim.hpp).
+  std::array<double, kNumPipelineEdges> bytes_per_edge_per_cpi{};
 };
 
 /// Runs the parallel pipelined STAP application on an in-process rank world.

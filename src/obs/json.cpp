@@ -1,0 +1,323 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace ppstap::obs {
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) v_ = Object{};
+  auto& obj = std::get<Object>(v_);
+  for (auto& [k, v] : obj)
+    if (k == key) return v;
+  obj.emplace_back(key, Json());
+  return obj.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(v_))
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) v_ = Array{};
+  std::get<Array>(v_).push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<Array>(v_).size();
+  if (is_object()) return std::get<Object>(v_).size();
+  return 0;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double d) {
+  PPSTAP_CHECK(std::isfinite(d), "JSON cannot represent NaN/Inf");
+  // Integers (the common case: counts, ranks, bytes) print without a
+  // fraction; everything else round-trips through %.17g.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  // Recursive lambda over the variant.
+  auto rec = [&](auto&& self, const Json& j, int depth) -> void {
+    const std::string pad =
+        indent >= 0 ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+                    : std::string();
+    const std::string close_pad =
+        indent >= 0 ? std::string(static_cast<size_t>(indent * depth), ' ')
+                    : std::string();
+    const char* nl = indent >= 0 ? "\n" : "";
+    const char* colon = indent >= 0 ? ": " : ":";
+    if (j.is_null()) {
+      out += "null";
+    } else if (j.is_bool()) {
+      out += j.as_bool() ? "true" : "false";
+    } else if (j.is_number()) {
+      append_number(out, j.as_number());
+    } else if (j.is_string()) {
+      append_escaped(out, j.as_string());
+    } else if (j.is_array()) {
+      const auto& arr = j.as_array();
+      if (arr.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[";
+      out += nl;
+      for (size_t i = 0; i < arr.size(); ++i) {
+        out += pad;
+        self(self, arr[i], depth + 1);
+        if (i + 1 < arr.size()) out += ",";
+        out += nl;
+      }
+      out += close_pad;
+      out += "]";
+    } else {
+      const auto& obj = j.as_object();
+      if (obj.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{";
+      out += nl;
+      for (size_t i = 0; i < obj.size(); ++i) {
+        out += pad;
+        append_escaped(out, obj[i].first);
+        out += colon;
+        self(self, obj[i].second, depth + 1);
+        if (i + 1 < obj.size()) out += ",";
+        out += nl;
+      }
+      out += close_pad;
+      out += "}";
+    }
+  };
+  rec(rec, *this, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json j = value();
+    skip_ws();
+    PPSTAP_REQUIRE(pos_ == s_.size(), "trailing characters after JSON value");
+    return j;
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+
+  [[noreturn]] void fail(const char* what) {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json(string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default: return number();
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json j = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return j;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      j[key] = value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return j;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json j = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return j;
+    }
+    while (true) {
+      j.push_back(value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return j;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      c = s_[pos_++];
+      switch (c) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("short \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our writer; decode them permissively as-is).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("malformed number");
+    return Json(d);
+  }
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace ppstap::obs

@@ -1,0 +1,81 @@
+// Minimal JSON document type for the observability layer.
+//
+// Everything the obs subsystem exports — Chrome trace-event files, metric
+// registry snapshots, machine-readable bench output — is JSON, and the
+// tests must be able to parse those files back to verify well-formedness,
+// so this header provides both a writer and a strict parser. Objects keep
+// insertion order (trace viewers and humans both read the files), numbers
+// round-trip through double, and dump() emits UTF-8 with standard escaping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ppstap::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Insertion-ordered object (lookup is linear; documents are small).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<double>(i)) {}
+  Json(long i) : v_(static_cast<double>(i)) {}
+  Json(long long i) : v_(static_cast<double>(i)) {}
+  Json(unsigned u) : v_(static_cast<double>(u)) {}
+  Json(unsigned long u) : v_(static_cast<double>(u)) {}
+  Json(unsigned long long u) : v_(static_cast<double>(u)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_number() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+
+  /// Object access: inserts a null member if `key` is absent. Converts a
+  /// default-constructed (null) value into an object on first use.
+  Json& operator[](const std::string& key);
+
+  /// Object lookup without insertion; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Array append. Converts a null value into an array on first use.
+  void push_back(Json v);
+
+  /// Array / object element count (0 for scalars).
+  std::size_t size() const;
+  const Json& at(std::size_t i) const { return std::get<Array>(v_)[i]; }
+
+  /// Serialize. `indent` < 0 emits compact one-line JSON; >= 0 pretty-prints
+  /// with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parser; throws ppstap::Error on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  explicit Json(Array a) : v_(std::move(a)) {}
+  explicit Json(Object o) : v_(std::move(o)) {}
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+}  // namespace ppstap::obs

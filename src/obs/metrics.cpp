@@ -1,0 +1,170 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace ppstap::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      min_bits_(std::numeric_limits<double>::infinity()),
+      max_bits_(-std::numeric_limits<double>::infinity()) {
+  PPSTAP_REQUIRE(!bounds_.empty(), "histogram needs at least one bound");
+  for (size_t i = 1; i < bounds_.size(); ++i)
+    PPSTAP_REQUIRE(bounds_[i] > bounds_[i - 1],
+                   "histogram bounds must be strictly increasing");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+std::vector<double> Histogram::exponential_bounds(double lo, double hi,
+                                                  double growth) {
+  PPSTAP_REQUIRE(lo > 0.0 && hi > lo && growth > 1.0,
+                 "need 0 < lo < hi and growth > 1");
+  std::vector<double> out;
+  for (double b = lo; b < hi * growth; b *= growth) out.push_back(b);
+  return out;
+}
+
+std::size_t Histogram::bucket_index(double v) const {
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+}
+
+void Histogram::observe(double v) {
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + v,
+                                     std::memory_order_relaxed)) {
+  }
+  double mn = min_bits_.load(std::memory_order_relaxed);
+  while (v < mn &&
+         !min_bits_.compare_exchange_weak(mn, v, std::memory_order_relaxed)) {
+  }
+  double mx = max_bits_.load(std::memory_order_relaxed);
+  while (v > mx &&
+         !max_bits_.compare_exchange_weak(mx, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const {
+  return min_bits_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return max_bits_.load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  PPSTAP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  // Rank of the target observation (1-based, nearest-rank convention).
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      // Interpolate inside bucket i: (lower, upper].
+      const double lower = i == 0 ? std::min(min(), bounds_[0]) : bounds_[i - 1];
+      const double upper = i < bounds_.size() ? bounds_[i] : max();
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(c);
+      const double v = lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+      return std::clamp(v, min(), max());
+    }
+    cum += c;
+  }
+  return max();
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i)
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  s.count = count();
+  s.sum = sum();
+  s.min = s.count ? min() : 0.0;
+  s.max = s.count ? max() : 0.0;
+  return s;
+}
+
+Json Histogram::to_json() const {
+  const Snapshot s = snapshot();
+  Json j = Json::object();
+  j["count"] = s.count;
+  j["sum"] = s.sum;
+  j["min"] = s.min;
+  j["max"] = s.max;
+  j["p50"] = quantile(0.50);
+  j["p95"] = quantile(0.95);
+  j["p99"] = quantile(0.99);
+  Json buckets = Json::array();
+  for (size_t i = 0; i < s.counts.size(); ++i) {
+    if (s.counts[i] == 0) continue;  // sparse: documents stay readable
+    Json b = Json::object();
+    b["le"] = i < s.bounds.size() ? Json(s.bounds[i]) : Json("inf");
+    b["count"] = s.counts[i];
+    buckets.push_back(std::move(b));
+  }
+  j["buckets"] = std::move(buckets);
+  return j;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+Json Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json j = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) counters[name] = c->value();
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges[name] = g->value();
+  Json hists = Json::object();
+  for (const auto& [name, h] : histograms_) hists[name] = h->to_json();
+  j["counters"] = std::move(counters);
+  j["gauges"] = std::move(gauges);
+  j["histograms"] = std::move(hists);
+  return j;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace ppstap::obs

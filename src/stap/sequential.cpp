@@ -4,6 +4,8 @@
 #include <ostream>
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace ppstap::stap {
 
@@ -52,10 +54,24 @@ SequentialStap::CpiResult SequentialStap::process(const cube::CpiCube& cpi) {
                      cpi.extent(2) == p_.num_pulses,
                  "CPI cube must be K x J x N");
   const auto pos = static_cast<size_t>(cpi_counter_ % p_.num_beam_positions);
+  const auto span_cpi = static_cast<std::int64_t>(cpi_counter_);
   ++cpi_counter_;
+
+  // One obs span per chain stage, named after the task it mirrors; the
+  // stages tile the CPI back-to-back on the "sequential" track.
+  const bool tracing = obs::tracing_enabled();
+  double stage_start = tracing ? WallTimer::now() : 0.0;
+  auto mark_stage = [&](const char* name) {
+    if (!tracing) return;
+    const double now = WallTimer::now();
+    obs::emit({name, "sequential", 0, obs::kSeqTrack, span_cpi, stage_start,
+               now, -1, -1});
+    stage_start = now;
+  };
 
   // --- Task 0: Doppler filter processing ---------------------------------
   last_staggered_ = doppler_.filter(cpi);
+  mark_stage("doppler");
 
   // --- Reorganization (sequential analogue of the Fig. 8 redistribution) --
   const index_t k = p_.num_range;
@@ -73,10 +89,12 @@ SequentialStap::CpiResult SequentialStap::process(const cube::CpiCube& cpi) {
       for (index_t ch = 0; ch < jj; ++ch)
         hard_data.at(static_cast<index_t>(b), kk, ch) =
             last_staggered_.at(kk, ch, hard_bins_[b]);
+  mark_stage("reorg");
 
   // --- Tasks 3/4: beamforming with this position's previous weights ------
   last_easy_bf_ = easy_beamform(easy_data, easy_w_[pos], p_);
   last_hard_bf_ = hard_beamform(hard_data, hard_w_[pos], p_);
+  mark_stage("beamform");
 
   // Assemble the N x M x K cube the pulse compression task receives.
   cube::CpiCube combined(p_.num_pulses, p_.num_beams, k);
@@ -95,12 +113,14 @@ SequentialStap::CpiResult SequentialStap::process(const cube::CpiCube& cpi) {
 
   // --- Task 5: pulse compression ------------------------------------------
   last_power_ = compressor_.compress(combined);
+  mark_stage("pulse_compression");
 
   // --- Task 6: CFAR --------------------------------------------------------
   std::vector<index_t> all_bins(static_cast<size_t>(p_.num_pulses));
   for (index_t b = 0; b < p_.num_pulses; ++b)
     all_bins[static_cast<size_t>(b)] = b;
   CpiResult result{cfar_detect(last_power_, all_bins, p_)};
+  mark_stage("cfar");
 
   // --- Tasks 1/2: weight computation for this position's next CPI ---------
   std::vector<linalg::MatrixCF> easy_rows;
@@ -121,6 +141,7 @@ SequentialStap::CpiResult SequentialStap::process(const cube::CpiCube& cpi) {
           p_));
   hard_computers_[pos].update(hard_rows);
   hard_w_[pos].weights = hard_computers_[pos].compute();
+  mark_stage("weights");
 
   return result;
 }
