@@ -7,6 +7,12 @@
 #   3. Build-both-ways check: the tree must also compile and pass the
 #      obs-labelled tests with -DPPSTAP_ENABLE_TRACING=OFF, proving the
 #      no-op stub API stays in sync with the real one.
+#   4. ThreadSanitizer job: the comm runtime, the pipeline correctness
+#      tests, and the fault-tolerance suite (kill/failover, deadline
+#      shedding, retransmission) run under -fsanitize=thread — the fault
+#      paths cross threads at every step (death notification, spare
+#      take-over, mailbox discard), so a data race there is a correctness
+#      bug even when the race-free interleaving happens to pass.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -26,5 +32,15 @@ cmake -B build-notrace -S . -DCMAKE_BUILD_TYPE=Release \
       -DPPSTAP_ENABLE_TRACING=OFF
 cmake --build build-notrace -j "$JOBS"
 ctest --test-dir build-notrace -L obs --output-on-failure -j "$JOBS"
+
+echo "=== TSan: comm + core + fault tolerance ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j "$JOBS" \
+      --target test_comm test_collectives test_core test_fault_tolerance
+TSAN_OPTIONS="halt_on_error=1" \
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+      -R '^(test_comm|test_collectives|test_core|test_fault_tolerance)$'
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,196 @@
+#include "comm/fault.hpp"
+
+#include "common/check.hpp"
+
+namespace ppstap::comm {
+
+namespace {
+
+// SplitMix64 finalizer — the deterministic coin behind probability rules.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double hash01(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t h = mix64(mix64(seed ^ a) ^ b);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t pack(int src, int dest, int tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 48) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest))
+          << 32) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+}
+
+bool matches(const FaultRule& r, int src, int dest, int tag) {
+  if (r.src >= 0 && r.src != src) return false;
+  if (r.dest >= 0 && r.dest != dest) return false;
+  if (r.tag >= 0 && r.tag != tag) return false;
+  if (r.tag_period > 0 && tag % r.tag_period != r.tag_phase) return false;
+  return true;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::add(const FaultRule& rule) {
+  PPSTAP_REQUIRE(rule.probability >= 0.0 && rule.probability <= 1.0,
+                 "fault rule probability must be in [0, 1]");
+  PPSTAP_REQUIRE(rule.delay_seconds >= 0.0,
+                 "fault rule delay must be non-negative");
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(rule);
+  applications_.push_back(0);
+  match_counter_.push_back(0);
+  return *this;
+}
+
+FaultRule FaultPlan::delay_edge(int edge, int tag_stride, double seconds,
+                                double probability) {
+  FaultRule r;
+  r.type = FaultType::kDelay;
+  r.tag_period = tag_stride;
+  r.tag_phase = edge;
+  r.delay_seconds = seconds;
+  r.probability = probability;
+  return r;
+}
+
+FaultRule FaultPlan::delay_message(int src, int dest, int tag,
+                                   double seconds) {
+  FaultRule r;
+  r.type = FaultType::kDelay;
+  r.src = src;
+  r.dest = dest;
+  r.tag = tag;
+  r.delay_seconds = seconds;
+  return r;
+}
+
+FaultRule FaultPlan::drop_message(int src, int dest, int tag) {
+  FaultRule r;
+  r.type = FaultType::kDrop;
+  r.src = src;
+  r.dest = dest;
+  r.tag = tag;
+  return r;
+}
+
+FaultRule FaultPlan::corrupt_message(int src, int dest, int tag,
+                                     int max_applications) {
+  FaultRule r;
+  r.type = FaultType::kCorrupt;
+  r.src = src;
+  r.dest = dest;
+  r.tag = tag;
+  r.max_applications = max_applications;
+  return r;
+}
+
+FaultRule FaultPlan::kill_on_recv(int rank, int tag) {
+  FaultRule r;
+  r.type = FaultType::kKill;
+  r.point = FaultPoint::kRecv;
+  r.dest = rank;
+  r.tag = tag;
+  r.max_applications = 1;
+  return r;
+}
+
+FaultRule FaultPlan::kill_on_send(int rank, int tag) {
+  FaultRule r;
+  r.type = FaultType::kKill;
+  r.point = FaultPoint::kSend;
+  r.src = rank;
+  r.tag = tag;
+  r.max_applications = 1;
+  return r;
+}
+
+bool FaultPlan::rule_applies(std::size_t idx, const FaultRule& r, int src,
+                             int dest, int tag, std::uint64_t salt) {
+  // Caller holds mu_.
+  if (!matches(r, src, dest, tag)) return false;
+  if (r.max_applications >= 0 && applications_[idx] >= r.max_applications)
+    return false;
+  const std::uint64_t occurrence = match_counter_[idx]++;
+  if (r.probability < 1.0) {
+    const double u = hash01(seed_ + idx, pack(src, dest, tag) ^ salt,
+                            occurrence);
+    if (u >= r.probability) return false;
+  }
+  ++applications_[idx];
+  return true;
+}
+
+bool FaultPlan::kill_due(FaultPoint point, int src, int dest, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.type != FaultType::kKill || r.point != point) continue;
+    if (rule_applies(i, r, src, dest, tag, /*salt=*/0)) {
+      ++stats_.kills;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::drop_due(int src, int dest, int tag, std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.type != FaultType::kDrop) continue;
+    if (rule_applies(i, r, src, dest, tag, seq)) {
+      ++stats_.dropped;
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultPlan::delay_due(int src, int dest, int tag, std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.type != FaultType::kDelay) continue;
+    if (rule_applies(i, r, src, dest, tag, seq)) {
+      ++stats_.delayed;
+      total += r.delay_seconds;
+    }
+  }
+  return total;
+}
+
+bool FaultPlan::corrupt_due(int src, int dest, int tag, std::uint64_t seq,
+                            int attempt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.type != FaultType::kCorrupt) continue;
+    if (rule_applies(i, r, src, dest, tag,
+                     seq ^ (static_cast<std::uint64_t>(attempt) << 56))) {
+      ++stats_.corrupted;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultStats FaultPlan::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultPlan::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = FaultStats{};
+  std::fill(applications_.begin(), applications_.end(), 0);
+  std::fill(match_counter_.begin(), match_counter_.end(), 0);
+}
+
+}  // namespace ppstap::comm

@@ -1,0 +1,114 @@
+// Deterministic fault injection for the in-process comm runtime.
+//
+// A FaultPlan is a list of rules installed on a comm::World before run().
+// Every rule matches messages by (src, dest, tag) — with -1 wildcards and an
+// optional (tag % period == phase) form that selects one Fig.-4 edge across
+// all CPIs, since the pipeline encodes tags as cpi * stride + edge — and
+// applies one of four faults:
+//
+//   kDelay    the frame stays invisible to the receiver for delay_seconds
+//             (in-flight latency; the sender is not blocked)
+//   kDrop     the frame is silently discarded after the sender pays for it
+//   kCorrupt  a byte of the delivered copy is flipped; the frame checksum
+//             no longer matches and the receiver's retransmission path runs
+//   kKill     the rank performing the matched operation (sender at kSend,
+//             receiver at kRecv) throws comm::RankKilled *before* the
+//             operation takes effect, so no message is half-consumed
+//
+// Decisions are deterministic: a rule with probability < 1 flips a coin
+// hashed from (plan seed, rule index, src, dest, tag, per-pair sequence
+// number), never from wall time or thread scheduling, so a seeded fault run
+// replays exactly. All fault logic lives behind World's send/recv hooks —
+// application code never branches on the plan.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ppstap::comm {
+
+enum class FaultType { kDelay, kDrop, kCorrupt, kKill };
+
+/// Operation at which a kKill rule triggers (other types act on the frame
+/// itself and only use kSend, where the frame is created).
+enum class FaultPoint { kSend, kRecv };
+
+struct FaultRule {
+  FaultType type = FaultType::kDrop;
+  FaultPoint point = FaultPoint::kSend;
+  int src = -1;   ///< sending rank, -1 = any
+  int dest = -1;  ///< receiving rank, -1 = any
+  int tag = -1;   ///< exact tag, -1 = any (or use the period/phase form)
+  /// When tag_period > 0 the rule matches tags with tag % tag_period ==
+  /// tag_phase — one pipeline edge across every CPI.
+  int tag_period = 0;
+  int tag_phase = 0;
+  double probability = 1.0;   ///< per matching message, seeded coin
+  int max_applications = -1;  ///< stop after N applications, -1 = unlimited
+  double delay_seconds = 0.0; ///< kDelay only
+};
+
+/// Counters of faults actually applied during the current run.
+struct FaultStats {
+  std::uint64_t delayed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t total() const { return delayed + dropped + corrupted + kills; }
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0x5eedf417) : seed_(seed) {}
+
+  FaultPlan& add(const FaultRule& rule);
+
+  // Convenience builders -----------------------------------------------------
+  /// Delay every matching frame of one pipeline edge by `seconds` with the
+  /// given probability.
+  static FaultRule delay_edge(int edge, int tag_stride, double seconds,
+                              double probability = 1.0);
+  /// Delay the exact (src, dest, tag) frame.
+  static FaultRule delay_message(int src, int dest, int tag, double seconds);
+  static FaultRule drop_message(int src, int dest, int tag);
+  static FaultRule corrupt_message(int src, int dest, int tag,
+                                   int max_applications = 1);
+  /// Kill `rank` when it first attempts to receive a message with `tag`
+  /// (before consuming anything — recovery sees an intact mailbox).
+  static FaultRule kill_on_recv(int rank, int tag);
+  /// Kill `rank` when it first attempts to send a message with `tag`.
+  static FaultRule kill_on_send(int rank, int tag);
+
+  // Hooks called by World (thread-safe) --------------------------------------
+  /// True when a kKill rule fires for the rank performing the operation.
+  bool kill_due(FaultPoint point, int src, int dest, int tag);
+  /// True when the frame should be silently dropped.
+  bool drop_due(int src, int dest, int tag, std::uint64_t seq);
+  /// Injected in-flight latency for the frame (0 = none).
+  double delay_due(int src, int dest, int tag, std::uint64_t seq);
+  /// True when the frame copy should be corrupted. `attempt` distinguishes
+  /// the original delivery (0) from retransmissions, so a count-limited rule
+  /// corrupts once and the retransmitted copy arrives clean.
+  bool corrupt_due(int src, int dest, int tag, std::uint64_t seq,
+                   int attempt);
+
+  FaultStats stats() const;
+  /// Zero the stats and per-rule application counters (World::run calls
+  /// this so plans replay identically across runs).
+  void reset();
+
+ private:
+  bool rule_applies(std::size_t idx, const FaultRule& r, int src, int dest,
+                    int tag, std::uint64_t salt);
+
+  std::uint64_t seed_;
+  mutable std::mutex mu_;
+  std::vector<FaultRule> rules_;
+  std::vector<int> applications_;
+  std::vector<std::uint64_t> match_counter_;
+  FaultStats stats_;
+};
+
+}  // namespace ppstap::comm

@@ -1,38 +1,103 @@
 #include "comm/world.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <mutex>
 #include <thread>
 
+#include "comm/fault.hpp"
 #include "common/timer.hpp"
 
 namespace ppstap::comm {
 
 namespace {
-struct Message {
-  int src;
-  int tag;
-  std::vector<std::byte> bytes;
-};
+
+using Clock = WallTimer::clock;
+
+Clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+/// Word-wise rotate-xor checksum of a payload. Not cryptographic — it only
+/// needs to catch the single-byte flips the corruption injector applies.
+std::uint64_t checksum_bytes(std::span<const std::byte> b) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ b.size();
+  std::size_t i = 0;
+  for (; i + 8 <= b.size(); i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, b.data() + i, 8);
+    h = (h << 7 | h >> 57) ^ w;
+  }
+  if (i < b.size()) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, b.data() + i, b.size() - i);
+    h = (h << 7 | h >> 57) ^ tail;
+  }
+  return h;
+}
+
+/// Deterministically flip one byte of a nonempty payload.
+void corrupt_copy(std::vector<std::byte>& bytes, std::uint64_t salt) {
+  const std::size_t idx =
+      static_cast<std::size_t>(salt * 0x9e3779b97f4a7c15ull % bytes.size());
+  bytes[idx] ^= std::byte{0x40};
+}
+
+/// A corrupted frame is refetched from the pristine copy at most this many
+/// times before the receiver gives up.
+constexpr int kMaxRetransmitAttempts = 5;
+
 }  // namespace
+
+struct World::Frame {
+  int src = -1;
+  int tag = 0;
+  /// Per-(src, dest) ordinal, assigned under the destination mailbox lock.
+  std::uint64_t seq = 0;
+  /// Checksum of the payload as sent (before any injected corruption).
+  std::uint64_t checksum = 0;
+  /// Zero-payload control marker (Comm::send_marker).
+  bool marker = false;
+  /// The frame is invisible to receivers before this instant (injected
+  /// in-flight latency; frames are still delivered FIFO per (src, tag)).
+  Clock::time_point deliver_at{};
+  std::vector<std::byte> bytes;
+  /// Uncorrupted original, kept only when a corrupt rule fired, so the
+  /// receiver's retransmission path has something to refetch.
+  std::vector<std::byte> pristine;
+};
 
 struct World::Mailbox {
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<Message> messages;
+  std::deque<Frame> frames;
   std::size_t buffered_bytes = 0;
+  /// Next sequence number per source rank.
+  std::vector<std::uint64_t> next_seq;
 };
 
 struct World::Shared {
   std::mutex mu;
   std::condition_variable cv;
-  bool aborted = false;
+  /// Atomic so mailbox cv predicates (which hold only the mailbox mutex)
+  /// can read it race-free; writers still notify under each mutex so no
+  /// wakeup is missed.
+  std::atomic<bool> aborted{false};
   std::exception_ptr first_error;
-  // Sense-reversing barrier.
+  // Sense-reversing barrier over the live ranks.
   int barrier_count = 0;
   std::uint64_t barrier_generation = 0;
+  int live = 0;
+  // Per-rank liveness. dead/recoverable are atomic for the same reason as
+  // `aborted`; claimed/death_time are only touched under mu.
+  std::vector<std::atomic<bool>> dead;
+  std::vector<std::atomic<bool>> recoverable;
+  std::vector<char> claimed;
+  std::vector<double> death_time;
 };
 
 World::World(int num_ranks, std::size_t mailbox_capacity_bytes)
@@ -41,16 +106,113 @@ World::World(int num_ranks, std::size_t mailbox_capacity_bytes)
       shared_(std::make_unique<Shared>()) {
   PPSTAP_REQUIRE(num_ranks >= 1, "world needs at least one rank");
   boxes_.reserve(static_cast<size_t>(num_ranks));
-  for (int r = 0; r < num_ranks; ++r)
+  for (int r = 0; r < num_ranks; ++r) {
     boxes_.push_back(std::make_unique<Mailbox>());
+    boxes_.back()->next_seq.assign(static_cast<size_t>(num_ranks), 0);
+  }
+  shared_->dead = std::vector<std::atomic<bool>>(static_cast<size_t>(num_ranks));
+  shared_->recoverable =
+      std::vector<std::atomic<bool>>(static_cast<size_t>(num_ranks));
+  shared_->claimed.assign(static_cast<size_t>(num_ranks), 0);
+  shared_->death_time.assign(static_cast<size_t>(num_ranks), 0.0);
+  shared_->live = num_ranks;
 }
 
 World::~World() = default;
 
+void World::set_recoverable(int rank, bool flag) {
+  PPSTAP_REQUIRE(rank >= 0 && rank < num_ranks_, "invalid rank");
+  shared_->recoverable[static_cast<size_t>(rank)].store(
+      flag, std::memory_order_release);
+}
+
+bool World::rank_dead(int rank) const {
+  PPSTAP_REQUIRE(rank >= 0 && rank < num_ranks_, "invalid rank");
+  return shared_->dead[static_cast<size_t>(rank)].load(
+      std::memory_order_acquire);
+}
+
+double World::death_time(int rank) const {
+  PPSTAP_REQUIRE(rank >= 0 && rank < num_ranks_, "invalid rank");
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->death_time[static_cast<size_t>(rank)];
+}
+
 void World::abort_world() {
   {
     std::lock_guard<std::mutex> lock(shared_->mu);
-    shared_->aborted = true;
+    shared_->aborted.store(true, std::memory_order_release);
+  }
+  shared_->cv.notify_all();
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+void World::request_abort(const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (!shared_->first_error)
+      shared_->first_error = std::make_exception_ptr(Error(why));
+  }
+  abort_world();
+}
+
+void World::mark_dead(int rank) {
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->dead[static_cast<size_t>(rank)].store(true,
+                                                   std::memory_order_release);
+    shared_->death_time[static_cast<size_t>(rank)] = WallTimer::now();
+    shared_->live -= 1;
+    // The death may complete a barrier the survivors are already inside.
+    if (shared_->barrier_count > 0 &&
+        shared_->barrier_count >= shared_->live) {
+      shared_->barrier_count = 0;
+      ++shared_->barrier_generation;
+    }
+  }
+  shared_->cv.notify_all();
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+std::optional<int> World::wait_for_death(double timeout_seconds) {
+  PPSTAP_REQUIRE(timeout_seconds >= 0.0, "timeout must be non-negative");
+  const auto deadline = Clock::now() + to_duration(timeout_seconds);
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  for (;;) {
+    if (shared_->aborted.load(std::memory_order_acquire))
+      throw Error("comm world aborted during wait_for_death");
+    for (int r = 0; r < num_ranks_; ++r) {
+      const auto i = static_cast<size_t>(r);
+      if (shared_->dead[i].load(std::memory_order_acquire) &&
+          shared_->recoverable[i].load(std::memory_order_acquire) &&
+          !shared_->claimed[i]) {
+        shared_->claimed[i] = 1;
+        return r;
+      }
+    }
+    if (Clock::now() >= deadline) return std::nullopt;
+    shared_->cv.wait_until(lock, deadline);
+  }
+}
+
+void World::do_take_over(Comm& c, int dead_rank) {
+  PPSTAP_REQUIRE(dead_rank >= 0 && dead_rank < num_ranks_, "invalid rank");
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    const auto i = static_cast<size_t>(dead_rank);
+    PPSTAP_REQUIRE(shared_->claimed[i] &&
+                       shared_->dead[i].load(std::memory_order_acquire),
+                   "take_over requires a dead rank claimed via wait_for_death");
+    shared_->dead[i].store(false, std::memory_order_release);
+    shared_->claimed[i] = 0;  // a repeat death can be claimed again
+    shared_->live += 1;
+    c.rank_ = dead_rank;
   }
   shared_->cv.notify_all();
   for (auto& box : boxes_) {
@@ -60,18 +222,27 @@ void World::abort_world() {
 }
 
 void World::run(const std::function<void(Comm&)>& fn) {
-  // Reset cross-run state.
+  // Reset cross-run state (recoverable flags are configuration and persist).
   {
     std::lock_guard<std::mutex> lock(shared_->mu);
-    shared_->aborted = false;
+    shared_->aborted.store(false, std::memory_order_release);
     shared_->first_error = nullptr;
     shared_->barrier_count = 0;
+    shared_->live = num_ranks_;
+    for (int r = 0; r < num_ranks_; ++r) {
+      const auto i = static_cast<size_t>(r);
+      shared_->dead[i].store(false, std::memory_order_release);
+      shared_->claimed[i] = 0;
+      shared_->death_time[i] = 0.0;
+    }
   }
   for (auto& box : boxes_) {
     std::lock_guard<std::mutex> lock(box->mu);
-    box->messages.clear();
+    box->frames.clear();
     box->buffered_bytes = 0;
+    std::fill(box->next_seq.begin(), box->next_seq.end(), 0);
   }
+  if (plan_) plan_->reset();
 
   std::vector<Comm> comms;
   comms.reserve(static_cast<size_t>(num_ranks_));
@@ -83,6 +254,10 @@ void World::run(const std::function<void(Comm&)>& fn) {
     threads.emplace_back([this, &fn, &comms, r] {
       try {
         fn(comms[static_cast<size_t>(r)]);
+      } catch (const RankKilled& k) {
+        // An injected kill is a per-rank death, not a world failure:
+        // survivors observe peer-dead and may hand the rank to a spare.
+        mark_dead(k.rank());
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(shared_->mu);
@@ -110,76 +285,179 @@ void World::run(const std::function<void(Comm&)>& fn) {
 int Comm::size() const { return world_->size(); }
 
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> bytes) {
-  world_->do_send(*this, dest, tag, bytes);
+  world_->do_send(*this, dest, tag, bytes, /*marker=*/false);
+}
+
+void Comm::send_marker(int dest, int tag) {
+  world_->do_send(*this, dest, tag, {}, /*marker=*/true);
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
-  return world_->do_recv(*this, src, tag);
+  return world_->do_recv(*this, src, tag, /*timeout=*/nullptr).bytes;
+}
+
+RecvResult Comm::recv_bytes_for(int src, int tag, double timeout_seconds) {
+  PPSTAP_REQUIRE(timeout_seconds >= 0.0, "timeout must be non-negative");
+  return world_->do_recv(*this, src, tag, &timeout_seconds);
 }
 
 std::optional<std::vector<std::byte>> Comm::try_recv_bytes(int src, int tag) {
   return world_->do_try_recv(*this, src, tag);
 }
 
+std::size_t Comm::discard(int src, int tag) {
+  return world_->do_discard(*this, src, tag);
+}
+
+void Comm::take_over(int dead_rank) { world_->do_take_over(*this, dead_rank); }
+
 void Comm::barrier() { world_->do_barrier(); }
 
 void World::do_send(Comm& c, int dest, int tag,
-                    std::span<const std::byte> bytes) {
+                    std::span<const std::byte> bytes, bool marker) {
   PPSTAP_REQUIRE(dest >= 0 && dest < num_ranks_, "invalid destination rank");
-  Mailbox& box = *boxes_[static_cast<size_t>(dest)];
-  Message msg{c.rank(), tag, {bytes.begin(), bytes.end()}};
+  if (plan_ && plan_->kill_due(FaultPoint::kSend, c.rank(), dest, tag))
+    throw RankKilled(c.rank());
+  const auto di = static_cast<size_t>(dest);
+  Mailbox& box = *boxes_[di];
 
   std::unique_lock<std::mutex> lock(box.mu);
   // Flow control: block while the mailbox is full, but always admit a
   // message into an empty mailbox so one oversized message cannot wedge.
+  // Sends to a dead unrecoverable rank are black-holed, never blocked.
   const double wait_start = WallTimer::now();
   box.cv.wait(lock, [&] {
-    if (shared_->aborted) return true;
-    return box.messages.empty() || box.buffered_bytes + bytes.size() <=
-                                       capacity_;
+    if (shared_->aborted.load(std::memory_order_acquire)) return true;
+    if (shared_->dead[di].load(std::memory_order_acquire) &&
+        !shared_->recoverable[di].load(std::memory_order_acquire))
+      return true;
+    return box.frames.empty() ||
+           box.buffered_bytes + bytes.size() <= capacity_;
   });
   c.stats_.send_wait_seconds += WallTimer::now() - wait_start;
-  {
-    std::lock_guard<std::mutex> slock(shared_->mu);
-    if (shared_->aborted) throw Error("comm world aborted during send");
-  }
-  box.buffered_bytes += msg.bytes.size();
-  c.stats_.bytes_sent += msg.bytes.size();
+  if (shared_->aborted.load(std::memory_order_acquire))
+    throw Error("comm world aborted during send");
+
+  Frame f;
+  f.src = c.rank();
+  f.tag = tag;
+  f.marker = marker;
+  f.seq = box.next_seq[static_cast<size_t>(c.rank())]++;
+  c.stats_.bytes_sent += bytes.size();
   c.stats_.messages_sent += 1;
-  box.messages.push_back(std::move(msg));
+
+  // Black hole: the destination is dead and nobody will revive it. The
+  // sender pays for the bytes and moves on (a real interconnect cannot
+  // block forever on a failed node either).
+  if (shared_->dead[di].load(std::memory_order_acquire) &&
+      !shared_->recoverable[di].load(std::memory_order_acquire))
+    return;
+  if (plan_ && plan_->drop_due(f.src, dest, tag, f.seq)) return;
+
+  f.checksum = checksum_bytes(bytes);
+  f.bytes = {bytes.begin(), bytes.end()};
+  f.deliver_at = Clock::now();
+  if (plan_) {
+    const double delay = plan_->delay_due(f.src, dest, tag, f.seq);
+    if (delay > 0.0) f.deliver_at += to_duration(delay);
+    if (!f.bytes.empty() &&
+        plan_->corrupt_due(f.src, dest, tag, f.seq, /*attempt=*/0)) {
+      f.pristine = f.bytes;
+      corrupt_copy(f.bytes, f.seq);
+    }
+  }
+  box.buffered_bytes += f.bytes.size();
+  box.frames.push_back(std::move(f));
   lock.unlock();
   box.cv.notify_all();
 }
 
-std::vector<std::byte> World::do_recv(Comm& c, int src, int tag) {
+std::vector<std::byte> World::finalize_frame(Comm& c, Frame&& f) {
+  // Runs with no locks held. A checksum mismatch (only possible under an
+  // injected corruption) triggers the retransmission path: refetch the
+  // sender-side pristine copy with linear backoff; a corrupt rule may hit
+  // the refetched copy again (keyed by attempt), bounded by the budget.
+  int attempt = 0;
+  while (checksum_bytes(f.bytes) != f.checksum) {
+    ++attempt;
+    c.stats_.retransmissions += 1;
+    PPSTAP_CHECK(attempt <= kMaxRetransmitAttempts,
+                 "frame corruption persisted past the retransmission budget");
+    std::this_thread::sleep_for(std::chrono::microseconds(50LL * attempt));
+    f.bytes = f.pristine;
+    if (plan_ && !f.bytes.empty() &&
+        plan_->corrupt_due(f.src, c.rank(), f.tag, f.seq, attempt)) {
+      corrupt_copy(f.bytes, f.seq + static_cast<std::uint64_t>(attempt));
+    }
+  }
+  c.stats_.bytes_received += f.bytes.size();
+  c.stats_.messages_received += 1;
+  return std::move(f.bytes);
+}
+
+RecvResult World::do_recv(Comm& c, int src, int tag, const double* timeout) {
   PPSTAP_REQUIRE(src >= 0 && src < num_ranks_, "invalid source rank");
+  if (plan_ && plan_->kill_due(FaultPoint::kRecv, src, c.rank(), tag))
+    throw RankKilled(c.rank());
+  const auto si = static_cast<size_t>(src);
   Mailbox& box = *boxes_[static_cast<size_t>(c.rank())];
+  const auto deadline =
+      timeout ? Clock::now() + to_duration(*timeout) : Clock::time_point::max();
+
   std::unique_lock<std::mutex> lock(box.mu);
-  auto match = box.messages.end();
   const double wait_start = WallTimer::now();
-  box.cv.wait(lock, [&] {
-    if (shared_->aborted) return true;
-    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+  for (;;) {
+    if (shared_->aborted.load(std::memory_order_acquire)) {
+      c.stats_.recv_wait_seconds += WallTimer::now() - wait_start;
+      throw Error("comm world aborted during recv");
+    }
+    // FIFO per (src, tag): only the oldest matching frame is a candidate;
+    // an injected delay on it also holds back its successors, like a
+    // non-overtaking MPI channel.
+    auto match = box.frames.end();
+    for (auto it = box.frames.begin(); it != box.frames.end(); ++it) {
       if (it->src == src && it->tag == tag) {
         match = it;
-        return true;
+        break;
       }
     }
-    return false;
-  });
-  c.stats_.recv_wait_seconds += WallTimer::now() - wait_start;
-  {
-    std::lock_guard<std::mutex> slock(shared_->mu);
-    if (shared_->aborted) throw Error("comm world aborted during recv");
+    const auto now = Clock::now();
+    if (match != box.frames.end() && match->deliver_at <= now) {
+      Frame f = std::move(*match);
+      box.buffered_bytes -= f.bytes.size();
+      box.frames.erase(match);
+      c.stats_.recv_wait_seconds += WallTimer::now() - wait_start;
+      lock.unlock();
+      box.cv.notify_all();  // wake senders blocked on capacity
+      RecvResult r;
+      r.marker = f.marker;
+      r.bytes = finalize_frame(c, std::move(f));
+      return r;
+    }
+    const bool src_dead = shared_->dead[si].load(std::memory_order_acquire);
+    if (src_dead &&
+        !shared_->recoverable[si].load(std::memory_order_acquire)) {
+      // Mailbox drained of matches and the source can never produce more.
+      c.stats_.recv_wait_seconds += WallTimer::now() - wait_start;
+      if (timeout) return RecvResult{RecvStatus::kPeerDead, false, {}};
+      throw Error("recv from rank " + std::to_string(src) +
+                  " which died and is not recoverable");
+    }
+    if (now >= deadline) {
+      c.stats_.recv_wait_seconds += WallTimer::now() - wait_start;
+      // A recoverable death that no spare claimed within the deadline is
+      // reported as peer-dead, not a mere timeout.
+      return RecvResult{src_dead ? RecvStatus::kPeerDead : RecvStatus::kTimeout,
+                        false,
+                        {}};
+    }
+    auto wake = deadline;
+    if (match != box.frames.end()) wake = std::min(wake, match->deliver_at);
+    if (wake == Clock::time_point::max())
+      box.cv.wait(lock);
+    else
+      box.cv.wait_until(lock, wake);
   }
-  std::vector<std::byte> bytes = std::move(match->bytes);
-  box.buffered_bytes -= bytes.size();
-  box.messages.erase(match);
-  c.stats_.bytes_received += bytes.size();
-  c.stats_.messages_received += 1;
-  lock.unlock();
-  box.cv.notify_all();  // wake senders blocked on capacity
-  return bytes;
 }
 
 std::optional<std::vector<std::byte>> World::do_try_recv(Comm& c, int src,
@@ -187,29 +465,49 @@ std::optional<std::vector<std::byte>> World::do_try_recv(Comm& c, int src,
   PPSTAP_REQUIRE(src >= 0 && src < num_ranks_, "invalid source rank");
   Mailbox& box = *boxes_[static_cast<size_t>(c.rank())];
   std::unique_lock<std::mutex> lock(box.mu);
-  {
-    std::lock_guard<std::mutex> slock(shared_->mu);
-    if (shared_->aborted) throw Error("comm world aborted during try_recv");
-  }
-  for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+  if (shared_->aborted.load(std::memory_order_acquire))
+    throw Error("comm world aborted during try_recv");
+  const auto now = Clock::now();
+  for (auto it = box.frames.begin(); it != box.frames.end(); ++it) {
     if (it->src != src || it->tag != tag) continue;
-    std::vector<std::byte> bytes = std::move(it->bytes);
-    box.buffered_bytes -= bytes.size();
-    box.messages.erase(it);
-    c.stats_.bytes_received += bytes.size();
-    c.stats_.messages_received += 1;
+    // FIFO per (src, tag): a delayed head frame hides its successors.
+    if (it->deliver_at > now) return std::nullopt;
+    Frame f = std::move(*it);
+    box.buffered_bytes -= f.bytes.size();
+    box.frames.erase(it);
     lock.unlock();
     box.cv.notify_all();
-    return bytes;
+    return finalize_frame(c, std::move(f));
   }
   return std::nullopt;
 }
 
+std::size_t World::do_discard(Comm& c, int src, int tag) {
+  PPSTAP_REQUIRE(src >= 0 && src < num_ranks_, "invalid source rank");
+  Mailbox& box = *boxes_[static_cast<size_t>(c.rank())];
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    for (auto it = box.frames.begin(); it != box.frames.end();) {
+      if (it->src == src && it->tag == tag) {
+        box.buffered_bytes -= it->bytes.size();
+        it = box.frames.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (dropped > 0) box.cv.notify_all();  // wake senders blocked on capacity
+  return dropped;
+}
+
 void World::do_barrier() {
   std::unique_lock<std::mutex> lock(shared_->mu);
-  if (shared_->aborted) throw Error("comm world aborted during barrier");
+  if (shared_->aborted.load(std::memory_order_acquire))
+    throw Error("comm world aborted during barrier");
   const std::uint64_t gen = shared_->barrier_generation;
-  if (++shared_->barrier_count == num_ranks_) {
+  if (++shared_->barrier_count >= shared_->live) {
     shared_->barrier_count = 0;
     ++shared_->barrier_generation;
     lock.unlock();
@@ -217,9 +515,11 @@ void World::do_barrier() {
     return;
   }
   shared_->cv.wait(lock, [&] {
-    return shared_->aborted || shared_->barrier_generation != gen;
+    return shared_->aborted.load(std::memory_order_acquire) ||
+           shared_->barrier_generation != gen;
   });
-  if (shared_->aborted) throw Error("comm world aborted during barrier");
+  if (shared_->aborted.load(std::memory_order_acquire))
+    throw Error("comm world aborted during barrier");
 }
 
 }  // namespace ppstap::comm

@@ -15,8 +15,22 @@
 // finite-buffer interconnect applies to a pipeline whose downstream tasks
 // lag — without it the Doppler task would race arbitrarily far ahead.
 //
-// Failure behaviour: if any rank throws, the world is aborted and every
-// blocked operation on any rank throws ppstap::Error instead of hanging.
+// Framing and fault tolerance: every message travels as a frame carrying a
+// per-(src, dest) sequence number and a payload checksum. A checksum
+// mismatch (possible only under fault injection, see fault.hpp) triggers
+// the retransmission path: bounded retries with backoff against the
+// sender-side pristine copy, counted in CommStats::retransmissions. An
+// installed FaultPlan can also delay frames in flight, drop them, or kill
+// a rank at a chosen send/recv.
+//
+// Failure behaviour: a rank that throws RankKilled dies *individually* —
+// peers observe peer-dead (recv_bytes_for returns RecvStatus::kPeerDead,
+// plain recv throws once the mailbox drains, barriers complete over the
+// surviving ranks) and, if the rank was marked recoverable, a standby can
+// claim the death with wait_for_death() and assume the dead rank's
+// identity (and intact mailbox) with Comm::take_over(). Any other
+// exception aborts the whole world and every blocked operation on any
+// rank throws ppstap::Error instead of hanging.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +40,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -35,6 +50,21 @@
 namespace ppstap::comm {
 
 class World;
+class FaultPlan;
+
+/// Thrown inside a rank when a FaultPlan kKill rule fires (before the
+/// matched operation takes effect, so no message is half-consumed).
+/// World::run treats it as a per-rank death, not a global abort.
+class RankKilled : public Error {
+ public:
+  explicit RankKilled(int rank)
+      : Error("rank " + std::to_string(rank) + " killed by fault injection"),
+        rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
 
 /// Per-rank communication statistics.
 struct CommStats {
@@ -42,12 +72,45 @@ struct CommStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
+  /// Frames whose checksum failed on delivery and were fetched again from
+  /// the sender-side pristine copy (nonzero only under fault injection).
+  std::uint64_t retransmissions = 0;
   /// Seconds this rank spent blocked inside recv waiting for a matching
   /// message to arrive (the queue-wait component of Fig. 10's receive
   /// phase; feeds the per-task queue-wait gauges).
   double recv_wait_seconds = 0.0;
   /// Seconds this rank spent blocked in send on mailbox flow control.
   double send_wait_seconds = 0.0;
+};
+
+/// Outcome of a deadline receive (Comm::recv_bytes_for).
+enum class RecvStatus {
+  kOk,        ///< payload (or marker) delivered
+  kTimeout,   ///< no matching frame arrived within the deadline
+  kPeerDead,  ///< the source rank died and nobody can revive it
+};
+
+/// A deadline receive's result. `marker` distinguishes a zero-payload
+/// control frame (Comm::send_marker — the pipeline's "CPI shed" token)
+/// from a regular message.
+struct RecvResult {
+  RecvStatus status = RecvStatus::kOk;
+  bool marker = false;
+  std::vector<std::byte> bytes;
+
+  /// True only for a regular data delivery.
+  bool ok() const { return status == RecvStatus::kOk && !marker; }
+
+  /// Reinterpret the payload as trivially copyable T.
+  template <typename T>
+  std::vector<T> as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PPSTAP_CHECK(bytes.size() % sizeof(T) == 0,
+                 "received byte count not a multiple of element size");
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
 };
 
 /// A rank's handle to the world. Valid only inside World::run's callback,
@@ -64,9 +127,32 @@ class Comm {
   /// Blocking receive of the next message matching (src, tag).
   std::vector<std::byte> recv_bytes(int src, int tag);
 
+  /// Deadline receive: like recv_bytes but gives up after
+  /// `timeout_seconds` (RecvStatus::kTimeout) and reports a dead,
+  /// unrevivable source as RecvStatus::kPeerDead instead of hanging. A
+  /// recoverable dead source is waited on for the full deadline — a spare
+  /// may still take over and produce the message.
+  RecvResult recv_bytes_for(int src, int tag, double timeout_seconds);
+
   /// Nonblocking probe-and-receive: returns the matching message if one is
   /// already buffered, std::nullopt otherwise (never blocks).
   std::optional<std::vector<std::byte>> try_recv_bytes(int src, int tag);
+
+  /// Send a zero-payload control marker (delivered with
+  /// RecvResult::marker == true). The pipeline uses it as the "CPI shed"
+  /// token propagated downstream in place of data.
+  void send_marker(int dest, int tag);
+
+  /// Drop every currently buffered frame matching (src, tag) — late
+  /// arrivals for a CPI the receiver already shed. Returns the number of
+  /// frames discarded. Never blocks.
+  std::size_t discard(int src, int tag);
+
+  /// Assume the identity (rank number and mailbox) of a dead recoverable
+  /// rank previously claimed via World::wait_for_death. After this call
+  /// rank() == dead_rank, pending frames addressed to the dead rank are
+  /// receivable, and peers no longer observe the rank as dead.
+  void take_over(int dead_rank);
 
   /// Typed span send for trivially copyable T.
   template <typename T>
@@ -143,7 +229,7 @@ class Comm {
     return PendingRecv<T>(this, src, tag);
   }
 
-  /// Global barrier over all ranks of the world.
+  /// Global barrier over all live ranks of the world.
   void barrier();
 
   const CommStats& stats() const { return stats_; }
@@ -168,8 +254,36 @@ class World {
 
   int size() const { return num_ranks_; }
 
+  /// Install a fault-injection plan (borrowed; must outlive the run, may
+  /// be nullptr to clear). run() resets the plan's counters so a seeded
+  /// plan replays identically across runs.
+  void set_fault_plan(FaultPlan* plan) { plan_ = plan; }
+
+  /// Declare a rank recoverable: if it dies, peers keep buffering to it
+  /// and wait for a spare instead of observing peer-dead immediately.
+  void set_recoverable(int rank, bool flag = true);
+
+  /// Block up to `timeout_seconds` for a dead recoverable rank nobody has
+  /// claimed yet; claims and returns it, or std::nullopt on timeout.
+  /// Throws if the world aborts while waiting. Intended for spare ranks.
+  std::optional<int> wait_for_death(double timeout_seconds);
+
+  /// True while `rank` is dead and unclaimed/unrevived.
+  bool rank_dead(int rank) const;
+
+  /// WallTimer::now() timestamp at which `rank` died (0 if alive);
+  /// subtract from the spare's restore-complete time for recovery stall.
+  double death_time(int rank) const;
+
+  /// Abort the world from outside the rank callbacks (e.g. a test
+  /// watchdog): every blocked operation throws promptly and run() rethrows
+  /// an Error carrying `why`.
+  void request_abort(const std::string& why = "abort requested");
+
   /// Spawn one thread per rank running `fn`, join all, and rethrow the
-  /// first rank exception (if any). May be called repeatedly.
+  /// first rank exception (if any). RankKilled is not an error: the rank
+  /// dies individually and run() returns normally once the survivors
+  /// finish. May be called repeatedly.
   void run(const std::function<void(Comm&)>& fn);
 
   /// Statistics gathered during the last run, indexed by rank.
@@ -178,20 +292,27 @@ class World {
  private:
   friend class Comm;
   struct Mailbox;
+  struct Frame;
   int num_ranks_;
   std::size_t capacity_;
+  FaultPlan* plan_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::vector<CommStats> last_stats_;
 
-  // Abort + barrier state live behind the Impl wall too.
+  // Abort + barrier + liveness state live behind the Impl wall too.
   struct Shared;
   std::unique_ptr<Shared> shared_;
 
-  void do_send(Comm& c, int dest, int tag, std::span<const std::byte> bytes);
-  std::vector<std::byte> do_recv(Comm& c, int src, int tag);
+  void do_send(Comm& c, int dest, int tag, std::span<const std::byte> bytes,
+               bool marker);
+  RecvResult do_recv(Comm& c, int src, int tag, const double* timeout);
   std::optional<std::vector<std::byte>> do_try_recv(Comm& c, int src,
                                                     int tag);
+  std::size_t do_discard(Comm& c, int src, int tag);
+  void do_take_over(Comm& c, int dead_rank);
   void do_barrier();
+  std::vector<std::byte> finalize_frame(Comm& c, Frame&& frame);
+  void mark_dead(int rank);
   void abort_world();
 };
 

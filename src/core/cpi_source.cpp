@@ -1,5 +1,10 @@
 #include "core/cpi_source.hpp"
 
+#include <string>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
 namespace ppstap::core {
 
 std::shared_ptr<const cube::CpiCube> CpiSource::get(index_t cpi) {
@@ -7,7 +12,17 @@ std::shared_ptr<const cube::CpiCube> CpiSource::get(index_t cpi) {
   if (auto it = cache_.find(cpi); it != cache_.end()) return it->second;
 
   const int prior = generated_[cpi]++;
-  if (prior > 0) ++regenerations_;
+  if (prior > 0) {
+    ++regenerations_;
+    obs::Registry::global().counter("cpi_source.regenerations").add(1);
+    if (regenerations_ > max_regenerations_)
+      throw Error(
+          "CPI regeneration storm: a straggler past the eviction window "
+          "regenerated " +
+          std::to_string(regenerations_) +
+          " cubes (bound " + std::to_string(max_regenerations_) +
+          "); the pipeline has fallen out of lockstep");
+  }
   // Generation is deterministic per index, so dropping the lock here would
   // only risk duplicate work; holding it keeps the accounting exact and the
   // generator contention-free (it is the slowest caller's critical path

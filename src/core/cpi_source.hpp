@@ -6,6 +6,13 @@
 // share one cube per CPI, and cubes older than a small window are evicted
 // (ranks proceed in near lockstep, bounded by pipeline backpressure; a
 // straggler that misses the window transparently regenerates).
+//
+// Regeneration is bounded: a straggler stuck behind the eviction window
+// regenerates the full cube on every get(), which unchecked turns one slow
+// rank into a compute storm. After `max_regenerations` the source throws
+// instead — by then the pipeline is so far out of lockstep that failing
+// loudly beats silently burning CPU. Each regeneration also bumps the
+// "cpi_source.regenerations" obs counter.
 #pragma once
 
 #include <map>
@@ -18,11 +25,12 @@ namespace ppstap::core {
 
 class CpiSource {
  public:
-  explicit CpiSource(const synth::ScenarioGenerator& gen,
-                     index_t window = 4)
-      : gen_(gen), window_(window) {}
+  explicit CpiSource(const synth::ScenarioGenerator& gen, index_t window = 4,
+                     index_t max_regenerations = 64)
+      : gen_(gen), window_(window), max_regenerations_(max_regenerations) {}
 
-  /// The full CPI cube for index `cpi` (shared, immutable).
+  /// The full CPI cube for index `cpi` (shared, immutable). Throws once the
+  /// total regeneration count exceeds the bound.
   std::shared_ptr<const cube::CpiCube> get(index_t cpi);
 
   /// How many CPIs had to be generated more than once (eviction misses);
@@ -32,6 +40,7 @@ class CpiSource {
  private:
   const synth::ScenarioGenerator& gen_;
   index_t window_;
+  index_t max_regenerations_;
   mutable std::mutex mu_;
   std::map<index_t, std::shared_ptr<const cube::CpiCube>> cache_;
   std::map<index_t, int> generated_;

@@ -1,0 +1,25 @@
+#include "core/fault_tolerance.hpp"
+
+#include <cstdlib>
+
+namespace ppstap::core {
+
+FaultToleranceConfig FaultToleranceConfig::from_env() {
+  FaultToleranceConfig cfg;
+  if (const char* v = std::getenv("PPSTAP_FAULT_DEADLINE")) {
+    const double d = std::atof(v);
+    if (d > 0.0) {
+      cfg.shedding = true;
+      cfg.cpi_deadline_seconds = d;
+    }
+  }
+  if (const char* v = std::getenv("PPSTAP_FAULT_SPARE"))
+    cfg.spare_rank = std::atoi(v) != 0;
+  if (const char* v = std::getenv("PPSTAP_FAULT_POLL")) {
+    const double d = std::atof(v);
+    if (d > 0.0) cfg.death_poll_seconds = d;
+  }
+  return cfg;
+}
+
+}  // namespace ppstap::core

@@ -1,0 +1,85 @@
+// Fault-tolerance policies for the pipelined STAP runtime.
+//
+// The paper's target is a radar flight processor: a real-time system that
+// must keep streaming CPIs when a node stalls or dies, not abort. Two
+// policies hang off ParallelStapPipeline (both default-off; the fault-free
+// path is byte-identical to the plain pipeline):
+//
+//  * Deadline-aware CPI shedding — a task that cannot assemble CPI i's
+//    inputs within `cpi_deadline_seconds` emits a `dropped` marker
+//    downstream instead of stalling the stream; the CFAR sink records the
+//    CPI as shed. Late frames for a shed CPI are discarded on arrival.
+//
+//  * Spare-rank failover — the world gets one standby rank; weight-task
+//    ranks checkpoint their adaptive state (easy training history / hard
+//    triangular factors, via the weight-computer save/restore) after every
+//    CPI, and a killed weight rank is revived on the spare: state restored,
+//    identity and mailbox assumed, stream resumed at the next CPI. The
+//    measured recovery stall is the empirical counterpart of the machine
+//    model's ReallocationPlan::migration_stall.
+//
+// PipelineResult carries a FaultLedger accounting for every shed CPI,
+// retransmission, injected fault, and failover.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppstap::core {
+
+struct FaultToleranceConfig {
+  /// Deadline-aware CPI shedding (policy (a)).
+  bool shedding = false;
+  /// Real-time budget for assembling one CPI's inputs at one task, counted
+  /// from the start of that task's receive phase.
+  double cpi_deadline_seconds = 0.25;
+
+  /// Spare-rank failover (policy (b)): run one standby rank that revives
+  /// killed weight-task ranks from their checkpoints.
+  bool spare_rank = false;
+  /// How often the idle spare polls for deaths (and for stream completion).
+  double death_poll_seconds = 0.002;
+
+  bool any() const { return shedding || spare_rank; }
+
+  /// Read the PPSTAP_FAULT_* environment knobs (see README):
+  ///   PPSTAP_FAULT_DEADLINE  seconds; > 0 enables shedding with that budget
+  ///   PPSTAP_FAULT_SPARE     nonzero enables the spare rank
+  ///   PPSTAP_FAULT_POLL      seconds; overrides death_poll_seconds
+  static FaultToleranceConfig from_env();
+};
+
+/// One completed spare-rank recovery.
+struct FailoverEvent {
+  int rank = -1;      ///< global rank that died and was revived
+  int task = -1;      ///< stap::Task index of that rank
+  index_t resume_cpi = 0;  ///< first CPI processed by the spare
+  /// Seconds from the rank's death to restore-complete on the spare (the
+  /// measured analogue of the simulator's migration_stall).
+  double recovery_stall_seconds = 0.0;
+};
+
+/// Everything that went wrong (or was injected) during a pipeline run.
+struct FaultLedger {
+  /// CPIs the sink recorded as shed (ascending; detections for these CPIs
+  /// are absent and their latency is excluded from the averages).
+  std::vector<index_t> shed_cpis;
+  /// Checksum-failure refetches summed over all ranks.
+  std::uint64_t retransmissions = 0;
+  // Injected-fault counts from the installed FaultPlan, if any.
+  std::uint64_t frames_delayed = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t kills = 0;
+  std::vector<FailoverEvent> failovers;
+
+  bool clean() const {
+    return shed_cpis.empty() && retransmissions == 0 && frames_delayed == 0 &&
+           frames_dropped == 0 && frames_corrupted == 0 && kills == 0 &&
+           failovers.empty();
+  }
+};
+
+}  // namespace ppstap::core

@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
+#include <map>
 #include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
 
+#include "comm/fault.hpp"
 #include "comm/world.hpp"
 #include "common/timer.hpp"
 #include "core/cpi_source.hpp"
@@ -85,10 +91,24 @@ struct Shared {
   std::vector<std::vector<index_t>> hard_cells;  // per segment
   std::vector<stap::HardUnit> hard_units;        // bin-major over hard_bins
 
+  // Fault-tolerance state (inert when ft.any() is false).
+  FaultToleranceConfig ft;
+  std::atomic<bool> stream_done{false};  // every CFAR rank finished
+  /// Per-(global rank) weight-state checkpoint: serialized computers and
+  /// the CPI the restored rank should resume at. Guarded by mu.
+  struct Checkpoint {
+    index_t next_cpi = 0;
+    std::string blob;
+  };
+  std::map<int, Checkpoint> checkpoints;
+  std::vector<FailoverEvent> failovers;  // guarded by mu
+
   std::mutex mu;
   std::vector<double> input_ready;  // per CPI, set by Doppler rank 0
   std::vector<double> completion;   // per CPI, set by the last CFAR rank
   std::vector<int> cfar_done;
+  int cfar_ranks_finished = 0;
+  std::vector<char> shed;  // per CPI, set by CFAR ranks
   std::vector<std::vector<stap::Detection>> detections;
   std::array<TaskTiming, stap::kNumTasks> timing_sum{};
   std::array<int, stap::kNumTasks> timing_ranks{};
@@ -159,6 +179,57 @@ void emit_phase_spans(int rank, Task t, index_t cpi, double t0, double t1,
   obs::emit({"send", "pipeline", rank, task, c, t2, t3,
              static_cast<std::int64_t>(send_bytes), -1});
 }
+
+// Deadline-aware receive helper: one per rank, reset per CPI. With shedding
+// disabled every recv is the plain blocking call and behaviour is identical
+// to the fault-free pipeline. With shedding enabled, the first recv of a
+// CPI starts the real-time budget; a recv that cannot complete within the
+// remaining budget (or that delivers a shed marker / hits a dead peer)
+// returns nullopt, after which the CPI must be shed. Remaining inputs are
+// still polled with a zero deadline so whatever already arrived is drained,
+// and sources that never delivered go on the stale list — their late frames
+// are discarded at the start of subsequent CPIs.
+struct FtRecv {
+  Comm& c;
+  const FaultToleranceConfig& cfg;
+  double deadline = 0.0;  // absolute, WallTimer base
+  bool missed = false;    // some input did not make this CPI's deadline
+  std::vector<std::pair<int, int>> stale{};  // (src, tag) awaiting discard
+
+  void begin() {
+    if (!cfg.shedding) return;
+    deadline = WallTimer::now() + cfg.cpi_deadline_seconds;
+    missed = false;
+    for (auto it = stale.begin(); it != stale.end();)
+      it = c.discard(it->first, it->second) > 0 ? stale.erase(it) : it + 1;
+  }
+
+  /// nullopt => marker, timeout, or dead peer: the CPI cannot complete.
+  template <typename T>
+  std::optional<std::vector<T>> recv(int src, int tag) {
+    if (!cfg.shedding) return c.recv<T>(src, tag);
+    const double remaining =
+        missed ? 0.0 : std::max(0.0, deadline - WallTimer::now());
+    auto r = c.recv_bytes_for(src, tag, remaining);
+    if (r.ok()) return r.as<T>();
+    missed = true;
+    if (r.status != comm::RecvStatus::kOk) stale.emplace_back(src, tag);
+    return std::nullopt;
+  }
+
+  std::optional<std::vector<cfloat>> recv_cf(int src, int tag) {
+    return recv<cfloat>(src, tag);
+  }
+};
+
+/// Spare-rank resume request: restore the serialized weight computers and
+/// re-enter the CPI loop at `cpi`. `restored` fires once state is back
+/// (recovery-stall measurement point).
+struct Resume {
+  index_t cpi = 0;
+  std::string blob;
+  std::function<void(index_t)> restored;
+};
 
 // ---------------------------------------------------------------------------
 // Task 0: Doppler filter processing (partitioned along K)
@@ -264,7 +335,7 @@ void run_doppler(Comm& c, Shared& s, int me) {
 // ---------------------------------------------------------------------------
 // Task 1: easy weight computation (partitioned along easy bins)
 // ---------------------------------------------------------------------------
-void run_easy_wt(Comm& c, Shared& s, int me) {
+void run_easy_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
   const auto& p = s.p;
   const index_t j = p.num_channels;
   const index_t positions = p.num_beam_positions;
@@ -303,19 +374,48 @@ void run_easy_wt(Comm& c, Shared& s, int me) {
               buf, s.measured(for_cpi), acc);
     }
   };
-  for (index_t pos = 0; pos < positions && pos < s.n_cpis; ++pos)
-    send_weights(computers[static_cast<size_t>(pos)].compute(), pos);
+  // Checkpoint the computers' state after every CPI so a spare can resume
+  // at exactly the next CPI (keyed by the global rank the spare assumes).
+  auto save_ckpt = [&](index_t next_cpi) {
+    if (!s.ft.spare_rank) return;
+    std::ostringstream os;
+    for (const auto& comp : computers) comp.save(os);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto& ck = s.checkpoints[c.rank()];
+    ck.next_cpi = next_cpi;
+    ck.blob = os.str();
+  };
 
+  index_t start_cpi = 0;
+  if (resume) {
+    std::istringstream is(resume->blob);
+    for (auto& comp : computers) comp.restore(is);
+    start_cpi = resume->cpi;
+    if (resume->restored) resume->restored(start_cpi);
+  } else {
+    for (index_t pos = 0; pos < positions && pos < s.n_cpis; ++pos)
+      send_weights(computers[static_cast<size_t>(pos)].compute(), pos);
+    save_ckpt(0);
+  }
+
+  FtRecv ftr{c, s.ft};
   const index_t total_cells = static_cast<index_t>(s.easy_cells.size());
-  for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+  for (index_t cpi = start_cpi; cpi < s.n_cpis; ++cpi) {
     const bool meas = s.measured(cpi);
     const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
+    ftr.begin();
 
+    bool complete = true;
     std::vector<MatrixCF> training(bins.size(), MatrixCF(total_cells, j));
     for (int d = 0; d < s.count(Task::kDopplerFilter); ++d) {
-      auto buf = c.recv<cfloat>(s.base(Task::kDopplerFilter) + d,
-                                tag_for(cpi, kDopToEasyWt));
+      auto bufo = ftr.recv_cf(s.base(Task::kDopplerFilter) + d,
+                              tag_for(cpi, kDopToEasyWt));
+      if (!bufo) {
+        complete = false;
+        continue;
+      }
+      const auto& buf = *bufo;
       size_t off = 0;
       for (size_t bi = 0; bi < bins.size(); ++bi)
         for (index_t row : rows_from[static_cast<size_t>(d)]) {
@@ -328,13 +428,17 @@ void run_easy_wt(Comm& c, Shared& s, int me) {
     }
     const double t1 = WallTimer::now();
 
+    // A shed CPI skips the training update; the previous weights still
+    // flow downstream so beamforming never starves (degraded adaptivity,
+    // not a stalled stream).
     auto& computer = computers[static_cast<size_t>(cpi % positions)];
-    computer.push_training(std::move(training));
+    if (complete) computer.push_training(std::move(training));
     const stap::WeightSet w = computer.compute();
     const double t2 = WallTimer::now();
 
     // These weights serve the *next visit* of the same transmit position.
     if (cpi + positions < s.n_cpis) send_weights(w, cpi + positions);
+    save_ckpt(cpi + 1);
     const double t3 = WallTimer::now();
     emit_phase_spans(c.rank(), Task::kEasyWeight, cpi, t0, t1, t2, t3,
                      acc.bytes - bytes0);
@@ -351,7 +455,7 @@ void run_easy_wt(Comm& c, Shared& s, int me) {
 // ---------------------------------------------------------------------------
 // Task 2: hard weight computation (partitioned over (bin, segment) units)
 // ---------------------------------------------------------------------------
-void run_hard_wt(Comm& c, Shared& s, int me) {
+void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
   const auto& p = s.p;
   const index_t jj = p.num_staggered_channels();
   const index_t positions = p.num_beam_positions;
@@ -391,22 +495,49 @@ void run_hard_wt(Comm& c, Shared& s, int me) {
               buf, s.measured(for_cpi), acc);
     }
   };
-  for (index_t pos = 0; pos < positions && pos < s.n_cpis; ++pos)
-    send_weights(computers[static_cast<size_t>(pos)].compute(), pos);
+  auto save_ckpt = [&](index_t next_cpi) {
+    if (!s.ft.spare_rank) return;
+    std::ostringstream os;
+    for (const auto& comp : computers) comp.save(os);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto& ck = s.checkpoints[c.rank()];
+    ck.next_cpi = next_cpi;
+    ck.blob = os.str();
+  };
 
-  for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+  index_t start_cpi = 0;
+  if (resume) {
+    std::istringstream is(resume->blob);
+    for (auto& comp : computers) comp.restore(is);
+    start_cpi = resume->cpi;
+    if (resume->restored) resume->restored(start_cpi);
+  } else {
+    for (index_t pos = 0; pos < positions && pos < s.n_cpis; ++pos)
+      send_weights(computers[static_cast<size_t>(pos)].compute(), pos);
+    save_ckpt(0);
+  }
+
+  FtRecv ftr{c, s.ft};
+  for (index_t cpi = start_cpi; cpi < s.n_cpis; ++cpi) {
     const bool meas = s.measured(cpi);
     const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
+    ftr.begin();
 
+    bool complete = true;
     std::vector<MatrixCF> training;
     training.reserve(units.size());
     for (size_t ui = 0; ui < units.size(); ++ui)
       training.emplace_back(
           static_cast<index_t>(p.hard_samples_per_segment), jj);
     for (int d = 0; d < s.count(Task::kDopplerFilter); ++d) {
-      auto buf = c.recv<cfloat>(s.base(Task::kDopplerFilter) + d,
-                                tag_for(cpi, kDopToHardWt));
+      auto bufo = ftr.recv_cf(s.base(Task::kDopplerFilter) + d,
+                              tag_for(cpi, kDopToHardWt));
+      if (!bufo) {
+        complete = false;
+        continue;
+      }
+      const auto& buf = *bufo;
       size_t off = 0;
       for (size_t ui = 0; ui < units.size(); ++ui)
         for (index_t row : rows_from[ui][static_cast<size_t>(d)]) {
@@ -419,13 +550,16 @@ void run_hard_wt(Comm& c, Shared& s, int me) {
     }
     const double t1 = WallTimer::now();
 
+    // A shed CPI skips the recursive update (forgetting state untouched);
+    // the current weights still flow downstream.
     auto& computer = computers[static_cast<size_t>(cpi % positions)];
-    computer.update(training);
+    if (complete) computer.update(training);
     const std::vector<MatrixCF> w = computer.compute();
     const double t2 = WallTimer::now();
 
     // These weights serve the *next visit* of the same transmit position.
     if (cpi + positions < s.n_cpis) send_weights(w, cpi + positions);
+    save_ckpt(cpi + 1);
     const double t3 = WallTimer::now();
     emit_phase_spans(c.rank(), Task::kHardWeight, cpi, t0, t1, t2, t3,
                      acc.bytes - bytes0);
@@ -459,20 +593,34 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
   const auto bins = slice(bin_list, part, me);
   const index_t b0 = part.offset(me);
   const index_t bl = part.length(me);
+  const index_t positions = p.num_beam_positions;
+  // Stale-weight fallback (shedding only): the last complete weight set
+  // received for each transmit position.
+  std::vector<std::optional<stap::WeightSet>> wcache(
+      static_cast<size_t>(positions));
+  FtRecv ftr{c, s.ft};
   PhaseAcc acc;
 
   for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
     const bool meas = s.measured(cpi);
     const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
+    ftr.begin();
+    bool shed = false;
 
     // Weights for this CPI (sent by the weight task while processing the
     // previous CPI — the temporal dependency).
     stap::WeightSet w;
     w.bins.assign(bins.begin(), bins.end());
     w.weights.assign(static_cast<size_t>(bl * segs), MatrixCF());
+    bool weights_complete = true;
     for (int r = 0; r < s.count(wt_task); ++r) {
-      auto buf = c.recv<cfloat>(s.base(wt_task) + r, tag_for(cpi, wt_edge));
+      auto bufo = ftr.recv_cf(s.base(wt_task) + r, tag_for(cpi, wt_edge));
+      if (!bufo) {
+        weights_complete = false;
+        continue;
+      }
+      const auto& buf = *bufo;
       size_t off = 0;
       const BlockPartition& wpart = hard ? s.part_hwu : s.part_ewt;
       const index_t my_lo = b0 * segs;
@@ -490,13 +638,27 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
       }
       PPSTAP_CHECK(off == buf.size(), "weight message length");
     }
+    if (s.ft.shedding) {
+      auto& cache = wcache[static_cast<size_t>(cpi % positions)];
+      if (weights_complete)
+        cache = w;  // refresh the fallback for this position
+      else if (cache)
+        w = *cache;  // beamform with the position's last known weights
+      else
+        shed = true;  // nothing to beamform with yet
+    }
 
     // Doppler data, reassembled into the bin-major (bin, range, channel)
     // cube of Fig. 8.
     cube::CpiCube data(bl, k, nch);
     for (int d = 0; d < s.count(Task::kDopplerFilter); ++d) {
-      auto buf = c.recv<cfloat>(s.base(Task::kDopplerFilter) + d,
-                                tag_for(cpi, data_edge));
+      auto bufo = ftr.recv_cf(s.base(Task::kDopplerFilter) + d,
+                              tag_for(cpi, data_edge));
+      if (!bufo) {
+        shed = true;
+        continue;
+      }
+      const auto& buf = *bufo;
       const index_t dk0 = s.part_k.offset(d);
       const index_t dkl = s.part_k.length(d);
       PPSTAP_CHECK(static_cast<index_t>(buf.size()) == bl * dkl * nch,
@@ -511,6 +673,21 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
         }
     }
     const double t1 = WallTimer::now();
+
+    if (shed) {
+      // CPI i cannot be produced within the budget: propagate the dropped
+      // marker downstream so the stream keeps moving.
+      for (int r = 0; r < s.count(Task::kPulseCompression); ++r)
+        c.send_marker(s.base(Task::kPulseCompression) + r,
+                      tag_for(cpi, out_edge));
+      const double t3 = WallTimer::now();
+      emit_phase_spans(c.rank(), task, cpi, t0, t1, t1, t3, 0);
+      if (meas) {
+        acc.recv += t1 - t0;
+        acc.send += t3 - t1;
+      }
+      continue;
+    }
 
     const cube::CpiCube out = hard ? stap::hard_beamform(data, w, p)
                                    : stap::easy_beamform(data, w, p);
@@ -555,16 +732,22 @@ void run_pc(Comm& c, Shared& s, int me) {
   const index_t m = p.num_beams;
   const index_t k = p.num_range;
   stap::PulseCompressor compressor(p, s.replica);
+  FtRecv ftr{c, s.ft};
   PhaseAcc acc;
 
-  auto recv_from_bf = [&](index_t cpi, bool hard) {
+  auto recv_from_bf = [&](index_t cpi, bool hard, bool& shed) {
     const Task bf_task = hard ? Task::kHardBeamform : Task::kEasyBeamform;
     const Edge edge = hard ? kHardBfToPc : kEasyBfToPc;
     const BlockPartition& part = hard ? s.part_hbf : s.part_ebf;
     const std::vector<index_t>& bin_list = hard ? s.hard_bins : s.easy_bins;
     std::vector<std::pair<index_t, std::vector<cfloat>>> rows;
     for (int r = 0; r < s.count(bf_task); ++r) {
-      auto buf = c.recv<cfloat>(s.base(bf_task) + r, tag_for(cpi, edge));
+      auto bufo = ftr.recv_cf(s.base(bf_task) + r, tag_for(cpi, edge));
+      if (!bufo) {
+        shed = true;
+        continue;
+      }
+      const auto& buf = *bufo;
       size_t off = 0;
       const auto bins = slice(bin_list, part, r);
       for (index_t gbin : bins) {
@@ -586,14 +769,29 @@ void run_pc(Comm& c, Shared& s, int me) {
     const bool meas = s.measured(cpi);
     const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
+    ftr.begin();
 
     cube::CpiCube bf(gl, m, k);
+    bool shed = false;
     for (bool hard : {false, true})
-      for (auto& [gbin, row] : recv_from_bf(cpi, hard)) {
+      for (auto& [gbin, row] : recv_from_bf(cpi, hard, shed)) {
         cfloat* dst = &bf.at(gbin - g0, 0, 0);
         std::copy(row.begin(), row.end(), dst);
       }
     const double t1 = WallTimer::now();
+
+    if (shed) {
+      for (int r = 0; r < s.count(Task::kCfar); ++r)
+        c.send_marker(s.base(Task::kCfar) + r, tag_for(cpi, kPcToCfar));
+      const double t3 = WallTimer::now();
+      emit_phase_spans(c.rank(), Task::kPulseCompression, cpi, t0, t1, t1,
+                       t3, 0);
+      if (meas) {
+        acc.recv += t1 - t0;
+        acc.send += t3 - t1;
+      }
+      continue;
+    }
 
     const cube::RealCube power = compressor.compress(bf);
     const double t2 = WallTimer::now();
@@ -640,11 +838,14 @@ void run_cfar(Comm& c, Shared& s, int me) {
   const index_t k = p.num_range;
   std::vector<index_t> my_bins(static_cast<size_t>(cl));
   for (index_t i = 0; i < cl; ++i) my_bins[static_cast<size_t>(i)] = c0 + i;
+  FtRecv ftr{c, s.ft};
   PhaseAcc acc;
 
   for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
     const bool meas = s.measured(cpi);
     const double t0 = WallTimer::now();
+    ftr.begin();
+    bool shed = false;
 
     cube::RealCube power(cl, m, k);
     for (int r = 0; r < s.count(Task::kPulseCompression); ++r) {
@@ -652,8 +853,13 @@ void run_cfar(Comm& c, Shared& s, int me) {
       const index_t g1 = g0 + s.part_pc.length(r);
       const index_t lo = std::max(c0, g0);
       const index_t hi = std::min(c0 + cl, g1);
-      auto buf = c.recv<float>(s.base(Task::kPulseCompression) + r,
-                               tag_for(cpi, kPcToCfar));
+      auto bufo = ftr.recv<float>(s.base(Task::kPulseCompression) + r,
+                                  tag_for(cpi, kPcToCfar));
+      if (!bufo) {
+        shed = true;
+        continue;
+      }
+      const auto& buf = *bufo;
       PPSTAP_CHECK(static_cast<index_t>(buf.size()) ==
                        std::max<index_t>(0, hi - lo) * m * k,
                    "power message length");
@@ -666,17 +872,24 @@ void run_cfar(Comm& c, Shared& s, int me) {
     }
     const double t1 = WallTimer::now();
 
-    auto dets = stap::cfar_detect(power, my_bins, p);
+    // A shed CPI reports no detections — the sink records the drop in the
+    // ledger instead of stalling the stream on incomplete power data.
+    auto dets = shed ? std::vector<stap::Detection>{}
+                     : stap::cfar_detect(power, my_bins, p);
     const double t2 = WallTimer::now();
 
     {
       std::lock_guard<std::mutex> lock(s.mu);
+      if (shed) s.shed[static_cast<size_t>(cpi)] = 1;
       auto& sink = s.detections[static_cast<size_t>(cpi)];
       sink.insert(sink.end(), dets.begin(), dets.end());
       if (++s.cfar_done[static_cast<size_t>(cpi)] ==
           s.count(Task::kCfar))
         s.completion[static_cast<size_t>(cpi)] = WallTimer::now();
     }
+    if (shed && obs::tracing_enabled())
+      obs::emit({"shed_cpi", "fault", c.rank(), obs::kFaultTrack,
+                 static_cast<std::int64_t>(cpi), t0, t1, -1, -1});
     // The sink has no downstream send; its "send" span is the detection
     // report commit, so every task traces a full recv/comp/send triple.
     if (obs::tracing_enabled())
@@ -688,7 +901,76 @@ void run_cfar(Comm& c, Shared& s, int me) {
       acc.comp += t2 - t1;
     }
   }
+  {
+    // Last CFAR rank out releases an idle spare from its standby loop.
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (++s.cfar_ranks_finished == s.count(Task::kCfar))
+      s.stream_done.store(true, std::memory_order_release);
+  }
   acc.commit(s, Task::kCfar, s.measured_count());
+}
+
+// ---------------------------------------------------------------------------
+// Spare rank: hot standby for the (stateful) weight tasks
+// ---------------------------------------------------------------------------
+// Polls for a claimed-recoverable death until the stream drains. On a claim
+// it assumes the dead rank's identity and mailbox, restores the last weight
+// checkpoint, and re-enters the weight loop at exactly the CPI the dead
+// rank would have processed next — downstream ranks never notice beyond the
+// recovery stall (paper §6's reallocation stall, measured here for real).
+void run_spare(comm::World& world, Comm& c, Shared& s) {
+  while (!s.stream_done.load(std::memory_order_acquire)) {
+    std::optional<int> dead;
+    try {
+      dead = world.wait_for_death(s.ft.death_poll_seconds);
+    } catch (const Error&) {
+      return;  // world aborted while standing by
+    }
+    if (!dead) continue;
+
+    const double t_death = world.death_time(*dead);
+    Resume resume;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      auto it = s.checkpoints.find(*dead);
+      PPSTAP_CHECK(it != s.checkpoints.end(),
+                   "no checkpoint for the dead rank");
+      resume.cpi = it->second.next_cpi;
+      resume.blob = it->second.blob;
+    }
+
+    Task task = Task::kEasyWeight;
+    int local = -1;
+    for (int t = 0; t < stap::kNumTasks; ++t) {
+      const Task cand = static_cast<Task>(t);
+      if (*dead >= s.base(cand) && *dead < s.base(cand) + s.count(cand)) {
+        task = cand;
+        local = *dead - s.base(cand);
+        break;
+      }
+    }
+    PPSTAP_CHECK(local >= 0 && (task == Task::kEasyWeight ||
+                                task == Task::kHardWeight),
+                 "spare can only take over a weight rank");
+
+    c.take_over(*dead);
+    resume.restored = [&s, &c, dead = *dead, task, t_death](index_t cpi) {
+      const double t_up = WallTimer::now();
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.failovers.push_back(FailoverEvent{
+            dead, static_cast<int>(task), cpi, t_up - t_death});
+      }
+      if (obs::tracing_enabled())
+        obs::emit({"failover", "fault", c.rank(), obs::kFaultTrack,
+                   static_cast<std::int64_t>(cpi), t_death, t_up, -1, -1});
+    };
+    if (task == Task::kEasyWeight)
+      run_easy_wt(c, s, local, &resume);
+    else
+      run_hard_wt(c, s, local, &resume);
+    return;  // one spare covers one failure
+  }
 }
 
 }  // namespace
@@ -758,14 +1040,29 @@ PipelineResult ParallelStapPipeline::run(
   s.completion.assign(static_cast<size_t>(num_cpis), 0.0);
   s.cfar_done.assign(static_cast<size_t>(num_cpis), 0);
   s.detections.assign(static_cast<size_t>(num_cpis), {});
+  s.ft = ft_;
+  s.shed.assign(static_cast<size_t>(num_cpis), 0);
 
-  if (obs::tracing_enabled())
+  if (obs::tracing_enabled()) {
     for (int t = 0; t < stap::kNumTasks; ++t)
       obs::set_track_name(t, stap::task_name(static_cast<stap::Task>(t)));
+    if (ft_.any() || plan_ != nullptr)
+      obs::set_track_name(obs::kFaultTrack, "fault");
+  }
 
-  comm::World world(assign_.total());
+  // One extra rank beyond the assignment when a spare is requested; it
+  // stays idle unless a recoverable (weight) rank dies.
+  comm::World world(assign_.total() + (ft_.spare_rank ? 1 : 0));
+  world.set_fault_plan(plan_);
+  if (ft_.spare_rank) {
+    for (int r = 0; r < s.count(Task::kEasyWeight); ++r)
+      world.set_recoverable(s.base(Task::kEasyWeight) + r);
+    for (int r = 0; r < s.count(Task::kHardWeight); ++r)
+      world.set_recoverable(s.base(Task::kHardWeight) + r);
+  }
   world.run([&](Comm& c) {
     int rank = c.rank();
+    if (rank == s.a.total()) return run_spare(world, c, s);
     for (int t = 0; t < stap::kNumTasks; ++t) {
       const Task task = static_cast<Task>(t);
       const int base = s.base(task);
@@ -828,6 +1125,10 @@ PipelineResult ParallelStapPipeline::run(
       gap_sum += s.completion[i] - s.completion[i - 1];
       ++gap_count;
     }
+    // A shed CPI still completed (its gap counts toward throughput — the
+    // stream kept moving) but produced no detections, so its latency is
+    // not a report latency and is excluded from the averages.
+    if (s.shed[i]) continue;
     const double lat = s.completion[i] - s.input_ready[i];
     result.per_cpi_latency.push_back(lat);
     latency_hist.observe(lat);
@@ -880,6 +1181,28 @@ PipelineResult ParallelStapPipeline::run(
                 sim_edge_name(static_cast<SimEdge>(e)))
         .add(s.edge_bytes[static_cast<size_t>(e)].load(
             std::memory_order_relaxed));
+
+  // --- fault ledger ---------------------------------------------------------
+  for (index_t cpi = 0; cpi < num_cpis; ++cpi)
+    if (s.shed[static_cast<size_t>(cpi)])
+      result.faults.shed_cpis.push_back(cpi);
+  for (const auto& st : stats)
+    result.faults.retransmissions += st.retransmissions;
+  if (plan_ != nullptr) {
+    const comm::FaultStats fs = plan_->stats();
+    result.faults.frames_delayed = fs.delayed;
+    result.faults.frames_dropped = fs.dropped;
+    result.faults.frames_corrupted = fs.corrupted;
+    result.faults.kills = fs.kills;
+  }
+  result.faults.failovers = std::move(s.failovers);
+  if (!result.faults.clean()) {
+    reg.counter("pipeline.cpis_shed")
+        .add(static_cast<std::uint64_t>(result.faults.shed_cpis.size()));
+    reg.counter("pipeline.failovers")
+        .add(static_cast<std::uint64_t>(result.faults.failovers.size()));
+    reg.counter("comm.retransmissions").add(result.faults.retransmissions);
+  }
   return result;
 }
 

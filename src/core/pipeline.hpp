@@ -20,11 +20,16 @@
 #include <vector>
 
 #include "core/assignment.hpp"
+#include "core/fault_tolerance.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/metrics.hpp"
 #include "stap/cfar.hpp"
 #include "stap/params.hpp"
 #include "synth/scenario.hpp"
+
+namespace ppstap::comm {
+class FaultPlan;
+}  // namespace ppstap::comm
 
 namespace ppstap::core {
 
@@ -79,6 +84,12 @@ struct PipelineResult {
   /// Per-link byte counters: bytes per measured CPI crossing each Fig. 4
   /// edge, indexed like core::SimEdge (sim.hpp).
   std::array<double, kNumPipelineEdges> bytes_per_edge_per_cpi{};
+
+  /// Shed CPIs, retransmissions, injected faults, failovers. Empty
+  /// (faults.clean()) on a fault-free run. Shed CPIs have no detections
+  /// and are excluded from the latency averages, but their completion
+  /// still counts toward throughput — the stream kept moving.
+  FaultLedger faults;
 };
 
 /// Runs the parallel pipelined STAP application on an in-process rank world.
@@ -104,11 +115,22 @@ class ParallelStapPipeline {
                      index_t num_cpis, index_t warmup = 3,
                      index_t cooldown = 2);
 
+  /// Enable/disable the fault-tolerance policies (default: read from the
+  /// PPSTAP_FAULT_* environment, i.e. disabled unless knobs are set).
+  void set_fault_tolerance(const FaultToleranceConfig& cfg) { ft_ = cfg; }
+  const FaultToleranceConfig& fault_tolerance() const { return ft_; }
+
+  /// Install a fault-injection plan on the run's comm world (borrowed;
+  /// must outlive run(); nullptr to clear).
+  void set_fault_plan(comm::FaultPlan* plan) { plan_ = plan; }
+
  private:
   stap::StapParams p_;
   NodeAssignment assign_;
   std::vector<linalg::MatrixCF> steering_;  // per transmit position
   std::vector<cfloat> replica_;
+  FaultToleranceConfig ft_ = FaultToleranceConfig::from_env();
+  comm::FaultPlan* plan_ = nullptr;
 };
 
 }  // namespace ppstap::core

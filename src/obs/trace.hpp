@@ -56,6 +56,8 @@ struct Span {
 /// they map to their own process groups in the exported trace.
 inline constexpr int kCommTrack = -1;
 inline constexpr int kSeqTrack = -2;
+/// Fault events: injected faults, shed CPIs, spare-rank recoveries.
+inline constexpr int kFaultTrack = -3;
 
 struct Config {
   bool enabled = false;

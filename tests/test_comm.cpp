@@ -4,9 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <thread>
 
+#include "comm/fault.hpp"
 #include "comm/world.hpp"
+#include "common/timer.hpp"
 
 namespace ppstap::comm {
 namespace {
@@ -288,6 +294,331 @@ TEST(World, ManyRanksStress) {
     // After 8 hops the token originated 8 ranks back.
     EXPECT_EQ(token, (c.rank() + n - 8) % n);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Abort paths and watchdog
+// ---------------------------------------------------------------------------
+
+// Aborts the world when the guarded section does not finish within the
+// deadline: a regression that hangs a blocked rank turns into a prompt
+// Error here instead of a ctest timeout.
+class Watchdog {
+ public:
+  Watchdog(World& world, double seconds)
+      : thread_([&world, seconds, this] {
+          std::unique_lock<std::mutex> lock(mu_);
+          const auto deadline = std::chrono::duration<double>(seconds);
+          if (!cv_.wait_for(lock, deadline, [this] { return disarmed_; }))
+            world.request_abort("watchdog deadline exceeded");
+        }) {}
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+TEST(WorldAbort, RequestAbortWakesBlockedReceivers) {
+  World world(3);
+  Watchdog dog(world, 0.2);
+  const double t0 = WallTimer::now();
+  EXPECT_THROW(world.run([](Comm& c) {
+                 // Nobody ever sends tag 99: every rank is blocked until
+                 // the watchdog aborts the world.
+                 (void)c.recv<int>((c.rank() + 1) % 3, 99);
+               }),
+               Error);
+  EXPECT_LT(WallTimer::now() - t0, 5.0);
+}
+
+TEST(WorldAbort, AbortWakesFlowControlBlockedSender) {
+  World world(2, /*mailbox_capacity_bytes=*/64);
+  EXPECT_THROW(
+      world.run([](Comm& c) {
+        if (c.rank() == 0) {
+          // The consumer never drains: this sender must block on flow
+          // control, then observe the abort instead of hanging.
+          std::vector<int> v(64, 1);
+          for (int i = 0; i < 1000; ++i) c.send<int>(1, 1, v);
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          throw Error("receiver exploded");
+        }
+      }),
+      Error);
+}
+
+TEST(WorldAbort, AbortWakesMixedBarrierAndRecvWaiters) {
+  World world(4);
+  Watchdog dog(world, 0.2);
+  const double t0 = WallTimer::now();
+  EXPECT_THROW(world.run([](Comm& c) {
+                 // Half the ranks park in a barrier that can never
+                 // complete, half in a recv that is never satisfied.
+                 if (c.rank() % 2 == 0)
+                   c.barrier();
+                 else
+                   (void)c.recv<int>(0, 77);
+               }),
+               Error);
+  EXPECT_LT(WallTimer::now() - t0, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline receives, markers, discard
+// ---------------------------------------------------------------------------
+
+TEST(WorldDeadline, RecvForTimesOutThenDelivers) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      // Nothing has been sent yet: rank 1 is parked in the barrier.
+      auto r = c.recv_bytes_for(1, 3, 0.02);
+      EXPECT_EQ(r.status, RecvStatus::kTimeout);
+      c.barrier();
+      auto r2 = c.recv_bytes_for(1, 3, 5.0);
+      ASSERT_EQ(r2.status, RecvStatus::kOk);
+      EXPECT_FALSE(r2.marker);
+      EXPECT_EQ(r2.as<int>()[0], 42);
+    } else {
+      c.barrier();  // rank 0 has observed the timeout
+      std::vector<int> v = {42};
+      c.send<int>(0, 3, v);
+    }
+  });
+}
+
+TEST(WorldDeadline, MarkerDeliveredAsControlFrame) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_marker(1, 4);
+    } else {
+      auto r = c.recv_bytes_for(0, 4, 5.0);
+      EXPECT_EQ(r.status, RecvStatus::kOk);
+      EXPECT_TRUE(r.marker);
+      EXPECT_FALSE(r.ok());
+      EXPECT_TRUE(r.bytes.empty());
+    }
+  });
+}
+
+TEST(WorldDeadline, DiscardDropsAllMatchingFrames) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> v = {1};
+      for (int i = 0; i < 3; ++i) c.send<int>(1, 6, v);
+      c.send<int>(1, 7, v);  // different tag must survive
+      c.barrier();
+    } else {
+      c.barrier();
+      EXPECT_EQ(c.discard(0, 6), 3u);
+      EXPECT_EQ(c.discard(0, 6), 0u);
+      EXPECT_TRUE(c.try_recv<int>(0, 7).has_value());
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection primitives
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, DelayHoldsFrameInFlight) {
+  World world(2);
+  FaultPlan plan;
+  plan.add(FaultPlan::delay_message(0, 1, 7, 0.15));
+  world.set_fault_plan(&plan);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> v = {5};
+      c.send<int>(1, 7, v);
+      c.barrier();
+    } else {
+      c.barrier();
+      // The frame is buffered but not yet due: invisible to try_recv.
+      EXPECT_FALSE(c.try_recv<int>(0, 7).has_value());
+      // The blocking recv waits out the injected latency.
+      EXPECT_EQ(c.recv<int>(0, 7)[0], 5);
+    }
+  });
+  EXPECT_EQ(plan.stats().delayed, 1u);
+}
+
+TEST(FaultInjection, DropDiscardsExactlyTheMatchedFrame) {
+  World world(2);
+  FaultPlan plan;
+  auto rule = FaultPlan::drop_message(0, 1, 5);
+  rule.max_applications = 1;
+  plan.add(rule);
+  world.set_fault_plan(&plan);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> a = {1}, b = {2};
+      c.send<int>(1, 5, a);  // dropped
+      c.send<int>(1, 5, b);  // delivered
+    } else {
+      EXPECT_EQ(c.recv<int>(0, 5)[0], 2);
+    }
+  });
+  EXPECT_EQ(plan.stats().dropped, 1u);
+}
+
+TEST(FaultInjection, CorruptionTriggersRetransmission) {
+  World world(2);
+  FaultPlan plan;
+  plan.add(FaultPlan::corrupt_message(0, 1, 9));  // corrupt once
+  world.set_fault_plan(&plan);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> v(100);
+      std::iota(v.begin(), v.end(), 0);
+      c.send<int>(1, 9, v);
+    } else {
+      // Payload must arrive intact: the checksum failure is repaired from
+      // the sender-side pristine copy.
+      auto v = c.recv<int>(0, 9);
+      ASSERT_EQ(v.size(), 100u);
+      for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+    }
+  });
+  EXPECT_EQ(plan.stats().corrupted, 1u);
+  EXPECT_GE(world.last_stats()[1].retransmissions, 1u);
+}
+
+TEST(FaultInjection, SeededCoinIsDeterministic) {
+  // Two identical runs of a probabilistic plan drop exactly the same
+  // messages — the receiver sees the same survivor set both times.
+  std::vector<int> survivors[2];
+  for (int run = 0; run < 2; ++run) {
+    World world(2);
+    FaultPlan plan(/*seed=*/1234);
+    auto rule = FaultPlan::drop_message(0, 1, 5);
+    rule.probability = 0.5;
+    plan.add(rule);
+    world.set_fault_plan(&plan);
+    world.run([&, run](Comm& c) {
+      if (c.rank() == 0) {
+        for (int i = 0; i < 32; ++i) {
+          std::vector<int> v = {i};
+          c.send<int>(1, 5, v);
+        }
+        c.barrier();
+      } else {
+        c.barrier();  // all sends (and drops) resolved
+        while (auto v = c.try_recv<int>(0, 5))
+          survivors[run].push_back((*v)[0]);
+      }
+    });
+    EXPECT_GT(plan.stats().dropped, 0u);
+    EXPECT_LT(plan.stats().dropped, 32u);
+  }
+  EXPECT_EQ(survivors[0], survivors[1]);
+}
+
+TEST(FaultInjection, KillIsPerRankDeathNotGlobalAbort) {
+  World world(3);
+  FaultPlan plan;
+  plan.add(FaultPlan::kill_on_recv(1, 7));
+  world.set_fault_plan(&plan);
+  // The kill is a per-rank death: run() returns normally.
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> v = {1};
+      c.send<int>(1, 7, v);
+    } else if (c.rank() == 1) {
+      EXPECT_THROW((void)c.recv<int>(0, 7), RankKilled);
+      throw RankKilled(1);  // rank-level death, observed by World::run
+    } else {
+      // A peer recv on the dead (unrecoverable) rank reports kPeerDead
+      // instead of hanging; sends to it are black-holed, not blocking.
+      auto r = c.recv_bytes_for(1, 8, 5.0);
+      EXPECT_EQ(r.status, RecvStatus::kPeerDead);
+      std::vector<int> v = {2};
+      c.send<int>(1, 9, v);
+    }
+  });
+  EXPECT_EQ(plan.stats().kills, 1u);
+  EXPECT_TRUE(world.rank_dead(1));
+  EXPECT_GT(world.death_time(1), 0.0);
+}
+
+TEST(FaultInjection, SpareTakesOverRecoverableDeadRank) {
+  World world(3);
+  world.set_recoverable(1);
+  FaultPlan plan;
+  plan.add(FaultPlan::kill_on_recv(1, 7));
+  world.set_fault_plan(&plan);
+  world.run([&world](Comm& c) {
+    if (c.rank() == 0) {
+      // The kill fires *before* the recv consumes: this frame must still
+      // be in the mailbox when the spare takes over.
+      std::vector<int> v = {11};
+      c.send<int>(1, 7, v);
+      // Plain blocking recv on a recoverable dead rank waits for the
+      // spare rather than throwing.
+      EXPECT_EQ(c.recv<int>(1, 8)[0], 22);
+    } else if (c.rank() == 1) {
+      EXPECT_THROW((void)c.recv<int>(0, 7), RankKilled);
+      throw RankKilled(1);
+    } else {
+      auto dead = world.wait_for_death(5.0);
+      ASSERT_TRUE(dead.has_value());
+      EXPECT_EQ(*dead, 1);
+      c.take_over(1);
+      EXPECT_EQ(c.rank(), 1);
+      // The dead rank's mailbox is intact; kill_on_recv is exhausted
+      // (max_applications = 1), so this recv succeeds.
+      EXPECT_EQ(c.recv<int>(0, 7)[0], 11);
+      std::vector<int> v = {22};
+      c.send<int>(0, 8, v);
+    }
+  });
+  EXPECT_FALSE(world.rank_dead(1));
+  EXPECT_EQ(plan.stats().kills, 1u);
+}
+
+TEST(FaultInjection, WaitForDeathTimesOutWhenNobodyDies) {
+  World world(2);
+  world.set_recoverable(0);
+  world.run([&world](Comm& c) {
+    if (c.rank() == 1) {
+      EXPECT_FALSE(world.wait_for_death(0.02).has_value());
+    }
+  });
+}
+
+TEST(FaultInjection, PlanReplaysIdenticallyAcrossRuns) {
+  // World::run resets the plan, so the same rule fires in each run even
+  // with max_applications = 1.
+  World world(2);
+  FaultPlan plan;
+  auto rule = FaultPlan::drop_message(0, 1, 5);
+  rule.max_applications = 1;
+  plan.add(rule);
+  world.set_fault_plan(&plan);
+  for (int round = 0; round < 2; ++round) {
+    world.run([](Comm& c) {
+      if (c.rank() == 0) {
+        std::vector<int> a = {1}, b = {2};
+        c.send<int>(1, 5, a);
+        c.send<int>(1, 5, b);
+      } else {
+        EXPECT_EQ(c.recv<int>(0, 5)[0], 2);
+      }
+    });
+    EXPECT_EQ(plan.stats().dropped, 1u);
+  }
 }
 
 }  // namespace

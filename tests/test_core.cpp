@@ -134,6 +134,46 @@ TEST(CpiSource, ConcurrentConsumersShareOneGeneration) {
   EXPECT_EQ(source.regeneration_count(), 0);
 }
 
+TEST(CpiSource, StragglerWithinBoundIsTolerated) {
+  ScenarioParams sp;
+  sp.num_range = 16;
+  sp.num_channels = 2;
+  sp.num_pulses = 8;
+  sp.clutter.num_patches = 2;
+  sp.chirp_length = 0;
+  ScenarioGenerator gen(sp);
+  // A straggler alternating with a fast consumer regenerates its evicted
+  // cube every time but stays under the bound.
+  CpiSource source(gen, /*window=*/1, /*max_regenerations=*/8);
+  (void)source.get(0);
+  for (index_t i = 0; i < 4; ++i) {
+    (void)source.get(6 + i);  // fast consumer far ahead, evicts 0
+    (void)source.get(0);      // straggler regenerates
+  }
+  EXPECT_EQ(source.regeneration_count(), 4);
+}
+
+TEST(CpiSource, RegenerationStormThrows) {
+  ScenarioParams sp;
+  sp.num_range = 16;
+  sp.num_channels = 2;
+  sp.num_pulses = 8;
+  sp.clutter.num_patches = 2;
+  sp.chirp_length = 0;
+  ScenarioGenerator gen(sp);
+  CpiSource source(gen, /*window=*/1, /*max_regenerations=*/3);
+  EXPECT_THROW(
+      {
+        for (index_t i = 0; i < 10; ++i) {
+          (void)source.get(6 + i);
+          (void)source.get(0);
+        }
+      },
+      Error);
+  // The bound fired after exactly max_regenerations + 1 regenerations.
+  EXPECT_EQ(source.regeneration_count(), 4);
+}
+
 // ---------------------------------------------------------------------------
 // Parallel pipeline == sequential reference
 // ---------------------------------------------------------------------------
