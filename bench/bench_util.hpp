@@ -18,6 +18,7 @@
 #include "core/machine.hpp"
 #include "core/sim.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppstap::bench {
 
@@ -60,6 +61,7 @@ class JsonReport {
     doc["schema"] = "ppstap-bench-v1";
     doc["bench"] = name_;
     doc["exit_code"] = code;
+    doc["robustness"] = robustness_summary();
     for (auto& [k, v] : extra_) doc[k] = std::move(v);
     obs::Json rows = obs::Json::array();
     for (auto& r : rows_) rows.push_back(std::move(r));
@@ -79,6 +81,38 @@ class JsonReport {
   }
 
  private:
+  /// Fault/overload/numerics accounting pulled from the global metrics
+  /// registry, recorded in every --json document: a clean run writes all
+  /// zeros, a degraded run shows exactly how it degraded.
+  static obs::Json robustness_summary() {
+    const obs::Json reg = obs::Registry::global().to_json();
+    const obs::Json* counters = reg.find("counters");
+    const obs::Json* gauges = reg.find("gauges");
+    static constexpr const char* kCounters[] = {
+        "cpi_source.regenerations",
+        "pipeline.cpis_shed",
+        "pipeline.failovers",
+        "comm.retransmissions",
+        "overload.rejections",
+        "overload.level_changes",
+        "overload.throttle_waits",
+        "spare.poll_wakeups",
+        "stap.nonfinite_training_blocks",
+        "stap.loading_retries",
+        "stap.quiescent_fallbacks"};
+    obs::Json out = obs::Json::object();
+    for (const char* key : kCounters) {
+      const obs::Json* v =
+          counters != nullptr ? counters->find(key) : nullptr;
+      out[key] = v != nullptr ? *v : obs::Json(0.0);
+    }
+    const obs::Json* max_level =
+        gauges != nullptr ? gauges->find("overload.max_level") : nullptr;
+    out["overload.max_level"] =
+        max_level != nullptr ? *max_level : obs::Json(0.0);
+    return out;
+  }
+
   std::string name_;
   std::string path_;
   std::vector<obs::Json> rows_;

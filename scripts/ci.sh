@@ -13,6 +13,13 @@
 #      paths cross threads at every step (death notification, spare
 #      take-over, mailbox discard), so a data race there is a correctness
 #      bug even when the race-free interleaving happens to pass.
+#   5. ASan+UBSan job: the comm/core/fault/overload-labelled suites under
+#      -fsanitize=address,undefined. The overload paths hand frames across
+#      degraded/shed boundaries and retry solves on conditioning failures —
+#      exactly where a stale pointer or signed overflow would hide.
+#   6. Overload bench: ext_overload sweeps offered load vs policy and
+#      writes BENCH_overload.json; its exit code asserts the degradation
+#      ladder beats shed-only admission at 2x load.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -42,5 +49,19 @@ cmake --build build-tsan -j "$JOBS" \
 TSAN_OPTIONS="halt_on_error=1" \
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
       -R '^(test_comm|test_collectives|test_core|test_fault_tolerance)$'
+
+echo "=== ASan+UBSan: comm + core + fault + overload ==="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j "$JOBS" \
+      --target test_comm test_collectives test_core test_sim \
+               test_pipeline_properties test_beam_cycling \
+               test_fault_tolerance test_overload
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+      -L 'comm|core|fault|overload'
+
+echo "=== bench: overload ladder vs shed-only (BENCH_overload.json) ==="
+./build/bench/ext_overload --json BENCH_overload.json
 
 echo "ci.sh: all checks passed"

@@ -372,17 +372,24 @@ void World::do_send(Comm& c, int dest, int tag,
   box.cv.notify_all();
 }
 
-std::vector<std::byte> World::finalize_frame(Comm& c, Frame&& f) {
+std::optional<std::vector<std::byte>> World::finalize_frame(
+    Comm& c, Frame&& f, bool allow_corrupt_failure) {
   // Runs with no locks held. A checksum mismatch (only possible under an
   // injected corruption) triggers the retransmission path: refetch the
   // sender-side pristine copy with linear backoff; a corrupt rule may hit
   // the refetched copy again (keyed by attempt), bounded by the budget.
+  // On a deadline receive an exhausted budget surfaces as a lost frame
+  // (RecvStatus::kCorrupt) so the caller can shed the CPI instead of
+  // aborting the whole world.
   int attempt = 0;
   while (checksum_bytes(f.bytes) != f.checksum) {
     ++attempt;
     c.stats_.retransmissions += 1;
-    PPSTAP_CHECK(attempt <= kMaxRetransmitAttempts,
-                 "frame corruption persisted past the retransmission budget");
+    if (attempt > kMaxRetransmitAttempts) {
+      PPSTAP_CHECK(allow_corrupt_failure,
+                   "frame corruption persisted past the retransmission budget");
+      return std::nullopt;
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(50LL * attempt));
     f.bytes = f.pristine;
     if (plan_ && !f.bytes.empty() &&
@@ -431,7 +438,11 @@ RecvResult World::do_recv(Comm& c, int src, int tag, const double* timeout) {
       box.cv.notify_all();  // wake senders blocked on capacity
       RecvResult r;
       r.marker = f.marker;
-      r.bytes = finalize_frame(c, std::move(f));
+      auto bytes =
+          finalize_frame(c, std::move(f), /*allow_corrupt_failure=*/
+                         timeout != nullptr);
+      if (!bytes) return RecvResult{RecvStatus::kCorrupt, false, {}};
+      r.bytes = std::move(*bytes);
       return r;
     }
     const bool src_dead = shared_->dead[si].load(std::memory_order_acquire);
@@ -477,7 +488,9 @@ std::optional<std::vector<std::byte>> World::do_try_recv(Comm& c, int src,
     box.frames.erase(it);
     lock.unlock();
     box.cv.notify_all();
-    return finalize_frame(c, std::move(f));
+    // allow_corrupt_failure=false: persistent corruption throws here, so
+    // the returned optional is engaged whenever a frame matched.
+    return finalize_frame(c, std::move(f), /*allow_corrupt_failure=*/false);
   }
   return std::nullopt;
 }

@@ -88,6 +88,8 @@ enum class RecvStatus {
   kOk,        ///< payload (or marker) delivered
   kTimeout,   ///< no matching frame arrived within the deadline
   kPeerDead,  ///< the source rank died and nobody can revive it
+  kCorrupt,   ///< the frame stayed corrupt past the retransmission budget;
+              ///< it has been consumed (late retries cannot succeed)
 };
 
 /// A deadline receive's result. `marker` distinguishes a zero-payload
@@ -108,7 +110,7 @@ struct RecvResult {
     PPSTAP_CHECK(bytes.size() % sizeof(T) == 0,
                  "received byte count not a multiple of element size");
     std::vector<T> out(bytes.size() / sizeof(T));
-    std::memcpy(out.data(), bytes.data(), bytes.size());
+    if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
     return out;
   }
 };
@@ -171,7 +173,7 @@ class Comm {
     PPSTAP_CHECK(bytes.size() % sizeof(T) == 0,
                  "received byte count not a multiple of element size");
     std::vector<T> out(bytes.size() / sizeof(T));
-    std::memcpy(out.data(), bytes.data(), bytes.size());
+    if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
     return out;
   }
 
@@ -184,7 +186,7 @@ class Comm {
     PPSTAP_CHECK(bytes->size() % sizeof(T) == 0,
                  "received byte count not a multiple of element size");
     std::vector<T> out(bytes->size() / sizeof(T));
-    std::memcpy(out.data(), bytes->data(), bytes->size());
+    if (!bytes->empty()) std::memcpy(out.data(), bytes->data(), bytes->size());
     return out;
   }
 
@@ -311,7 +313,10 @@ class World {
   std::size_t do_discard(Comm& c, int src, int tag);
   void do_take_over(Comm& c, int dead_rank);
   void do_barrier();
-  std::vector<std::byte> finalize_frame(Comm& c, Frame&& frame);
+  // nullopt (budget exhausted) only when allow_corrupt_failure; the plain
+  // recv/try_recv paths keep treating persistent corruption as fatal.
+  std::optional<std::vector<std::byte>> finalize_frame(
+      Comm& c, Frame&& frame, bool allow_corrupt_failure);
   void mark_dead(int rank);
   void abort_world();
 };

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 
+#include "core/overload.hpp"
 #include "synth/scenario.hpp"
 
 namespace ppstap::core {
@@ -28,6 +29,19 @@ class CpiSource {
   explicit CpiSource(const synth::ScenarioGenerator& gen, index_t window = 4,
                      index_t max_regenerations = 64)
       : gen_(gen), window_(window), max_regenerations_(max_regenerations) {}
+
+  /// Attach the overload controller gating this feed (nullptr detaches).
+  /// Not thread safe; install before the pipeline starts pulling.
+  void set_overload_controller(OverloadController* ctrl) { ctrl_ = ctrl; }
+
+  /// Admission gate for CPI `cpi`: pacing, the bounded-queue high
+  /// watermark, and the degradation ladder all apply here, *before* the
+  /// cube is generated — a rejected CPI costs no front-end work. Without a
+  /// controller every CPI is admitted at full fidelity.
+  OverloadController::Admission admit(index_t cpi) {
+    if (ctrl_ == nullptr) return {};
+    return ctrl_->admit(cpi);
+  }
 
   /// The full CPI cube for index `cpi` (shared, immutable). Throws once the
   /// total regeneration count exceeds the bound.
@@ -41,6 +55,7 @@ class CpiSource {
   const synth::ScenarioGenerator& gen_;
   index_t window_;
   index_t max_regenerations_;
+  OverloadController* ctrl_ = nullptr;
   mutable std::mutex mu_;
   std::map<index_t, std::shared_ptr<const cube::CpiCube>> cache_;
   std::map<index_t, int> generated_;

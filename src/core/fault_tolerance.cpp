@@ -1,24 +1,21 @@
 #include "core/fault_tolerance.hpp"
 
-#include <cstdlib>
+#include "common/env.hpp"
 
 namespace ppstap::core {
 
 FaultToleranceConfig FaultToleranceConfig::from_env() {
   FaultToleranceConfig cfg;
-  if (const char* v = std::getenv("PPSTAP_FAULT_DEADLINE")) {
-    const double d = std::atof(v);
-    if (d > 0.0) {
-      cfg.shedding = true;
-      cfg.cpi_deadline_seconds = d;
-    }
+  // 0 is accepted and means "leave shedding off" so scripted sweeps can
+  // export the variable unconditionally.
+  if (auto d = parse_env_double("PPSTAP_FAULT_DEADLINE", 0.0, 1e6);
+      d && *d > 0.0) {
+    cfg.shedding = true;
+    cfg.cpi_deadline_seconds = *d;
   }
-  if (const char* v = std::getenv("PPSTAP_FAULT_SPARE"))
-    cfg.spare_rank = std::atoi(v) != 0;
-  if (const char* v = std::getenv("PPSTAP_FAULT_POLL")) {
-    const double d = std::atof(v);
-    if (d > 0.0) cfg.death_poll_seconds = d;
-  }
+  if (auto f = parse_env_flag("PPSTAP_FAULT_SPARE")) cfg.spare_rank = *f;
+  if (auto d = parse_env_double("PPSTAP_FAULT_POLL", 1e-6, 60.0))
+    cfg.death_poll_seconds = *d;
   return cfg;
 }
 

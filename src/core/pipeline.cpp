@@ -11,8 +11,10 @@
 
 #include "comm/fault.hpp"
 #include "comm/world.hpp"
+#include "common/backoff.hpp"
 #include "common/timer.hpp"
 #include "core/cpi_source.hpp"
+#include "core/overload.hpp"
 #include "core/sim.hpp"
 #include "cube/partition.hpp"
 #include "obs/trace.hpp"
@@ -93,6 +95,13 @@ struct Shared {
 
   // Fault-tolerance state (inert when ft.any() is false).
   FaultToleranceConfig ft;
+  // Overload control (nullptr when disabled — the plain PR 2 pipeline).
+  OverloadController* ctrl = nullptr;
+  // Numerical-health counters aggregated from every weight computer at
+  // task exit; guarded by mu.
+  stap::WeightHealth numerics;
+  // Idle-poll wakeups of the spare rank's backoff ladder.
+  std::atomic<std::uint64_t> spare_wakeups{0};
   std::atomic<bool> stream_done{false};  // every CFAR rank finished
   /// Per-(global rank) weight-state checkpoint: serialized computers and
   /// the CPI the restored rank should resume at. Guarded by mu.
@@ -180,40 +189,52 @@ void emit_phase_spans(int rank, Task t, index_t cpi, double t0, double t1,
              static_cast<std::int64_t>(send_bytes), -1});
 }
 
-// Deadline-aware receive helper: one per rank, reset per CPI. With shedding
-// disabled every recv is the plain blocking call and behaviour is identical
-// to the fault-free pipeline. With shedding enabled, the first recv of a
-// CPI starts the real-time budget; a recv that cannot complete within the
-// remaining budget (or that delivers a shed marker / hits a dead peer)
-// returns nullopt, after which the CPI must be shed. Remaining inputs are
-// still polled with a zero deadline so whatever already arrived is drained,
-// and sources that never delivered go on the stale list — their late frames
-// are discarded at the start of subsequent CPIs.
+// Deadline-aware receive helper: one per rank, reset per CPI. When
+// inactive every recv is the plain blocking call and behaviour is
+// identical to the fault-free pipeline. The helper must be active whenever
+// *any* upstream task may emit markers — deadline shedding OR overload
+// control — because a plain recv cannot represent a marker (it unpacks to
+// an empty payload and trips the length checks). With shedding enabled,
+// the first recv of a CPI starts the real-time budget; a recv that cannot
+// complete within the remaining budget (or that delivers a shed marker /
+// hits a dead peer / consumes an unrecoverably corrupt frame) returns
+// nullopt, after which the CPI must be shed. Remaining inputs are still
+// polled with a zero deadline so whatever already arrived is drained, and
+// sources that never delivered go on the stale list — their late frames
+// are discarded at the start of subsequent CPIs. (A kCorrupt frame is
+// already consumed and is NOT staled.) With overload control but no
+// shedding, the budget is effectively infinite: markers are recognized,
+// nothing times out.
 struct FtRecv {
   Comm& c;
   const FaultToleranceConfig& cfg;
+  bool active = false;
+  double budget = 0.0;    // per-CPI real-time budget, seconds
   double deadline = 0.0;  // absolute, WallTimer base
   bool missed = false;    // some input did not make this CPI's deadline
   std::vector<std::pair<int, int>> stale{};  // (src, tag) awaiting discard
 
   void begin() {
-    if (!cfg.shedding) return;
-    deadline = WallTimer::now() + cfg.cpi_deadline_seconds;
+    if (!active) return;
+    deadline = WallTimer::now() + budget;
     missed = false;
     for (auto it = stale.begin(); it != stale.end();)
       it = c.discard(it->first, it->second) > 0 ? stale.erase(it) : it + 1;
   }
 
-  /// nullopt => marker, timeout, or dead peer: the CPI cannot complete.
+  /// nullopt => marker, timeout, dead peer, or corrupt frame: the CPI
+  /// cannot complete.
   template <typename T>
   std::optional<std::vector<T>> recv(int src, int tag) {
-    if (!cfg.shedding) return c.recv<T>(src, tag);
+    if (!active) return c.recv<T>(src, tag);
     const double remaining =
         missed ? 0.0 : std::max(0.0, deadline - WallTimer::now());
     auto r = c.recv_bytes_for(src, tag, remaining);
     if (r.ok()) return r.as<T>();
     missed = true;
-    if (r.status != comm::RecvStatus::kOk) stale.emplace_back(src, tag);
+    if (r.status == comm::RecvStatus::kTimeout ||
+        r.status == comm::RecvStatus::kPeerDead)
+      stale.emplace_back(src, tag);
     return std::nullopt;
   }
 
@@ -221,6 +242,17 @@ struct FtRecv {
     return recv<cfloat>(src, tag);
   }
 };
+
+// Budget large enough to be "never" yet safely representable in the comm
+// layer's chrono arithmetic (about three years).
+constexpr double kNoDeadline = 1e8;
+
+FtRecv make_ftr(Comm& c, Shared& s) {
+  FtRecv f{c, s.ft};
+  f.active = s.ft.shedding || s.ctrl != nullptr;
+  f.budget = s.ft.shedding ? s.ft.cpi_deadline_seconds : kNoDeadline;
+  return f;
+}
 
 /// Spare-rank resume request: restore the serialized weight computers and
 /// re-enter the CPI loop at `cpi`. `restored` fires once state is back
@@ -246,11 +278,48 @@ void run_doppler(Comm& c, Shared& s, int me) {
   for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
     const bool meas = s.measured(cpi);
     const std::uint64_t bytes0 = acc.bytes;
+
+    // Admission gate (pacing, bounded queue, degradation ladder). The
+    // decision is memoized: every Doppler rank gets the same answer, and
+    // it is fixed before any frame of this CPI is sent.
+    const auto adm = s.source.admit(cpi);
     const double t0 = WallTimer::now();
     if (me == 0) {
       std::lock_guard<std::mutex> lock(s.mu);
       s.input_ready[static_cast<size_t>(cpi)] = t0;
     }
+    if (me == 0 && obs::tracing_enabled() &&
+        adm.level != DegradationLevel::kFull)
+      obs::emit({degradation_level_name(adm.level), "overload", c.rank(),
+                 obs::kFaultTrack, static_cast<std::int64_t>(cpi), t0, t0,
+                 static_cast<std::int64_t>(adm.level), -1});
+
+    if (!adm.admit) {
+      // Rejected at admission (kShedInput): the cube is never generated;
+      // shed markers take the place of every downstream frame.
+      for (int r = 0; r < s.count(Task::kEasyWeight); ++r)
+        c.send_marker(s.base(Task::kEasyWeight) + r,
+                      tag_for(cpi, kDopToEasyWt));
+      for (int r = 0; r < s.count(Task::kHardWeight); ++r)
+        c.send_marker(s.base(Task::kHardWeight) + r,
+                      tag_for(cpi, kDopToHardWt));
+      for (int r = 0; r < s.count(Task::kEasyBeamform); ++r)
+        c.send_marker(s.base(Task::kEasyBeamform) + r,
+                      tag_for(cpi, kDopToEasyBf));
+      for (int r = 0; r < s.count(Task::kHardBeamform); ++r)
+        c.send_marker(s.base(Task::kHardBeamform) + r,
+                      tag_for(cpi, kDopToHardBf));
+      const double t3 = WallTimer::now();
+      emit_phase_spans(c.rank(), Task::kDopplerFilter, cpi, t0, t0, t0, t3,
+                       0);
+      if (meas) acc.send += t3 - t0;
+      continue;
+    }
+    // Training is suppressed on the frozen/stale rungs: kFrozenHard stops
+    // feeding the hard recursion, kStaleWeights stops both weight tasks.
+    const bool skip_hard_training = adm.level >= DegradationLevel::kFrozenHard;
+    const bool skip_easy_training =
+        adm.level >= DegradationLevel::kStaleWeights;
 
     // "Receive": fetch this rank's range slab from the radar feed.
     auto full = s.source.get(cpi);
@@ -268,8 +337,15 @@ void run_doppler(Comm& c, Shared& s, int me) {
 
     // --- data collection + personalized sends (Figs. 6b, 8) --------------
     // Easy weight task: training rows (J channels) at the easy training
-    // cells inside this slab, for each destination's owned bins.
+    // cells inside this slab, for each destination's owned bins. On the
+    // stale-weights rung a marker replaces the rows (the computer keeps
+    // serving its last weights).
     for (int r = 0; r < s.count(Task::kEasyWeight); ++r) {
+      if (skip_easy_training) {
+        c.send_marker(s.base(Task::kEasyWeight) + r,
+                      tag_for(cpi, kDopToEasyWt));
+        continue;
+      }
       std::vector<cfloat> buf;
       const auto bins = slice(s.easy_bins, s.part_ewt, r);
       for (index_t bin : bins)
@@ -282,7 +358,13 @@ void run_doppler(Comm& c, Shared& s, int me) {
               meas, acc);
     }
     // Hard weight task: 2J-channel training rows per (bin, segment) unit.
+    // Frozen from kFrozenHard up — the recursion reuses its last R.
     for (int r = 0; r < s.count(Task::kHardWeight); ++r) {
+      if (skip_hard_training) {
+        c.send_marker(s.base(Task::kHardWeight) + r,
+                      tag_for(cpi, kDopToHardWt));
+        continue;
+      }
       std::vector<cfloat> buf;
       const auto units = slice(s.hard_units, s.part_hwu, r);
       for (const auto& u : units)
@@ -398,7 +480,11 @@ void run_easy_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
     save_ckpt(0);
   }
 
-  FtRecv ftr{c, s.ft};
+  FtRecv ftr = make_ftr(c, s);
+  // Last solved weights per transmit position: the stale-weights rung
+  // resends them without paying for a solve.
+  std::vector<std::optional<stap::WeightSet>> last_w(
+      static_cast<size_t>(positions));
   const index_t total_cells = static_cast<index_t>(s.easy_cells.size());
   for (index_t cpi = start_cpi; cpi < s.n_cpis; ++cpi) {
     const bool meas = s.measured(cpi);
@@ -433,7 +519,15 @@ void run_easy_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
     // not a stalled stream).
     auto& computer = computers[static_cast<size_t>(cpi % positions)];
     if (complete) computer.push_training(std::move(training));
-    const stap::WeightSet w = computer.compute();
+    auto& cache = last_w[static_cast<size_t>(cpi % positions)];
+    stap::WeightSet w;
+    if (s.ctrl != nullptr &&
+        s.ctrl->level_for(cpi) >= DegradationLevel::kStaleWeights && cache) {
+      w = *cache;  // stale rung: resend without solving
+    } else {
+      w = computer.compute();
+      cache = w;
+    }
     const double t2 = WallTimer::now();
 
     // These weights serve the *next visit* of the same transmit position.
@@ -448,6 +542,10 @@ void run_easy_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
       acc.comp += t2 - t1;
       acc.send += t3 - t2;
     }
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& comp : computers) s.numerics += comp.health();
   }
   acc.commit(s, Task::kEasyWeight, s.measured_count());
 }
@@ -517,7 +615,10 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
     save_ckpt(0);
   }
 
-  FtRecv ftr{c, s.ft};
+  FtRecv ftr = make_ftr(c, s);
+  // Last solved weights per transmit position (stale-weights rung).
+  std::vector<std::optional<std::vector<MatrixCF>>> last_w(
+      static_cast<size_t>(positions));
   for (index_t cpi = start_cpi; cpi < s.n_cpis; ++cpi) {
     const bool meas = s.measured(cpi);
     const std::uint64_t bytes0 = acc.bytes;
@@ -551,10 +652,19 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
     const double t1 = WallTimer::now();
 
     // A shed CPI skips the recursive update (forgetting state untouched);
-    // the current weights still flow downstream.
+    // the current weights still flow downstream. (The frozen-hard rung
+    // arrives here as a training marker: update skipped, solve kept.)
     auto& computer = computers[static_cast<size_t>(cpi % positions)];
     if (complete) computer.update(training);
-    const std::vector<MatrixCF> w = computer.compute();
+    auto& cache = last_w[static_cast<size_t>(cpi % positions)];
+    std::vector<MatrixCF> w;
+    if (s.ctrl != nullptr &&
+        s.ctrl->level_for(cpi) >= DegradationLevel::kStaleWeights && cache) {
+      w = *cache;  // stale rung: resend without solving
+    } else {
+      w = computer.compute();
+      cache = w;
+    }
     const double t2 = WallTimer::now();
 
     // These weights serve the *next visit* of the same transmit position.
@@ -569,6 +679,10 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
       acc.comp += t2 - t1;
       acc.send += t3 - t2;
     }
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& comp : computers) s.numerics += comp.health();
   }
   acc.commit(s, Task::kHardWeight, s.measured_count());
 }
@@ -598,7 +712,7 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
   // received for each transmit position.
   std::vector<std::optional<stap::WeightSet>> wcache(
       static_cast<size_t>(positions));
-  FtRecv ftr{c, s.ft};
+  FtRecv ftr = make_ftr(c, s);
   PhaseAcc acc;
 
   for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
@@ -638,7 +752,7 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
       }
       PPSTAP_CHECK(off == buf.size(), "weight message length");
     }
-    if (s.ft.shedding) {
+    if (ftr.active) {
       auto& cache = wcache[static_cast<size_t>(cpi % positions)];
       if (weights_complete)
         cache = w;  // refresh the fallback for this position
@@ -689,8 +803,12 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
       continue;
     }
 
-    const cube::CpiCube out = hard ? stap::hard_beamform(data, w, p)
-                                   : stap::easy_beamform(data, w, p);
+    // The reduced-beams rungs shrink the beamform work; skipped beams stay
+    // zero in the output cube, so CFAR simply reports nothing there.
+    const index_t active =
+        s.ctrl != nullptr ? active_beams_for(s.ctrl->level_for(cpi), m) : m;
+    const cube::CpiCube out = hard ? stap::hard_beamform(data, w, p, active)
+                                   : stap::easy_beamform(data, w, p, active);
     const double t2 = WallTimer::now();
 
     // Route each bin's M x K block to the pulse compression owner of its
@@ -732,7 +850,7 @@ void run_pc(Comm& c, Shared& s, int me) {
   const index_t m = p.num_beams;
   const index_t k = p.num_range;
   stap::PulseCompressor compressor(p, s.replica);
-  FtRecv ftr{c, s.ft};
+  FtRecv ftr = make_ftr(c, s);
   PhaseAcc acc;
 
   auto recv_from_bf = [&](index_t cpi, bool hard, bool& shed) {
@@ -793,7 +911,9 @@ void run_pc(Comm& c, Shared& s, int me) {
       continue;
     }
 
-    const cube::RealCube power = compressor.compress(bf);
+    const index_t active =
+        s.ctrl != nullptr ? active_beams_for(s.ctrl->level_for(cpi), m) : m;
+    const cube::RealCube power = compressor.compress(bf, active);
     const double t2 = WallTimer::now();
 
     for (int r = 0; r < s.count(Task::kCfar); ++r) {
@@ -838,7 +958,7 @@ void run_cfar(Comm& c, Shared& s, int me) {
   const index_t k = p.num_range;
   std::vector<index_t> my_bins(static_cast<size_t>(cl));
   for (index_t i = 0; i < cl; ++i) my_bins[static_cast<size_t>(i)] = c0 + i;
-  FtRecv ftr{c, s.ft};
+  FtRecv ftr = make_ftr(c, s);
   PhaseAcc acc;
 
   for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
@@ -878,15 +998,28 @@ void run_cfar(Comm& c, Shared& s, int me) {
                      : stap::cfar_detect(power, my_bins, p);
     const double t2 = WallTimer::now();
 
+    bool cpi_done = false;
+    bool cpi_shed = false;
+    double latency = 0.0;
     {
       std::lock_guard<std::mutex> lock(s.mu);
       if (shed) s.shed[static_cast<size_t>(cpi)] = 1;
       auto& sink = s.detections[static_cast<size_t>(cpi)];
       sink.insert(sink.end(), dets.begin(), dets.end());
       if (++s.cfar_done[static_cast<size_t>(cpi)] ==
-          s.count(Task::kCfar))
-        s.completion[static_cast<size_t>(cpi)] = WallTimer::now();
+          s.count(Task::kCfar)) {
+        const double done = WallTimer::now();
+        s.completion[static_cast<size_t>(cpi)] = done;
+        cpi_done = true;
+        cpi_shed = s.shed[static_cast<size_t>(cpi)] != 0;
+        const double in = s.input_ready[static_cast<size_t>(cpi)];
+        latency = in > 0.0 ? done - in : 0.0;
+      }
     }
+    // The sink closes the overload-control loop: latency samples drive the
+    // SLO term, completions release throttled producers.
+    if (cpi_done && s.ctrl != nullptr)
+      s.ctrl->on_complete(cpi, latency, cpi_shed);
     if (shed && obs::tracing_enabled())
       obs::emit({"shed_cpi", "fault", c.rank(), obs::kFaultTrack,
                  static_cast<std::int64_t>(cpi), t0, t1, -1, -1});
@@ -919,14 +1052,24 @@ void run_cfar(Comm& c, Shared& s, int me) {
 // rank would have processed next — downstream ranks never notice beyond the
 // recovery stall (paper §6's reallocation stall, measured here for real).
 void run_spare(comm::World& world, Comm& c, Shared& s) {
+  // Standby polling climbs a spin -> yield -> sleep ladder instead of
+  // waking at a fixed interval: an idle spare costs (almost) nothing while
+  // a death early in the stream is still claimed promptly.
+  Backoff bo(s.ft.death_poll_seconds);
   while (!s.stream_done.load(std::memory_order_acquire)) {
     std::optional<int> dead;
     try {
-      dead = world.wait_for_death(s.ft.death_poll_seconds);
+      dead = world.wait_for_death(bo.next_timeout());
     } catch (const Error&) {
+      s.spare_wakeups.store(bo.wakeups(), std::memory_order_relaxed);
       return;  // world aborted while standing by
     }
-    if (!dead) continue;
+    if (!dead) {
+      bo.idle();
+      continue;
+    }
+    bo.reset();
+    s.spare_wakeups.store(bo.wakeups(), std::memory_order_relaxed);
 
     const double t_death = world.death_time(*dead);
     Resume resume;
@@ -971,6 +1114,7 @@ void run_spare(comm::World& world, Comm& c, Shared& s) {
       run_hard_wt(c, s, local, &resume);
     return;  // one spare covers one failure
   }
+  s.spare_wakeups.store(bo.wakeups(), std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -1017,8 +1161,14 @@ PipelineResult ParallelStapPipeline::run(
                      scenario.params().num_pulses == p_.num_pulses,
                  "scenario dimensions must match STAP parameters");
 
+  // Effective params for this run: the overload config may tighten the QR
+  // conditioning threshold without mutating the pipeline object.
+  stap::StapParams params = p_;
+  if (ov_.enabled && ov_.condition_threshold > 0.0)
+    params.condition_threshold = ov_.condition_threshold;
+
   CpiSource source(scenario);
-  Shared s{p_,      assign_, steering_, replica_, source,
+  Shared s{params,  assign_, steering_, replica_, source,
            num_cpis, warmup,  cooldown};
   s.part_k = BlockPartition(p_.num_range, assign_[Task::kDopplerFilter]);
   s.part_ewt = BlockPartition(p_.num_easy(), assign_[Task::kEasyWeight]);
@@ -1043,10 +1193,19 @@ PipelineResult ParallelStapPipeline::run(
   s.ft = ft_;
   s.shed.assign(static_cast<size_t>(num_cpis), 0);
 
+  // The controller lives on the driver's stack for the run; every rank
+  // shares it through Shared, and the source gates admission on it.
+  std::optional<OverloadController> ctrl;
+  if (ov_.enabled) {
+    ctrl.emplace(ov_, num_cpis);
+    s.ctrl = &*ctrl;
+    source.set_overload_controller(&*ctrl);
+  }
+
   if (obs::tracing_enabled()) {
     for (int t = 0; t < stap::kNumTasks; ++t)
       obs::set_track_name(t, stap::task_name(static_cast<stap::Task>(t)));
-    if (ft_.any() || plan_ != nullptr)
+    if (ft_.any() || plan_ != nullptr || ov_.enabled)
       obs::set_track_name(obs::kFaultTrack, "fault");
   }
 
@@ -1202,6 +1361,35 @@ PipelineResult ParallelStapPipeline::run(
     reg.counter("pipeline.failovers")
         .add(static_cast<std::uint64_t>(result.faults.failovers.size()));
     reg.counter("comm.retransmissions").add(result.faults.retransmissions);
+  }
+  if (ft_.spare_rank)
+    reg.counter("spare.poll_wakeups")
+        .add(s.spare_wakeups.load(std::memory_order_relaxed));
+
+  // --- overload + numerical-health ledgers ----------------------------------
+  if (s.ctrl != nullptr) {
+    result.overload = s.ctrl->ledger();
+    if (!result.overload.clean()) {
+      reg.counter("overload.rejections")
+          .add(static_cast<std::uint64_t>(
+              result.overload.rejected_cpis.size()));
+      reg.counter("overload.level_changes")
+          .add(result.overload.level_changes);
+      reg.counter("overload.throttle_waits")
+          .add(result.overload.throttle_waits);
+      reg.gauge("overload.max_level")
+          .set(static_cast<double>(result.overload.max_level));
+    }
+  } else {
+    result.overload.levels.assign(static_cast<size_t>(num_cpis), 0);
+  }
+  result.numerics = s.numerics;
+  if (!result.numerics.clean()) {
+    reg.counter("stap.nonfinite_training_blocks")
+        .add(result.numerics.nonfinite_training_blocks);
+    reg.counter("stap.loading_retries").add(result.numerics.loading_retries);
+    reg.counter("stap.quiescent_fallbacks")
+        .add(result.numerics.quiescent_fallbacks);
   }
   return result;
 }

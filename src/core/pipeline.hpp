@@ -21,10 +21,12 @@
 
 #include "core/assignment.hpp"
 #include "core/fault_tolerance.hpp"
+#include "core/overload.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/metrics.hpp"
 #include "stap/cfar.hpp"
 #include "stap/params.hpp"
+#include "stap/weights.hpp"
 #include "synth/scenario.hpp"
 
 namespace ppstap::comm {
@@ -90,6 +92,15 @@ struct PipelineResult {
   /// and are excluded from the latency averages, but their completion
   /// still counts toward throughput — the stream kept moving.
   FaultLedger faults;
+
+  /// Overload-control accounting: per-CPI degradation levels, rejected
+  /// CPIs, ladder transitions. All-kFull/empty when the controller is off.
+  OverloadLedger overload;
+
+  /// Numerical-health guard firings aggregated over every weight computer
+  /// of the run (screened training blocks, diagonal-loading retries,
+  /// quiescent fallbacks). numerics.clean() on a healthy run.
+  stap::WeightHealth numerics;
 };
 
 /// Runs the parallel pipelined STAP application on an in-process rank world.
@@ -124,12 +135,18 @@ class ParallelStapPipeline {
   /// must outlive run(); nullptr to clear).
   void set_fault_plan(comm::FaultPlan* plan) { plan_ = plan; }
 
+  /// Enable/disable adaptive overload control (default: read from the
+  /// PPSTAP_OVERLOAD* environment, i.e. disabled unless knobs are set).
+  void set_overload(const OverloadConfig& cfg) { ov_ = cfg; }
+  const OverloadConfig& overload() const { return ov_; }
+
  private:
   stap::StapParams p_;
   NodeAssignment assign_;
   std::vector<linalg::MatrixCF> steering_;  // per transmit position
   std::vector<cfloat> replica_;
   FaultToleranceConfig ft_ = FaultToleranceConfig::from_env();
+  OverloadConfig ov_ = OverloadConfig::from_env();
   comm::FaultPlan* plan_ = nullptr;
 };
 

@@ -5,6 +5,7 @@
 // cache-friendly row access over tiling sophistication.
 #pragma once
 
+#include <cmath>
 #include <complex>
 #include <span>
 #include <vector>
@@ -122,6 +123,17 @@ real_of_t<T> frobenius_norm(const Matrix<T>& a) {
   for (index_t i = 0; i < a.rows(); ++i)
     for (index_t j = 0; j < a.cols(); ++j) acc += abs_sq(a(i, j));
   return std::sqrt(acc);
+}
+
+/// True when every entry is finite (numerical-health screening: a single
+/// NaN/Inf snapshot would otherwise poison a whole QR factorization, and —
+/// on the hard STAP path — the recursive R carried across CPIs).
+template <typename T>
+bool all_finite(const Matrix<T>& a) {
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j)
+      if (!std::isfinite(abs_sq(a(i, j)))) return false;
+  return true;
 }
 
 }  // namespace ppstap::linalg

@@ -1,6 +1,8 @@
 #include "linalg/qr.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/flops.hpp"
 
@@ -65,6 +67,40 @@ QrFactorization<T>::QrFactorization(const Matrix<T>& a)
     flops += 2 * fma_flops<T>() * len * static_cast<std::uint64_t>(n_ - j - 1);
   }
   count_flops(flops);
+}
+
+namespace detail {
+
+// max|d_i| / min|d_i| over a triangular diagonal; +inf if any entry is
+// zero or non-finite. Shared by QrFactorization::condition_estimate and
+// triangular_condition_estimate so both paths agree on the policy.
+template <typename T, typename DiagAt>
+double diag_condition(index_t n, DiagAt at) {
+  double dmax = 0.0;
+  double dmin = std::numeric_limits<double>::infinity();
+  for (index_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(std::sqrt(abs_sq(at(i))));
+    if (!std::isfinite(d) || d == 0.0)
+      return std::numeric_limits<double>::infinity();
+    dmax = std::max(dmax, d);
+    dmin = std::min(dmin, d);
+  }
+  if (n == 0 || dmin == 0.0) return std::numeric_limits<double>::infinity();
+  return dmax / dmin;
+}
+
+}  // namespace detail
+
+template <typename T>
+double QrFactorization<T>::condition_estimate() const {
+  return detail::diag_condition<T>(n_, [this](index_t i) { return a_(i, i); });
+}
+
+template <typename T>
+double triangular_condition_estimate(const Matrix<T>& r) {
+  PPSTAP_REQUIRE(r.rows() == r.cols(), "R must be square");
+  return detail::diag_condition<T>(r.rows(),
+                                   [&r](index_t i) { return r(i, i); });
 }
 
 template <typename T>
@@ -199,6 +235,10 @@ template Matrix<float> least_squares<float>(const Matrix<float>&,
                                             const Matrix<float>&);
 template Matrix<double> least_squares<double>(const Matrix<double>&,
                                               const Matrix<double>&);
+template double triangular_condition_estimate<cfloat>(const Matrix<cfloat>&);
+template double triangular_condition_estimate<cdouble>(const Matrix<cdouble>&);
+template double triangular_condition_estimate<float>(const Matrix<float>&);
+template double triangular_condition_estimate<double>(const Matrix<double>&);
 template Matrix<cfloat> qr_append_rows<cfloat>(const Matrix<cfloat>&,
                                                Matrix<cfloat>);
 template Matrix<cdouble> qr_append_rows<cdouble>(const Matrix<cdouble>&,

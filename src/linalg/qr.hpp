@@ -28,6 +28,13 @@ class QrFactorization {
   /// The n x n upper-triangular factor.
   Matrix<T> r() const;
 
+  /// Cheap condition estimate from the R diagonal: max|r_ii| / min|r_ii|,
+  /// a lower bound on the true 2-norm condition number that is exact for
+  /// the diagonal-dominated problems the weight path produces. Returns
+  /// +inf when the diagonal touches zero or carries a non-finite entry —
+  /// a solve would divide by (or propagate) it.
+  double condition_estimate() const;
+
   /// B (m x nrhs) := Q^H B, applying the stored reflectors in order.
   void apply_qh(Matrix<T>& b) const;
 
@@ -44,6 +51,12 @@ class QrFactorization {
 /// Solve R X = B for upper-triangular R (n x n), B is n x nrhs; in place.
 template <typename T>
 void back_substitute(const Matrix<T>& r, Matrix<T>& b);
+
+/// Diagonal-ratio condition estimate of an upper-triangular factor held
+/// outside a QrFactorization (the hard weight path carries R across CPIs):
+/// max|r_ii| / min|r_ii|, +inf on a zero or non-finite diagonal.
+template <typename T>
+double triangular_condition_estimate(const Matrix<T>& r);
 
 /// Least-squares solution of A X = B via QR (one-shot convenience).
 template <typename T>
@@ -87,5 +100,13 @@ extern template Matrix<float> qr_append_rows<float>(const Matrix<float>&,
                                                     Matrix<float>);
 extern template Matrix<double> qr_append_rows<double>(const Matrix<double>&,
                                                       Matrix<double>);
+extern template double triangular_condition_estimate<cfloat>(
+    const Matrix<cfloat>&);
+extern template double triangular_condition_estimate<cdouble>(
+    const Matrix<cdouble>&);
+extern template double triangular_condition_estimate<float>(
+    const Matrix<float>&);
+extern template double triangular_condition_estimate<double>(
+    const Matrix<double>&);
 
 }  // namespace ppstap::linalg

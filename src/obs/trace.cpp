@@ -3,12 +3,15 @@
 #if PPSTAP_ENABLE_TRACING
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 
+#include "common/check.hpp"
+#include "common/env.hpp"
 #include "common/timer.hpp"
 
 namespace ppstap::obs {
@@ -46,11 +49,6 @@ Recorder& recorder() {
 thread_local ThreadBuffer* tl_buffer = nullptr;
 thread_local std::uint64_t tl_epoch = 0;
 
-bool env_truthy(const char* value) {
-  return value != nullptr && value[0] != '\0' &&
-         !(value[0] == '0' && value[1] == '\0');
-}
-
 void atexit_export() {
   if (tracing_enabled() && span_count() > 0)
     write_chrome_trace(recorder().config.path);
@@ -74,8 +72,17 @@ void configure(const Config& config) {
 }
 
 void configure_from_env() {
-  const char* trace = std::getenv("PPSTAP_TRACE");
-  if (!env_truthy(trace)) return;
+  // This runs from a static initializer (before main), where a thrown
+  // Error would terminate the process — report a bad value and keep
+  // tracing off instead.
+  bool enabled = false;
+  try {
+    enabled = parse_env_flag("PPSTAP_TRACE").value_or(false);
+  } catch (const ppstap::Error& e) {
+    std::fprintf(stderr, "ppstap: %s (tracing stays disabled)\n", e.what());
+    return;
+  }
+  if (!enabled) return;
   Config c;
   c.enabled = true;
   if (const char* path = std::getenv("PPSTAP_TRACE_FILE"))

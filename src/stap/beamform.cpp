@@ -26,7 +26,7 @@ inline void apply_weights(const linalg::MatrixCF& w,
 }  // namespace
 
 cube::CpiCube easy_beamform(const cube::CpiCube& data, const WeightSet& w,
-                            const StapParams& p) {
+                            const StapParams& p, index_t active_beams) {
   const index_t nbins = data.extent(0);
   const index_t k = data.extent(1);
   PPSTAP_REQUIRE(data.extent(2) == p.num_channels,
@@ -34,6 +34,9 @@ cube::CpiCube easy_beamform(const cube::CpiCube& data, const WeightSet& w,
   PPSTAP_REQUIRE(static_cast<index_t>(w.bins.size()) == nbins &&
                      static_cast<index_t>(w.weights.size()) == nbins,
                  "one J x M weight matrix per bin expected");
+  if (active_beams < 0) active_beams = p.num_beams;
+  PPSTAP_REQUIRE(active_beams >= 1 && active_beams <= p.num_beams,
+                 "active beam count must be in [1, M]");
 
   cube::CpiCube out(nbins, p.num_beams, k);
   for (index_t b = 0; b < nbins; ++b)
@@ -47,18 +50,18 @@ cube::CpiCube easy_beamform(const cube::CpiCube& data, const WeightSet& w,
         for (index_t b = b_begin; b < b_end; ++b) {
           const auto& wb = w.weights[static_cast<size_t>(b)];
           for (index_t kk = 0; kk < k; ++kk)
-            apply_weights(wb, data.line(b, kk), p.num_beams, out, b, kk);
+            apply_weights(wb, data.line(b, kk), active_beams, out, b, kk);
         }
       });
   count_flops(8ull * static_cast<std::uint64_t>(nbins) *
               static_cast<std::uint64_t>(k) *
-              static_cast<std::uint64_t>(p.num_beams) *
+              static_cast<std::uint64_t>(active_beams) *
               static_cast<std::uint64_t>(p.num_channels));
   return out;
 }
 
 cube::CpiCube hard_beamform(const cube::CpiCube& data, const WeightSet& w,
-                            const StapParams& p) {
+                            const StapParams& p, index_t active_beams) {
   const index_t nbins = data.extent(0);
   const index_t k = data.extent(1);
   const index_t jj = p.num_staggered_channels();
@@ -71,6 +74,9 @@ cube::CpiCube hard_beamform(const cube::CpiCube& data, const WeightSet& w,
                  "num_segments weight matrices per hard bin expected");
   PPSTAP_REQUIRE(k == p.num_range,
                  "hard beamforming needs the full range extent (segments)");
+  if (active_beams < 0) active_beams = p.num_beams;
+  PPSTAP_REQUIRE(active_beams >= 1 && active_beams <= p.num_beams,
+                 "active beam count must be in [1, M]");
 
   cube::CpiCube out(nbins, p.num_beams, k);
   for (size_t i = 0; i < w.weights.size(); ++i)
@@ -86,13 +92,13 @@ cube::CpiCube hard_beamform(const cube::CpiCube& data, const WeightSet& w,
             const index_t lo = p.segment_begin(s);
             const index_t hi = p.segment_end(s);
             for (index_t kk = lo; kk < hi; ++kk)
-              apply_weights(wbs, data.line(b, kk), p.num_beams, out, b, kk);
+              apply_weights(wbs, data.line(b, kk), active_beams, out, b, kk);
           }
         }
       });
   count_flops(8ull * static_cast<std::uint64_t>(nbins) *
               static_cast<std::uint64_t>(k) *
-              static_cast<std::uint64_t>(p.num_beams) *
+              static_cast<std::uint64_t>(active_beams) *
               static_cast<std::uint64_t>(jj));
   return out;
 }

@@ -19,13 +19,18 @@ namespace ppstap::stap {
 
 /// Easy beamforming: `data` is B x K x J, `w.bins` must match the B rows of
 /// `data` with J x M weight matrices. Returns B x M x K.
+///
+/// `active_beams` (-1 = all) computes only the first `active_beams` receive
+/// beams and leaves the rest zero — the overload ladder's reduced-beam rungs
+/// shed beamforming work proportionally (flops scale with the active count).
 cube::CpiCube easy_beamform(const cube::CpiCube& data, const WeightSet& w,
-                            const StapParams& p);
+                            const StapParams& p, index_t active_beams = -1);
 
 /// Hard beamforming: `data` is B x K x 2J; `w` holds num_segments matrices
 /// of 2J x M per bin. Weight matrix of segment s applies to range cells
-/// [segment_begin(s), segment_end(s)). Returns B x M x K.
+/// [segment_begin(s), segment_end(s)). Returns B x M x K. `active_beams`
+/// as in easy_beamform.
 cube::CpiCube hard_beamform(const cube::CpiCube& data, const WeightSet& w,
-                            const StapParams& p);
+                            const StapParams& p, index_t active_beams = -1);
 
 }  // namespace ppstap::stap

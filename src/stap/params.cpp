@@ -61,6 +61,8 @@ void StapParams::validate() const {
                  "forgetting factor must be in (0, 1]");
   PPSTAP_REQUIRE(beam_constraint_wt > 0.0, "constraint weight must be > 0");
   PPSTAP_REQUIRE(diagonal_loading > 0.0, "diagonal loading must be > 0");
+  PPSTAP_REQUIRE(condition_threshold > 1.0,
+                 "condition threshold must be > 1");
   PPSTAP_REQUIRE(intra_task_threads >= 1,
                  "need at least one intra-task thread");
   PPSTAP_REQUIRE(num_beam_positions >= 1,

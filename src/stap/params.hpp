@@ -45,6 +45,11 @@ struct StapParams {
   index_t easy_samples_per_cpi = 32;  ///< training range cells per CPI (easy)
   index_t hard_samples_per_segment = 30;  ///< cells per segment per update
   double diagonal_loading = 1e-3;  ///< seed for the recursive R (hard bins)
+  /// Numerical-health guard: when the R-diagonal condition estimate of a
+  /// weight solve exceeds this, the solve is retried once with diagonal
+  /// loading appended at data scale (and ledgered); weights that still come
+  /// out non-finite fall back to the quiescent (steering) beamformer.
+  double condition_threshold = 1e6;
 
   // --- beam set ------------------------------------------------------------
   double beam_center_rad = 0.0;

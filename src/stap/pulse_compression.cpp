@@ -25,12 +25,15 @@ PulseCompressor::PulseCompressor(const StapParams& p,
     filter_spec_ = dsp::matched_filter_spectrum(replica, p_.num_range);
 }
 
-cube::RealCube PulseCompressor::compress(
-    const cube::CpiCube& beamformed) const {
+cube::RealCube PulseCompressor::compress(const cube::CpiCube& beamformed,
+                                         index_t active_beams) const {
   const index_t nbins = beamformed.extent(0);
   const index_t m = beamformed.extent(1);
   const index_t k = beamformed.extent(2);
   PPSTAP_REQUIRE(k == p_.num_range, "range extent must equal K");
+  if (active_beams < 0) active_beams = m;
+  PPSTAP_REQUIRE(active_beams >= 1 && active_beams <= m,
+                 "active beam count must be in [1, M]");
 
   cube::RealCube out(nbins, m, k);
 
@@ -41,6 +44,9 @@ cube::RealCube PulseCompressor::compress(
     {
       const index_t b = row / m;
       const index_t mm = row % m;
+      // A degraded CPI's inactive beams are all-zero: skip the matched
+      // filter, their power stays zero and CFAR reports nothing there.
+      if (mm >= active_beams) continue;
       const auto src = beamformed.line(b, mm);
       if (filter_spec_.empty()) {
         for (index_t kk = 0; kk < k; ++kk)

@@ -27,7 +27,11 @@ class PulseCompressor {
 
   /// Input: B x M x K complex beamformed cube (range unit stride).
   /// Output: B x M x K real power cube.
-  cube::RealCube compress(const cube::CpiCube& beamformed) const;
+  /// `active_beams` (-1 = all): beams past the count are skipped — they
+  /// are all-zero under the overload ladder's reduced-beam rungs, so the
+  /// matched-filter cost scales with the active count.
+  cube::RealCube compress(const cube::CpiCube& beamformed,
+                          index_t active_beams = -1) const;
 
  private:
   StapParams p_;

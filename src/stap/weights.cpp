@@ -30,6 +30,54 @@ float mean_abs_upper(const linalg::MatrixCF& r) {
                    : 0.0f;
 }
 
+// Condition-guarded constrained least squares (the tentpole's numerical-
+// health guard). Factorize A and check the R-diagonal condition estimate;
+// above StapParams::condition_threshold, retry EXACTLY ONCE with `load *
+// I_n` appended below A (diagonal loading at data scale, zero right-hand
+// side) — the loaded problem is well posed even for a rank-deficient or
+// all-zero training stack. The retry is counted in `health` so a degraded
+// solve always leaves a ledger entry.
+linalg::MatrixCF guarded_least_squares(const linalg::MatrixCF& a,
+                                       const linalg::MatrixCF& b,
+                                       double threshold, float load,
+                                       WeightHealth& health) {
+  linalg::QrFactorization<cfloat> qr(a);
+  if (qr.condition_estimate() <= threshold) return qr.solve(b);
+
+  ++health.loading_retries;
+  const index_t n = a.cols();
+  if (load <= 0.0f || !std::isfinite(load)) load = 1.0f;
+  linalg::MatrixCF a2(a.rows() + n, n);
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < n; ++j) a2(i, j) = a(i, j);
+  for (index_t i = 0; i < n; ++i) a2(a.rows() + i, i) = load;
+  linalg::MatrixCF b2(a.rows() + n, b.cols());
+  for (index_t i = 0; i < b.rows(); ++i)
+    for (index_t j = 0; j < b.cols(); ++j) b2(i, j) = b(i, j);
+  return linalg::least_squares(a2, b2);
+}
+
+// Post-solve screen: replace any non-finite or identically-zero weight
+// column with the corresponding quiescent column (normalized), so nothing
+// downstream ever beamforms with NaN/Inf. Counted once per patched matrix.
+void patch_bad_columns(linalg::MatrixCF& w, const linalg::MatrixCF& quiescent,
+                       WeightHealth& health) {
+  bool patched = false;
+  for (index_t c = 0; c < w.cols(); ++c) {
+    bool bad = false;
+    double norm_sq = 0.0;
+    for (index_t i = 0; i < w.rows(); ++i) {
+      const auto a2 = linalg::abs_sq(w(i, c));
+      if (!std::isfinite(a2)) bad = true;
+      norm_sq += static_cast<double>(a2);
+    }
+    if (!bad && norm_sq > 0.0) continue;
+    for (index_t i = 0; i < w.rows(); ++i) w(i, c) = quiescent(i, c);
+    patched = true;
+  }
+  if (patched) ++health.quiescent_fallbacks;
+}
+
 }  // namespace
 
 void normalize_columns(linalg::MatrixCF& w) {
@@ -90,9 +138,16 @@ void EasyWeightComputer::push_training(
     std::vector<linalg::MatrixCF> per_bin_rows) {
   PPSTAP_REQUIRE(per_bin_rows.size() == bins_.size(),
                  "one training matrix per owned bin expected");
-  for (const auto& m : per_bin_rows)
+  for (auto& m : per_bin_rows) {
     PPSTAP_REQUIRE(m.cols() == p_.num_channels,
                    "easy training rows must have J columns");
+    // NaN/Inf screen: a corrupted CPI block would poison the pooled history
+    // for easy_history CPIs. Drop it (empty block) and ledger the event.
+    if (!linalg::all_finite(m)) {
+      m = linalg::MatrixCF(0, p_.num_channels);
+      ++health_.nonfinite_training_blocks;
+    }
+  }
   history_.push_back(std::move(per_bin_rows));
   while (static_cast<index_t>(history_.size()) > p_.easy_history)
     history_.pop_front();
@@ -106,6 +161,9 @@ WeightSet EasyWeightComputer::compute() const {
   const index_t j = p_.num_channels;
   const index_t m = p_.num_beams;
 
+  linalg::MatrixCF quiescent = steering_;
+  normalize_columns(quiescent);
+
   for (size_t bi = 0; bi < bins_.size(); ++bi) {
     index_t total_rows = 0;
     for (const auto& cpi : history_)
@@ -113,9 +171,7 @@ WeightSet EasyWeightComputer::compute() const {
 
     if (total_rows == 0) {
       // Quiescent: normalized steering (no adaptation yet).
-      linalg::MatrixCF w = steering_;
-      normalize_columns(w);
-      out.weights.push_back(std::move(w));
+      out.weights.push_back(quiescent);
       continue;
     }
 
@@ -134,9 +190,9 @@ WeightSet EasyWeightComputer::compute() const {
           abs_acc += std::abs(x(r, c));
         }
     }
-    const float avg = static_cast<float>(
-        p_.beam_constraint_wt * abs_acc /
-        static_cast<double>(total_rows * j));
+    const float scale = static_cast<float>(
+        abs_acc / static_cast<double>(total_rows * j));
+    const float avg = static_cast<float>(p_.beam_constraint_wt) * scale;
     for (index_t c = 0; c < j; ++c) a(total_rows + c, c) = avg;
 
     linalg::MatrixCF b(total_rows + j, m);
@@ -144,7 +200,9 @@ WeightSet EasyWeightComputer::compute() const {
       for (index_t r = 0; r < j; ++r)
         b(total_rows + r, c) = steering_(r, c);
 
-    linalg::MatrixCF w = linalg::least_squares(a, b);
+    linalg::MatrixCF w = guarded_least_squares(a, b, p_.condition_threshold,
+                                               scale, health_);
+    patch_bad_columns(w, quiescent, health_);
     normalize_columns(w);
     out.weights.push_back(std::move(w));
   }
@@ -226,6 +284,13 @@ void HardWeightComputer::update(
   for (size_t i = 0; i < r_.size(); ++i) {
     PPSTAP_REQUIRE(per_unit_rows[i].cols() == p_.num_staggered_channels(),
                    "hard training rows must have 2J columns");
+    // NaN/Inf screen: a corrupted block folded into the recursive R would
+    // contaminate every later CPI (the forgetting factor never fully
+    // forgets a NaN). Skip this unit's update and ledger the event.
+    if (!linalg::all_finite(per_unit_rows[i])) {
+      ++health_.nonfinite_training_blocks;
+      continue;
+    }
     // Rows enter conjugated (the beamformer applies w^H x; see the easy
     // path for the convention note).
     linalg::MatrixCF x = per_unit_rows[i];
@@ -259,8 +324,8 @@ std::vector<linalg::MatrixCF> HardWeightComputer::compute() const {
                             static_cast<float>(std::sin(phi)));
 
     const auto& r = r_[i];
-    const float avg =
-        static_cast<float>(p_.beam_constraint_wt) * mean_abs_upper(r);
+    const float scale = mean_abs_upper(r);
+    const float avg = static_cast<float>(p_.beam_constraint_wt) * scale;
 
     // A = [R; C] where C = avg [I_J | stag_phase I_J]: the J constraint
     // rows demand that the pair of staggered subweights, combined with
@@ -278,7 +343,20 @@ std::vector<linalg::MatrixCF> HardWeightComputer::compute() const {
       for (index_t row = 0; row < j; ++row)
         b(jj + row, c) = steering_(row, c);
 
-    linalg::MatrixCF w = linalg::least_squares(a, b);
+    // Quiescent fallback for this unit: both staggered subweights carry the
+    // steering vector, the second rotated back by the bin's stagger phase so
+    // the pair combines coherently under the constraint.
+    linalg::MatrixCF quiescent(jj, m);
+    for (index_t c = 0; c < m; ++c)
+      for (index_t row = 0; row < j; ++row) {
+        quiescent(row, c) = steering_(row, c);
+        quiescent(j + row, c) = std::conj(stag_phase) * steering_(row, c);
+      }
+    normalize_columns(quiescent);
+
+    linalg::MatrixCF w = guarded_least_squares(a, b, p_.condition_threshold,
+                                               scale, health_);
+    patch_bad_columns(w, quiescent, health_);
     normalize_columns(w);
     out.push_back(std::move(w));
   }

@@ -14,6 +14,7 @@
 //    which substitutes temporal history for the scarce range support.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <iosfwd>
 #include <vector>
@@ -22,6 +23,35 @@
 #include "stap/params.hpp"
 
 namespace ppstap::stap {
+
+/// Numerical-health counters for one weight computer: every guard firing
+/// is accounted here so a degraded solve is ledgered, never silent.
+///
+///  * nonfinite_training_blocks — incoming CPI training blocks containing
+///    NaN/Inf, screened out before they can enter the pooled history or
+///    poison the recursive forgetting-factor R update.
+///  * loading_retries — solves whose R-diagonal condition estimate exceeded
+///    StapParams::condition_threshold and were retried exactly once with
+///    diagonal loading appended at data scale.
+///  * quiescent_fallbacks — weight matrices that still came out non-finite
+///    (or identically zero) after the retry and were replaced column-wise
+///    by the quiescent (normalized steering) beamformer.
+struct WeightHealth {
+  std::uint64_t nonfinite_training_blocks = 0;
+  std::uint64_t loading_retries = 0;
+  std::uint64_t quiescent_fallbacks = 0;
+
+  WeightHealth& operator+=(const WeightHealth& o) {
+    nonfinite_training_blocks += o.nonfinite_training_blocks;
+    loading_retries += o.loading_retries;
+    quiescent_fallbacks += o.quiescent_fallbacks;
+    return *this;
+  }
+  bool clean() const {
+    return nonfinite_training_blocks == 0 && loading_retries == 0 &&
+           quiescent_fallbacks == 0;
+  }
+};
 
 /// A set of weight matrices attached to (a subset of) Doppler bins.
 /// For easy bins: one J x M matrix per bin. For hard bins: num_segments
@@ -58,11 +88,16 @@ class EasyWeightComputer {
   void save(std::ostream& os) const;
   void restore(std::istream& is);
 
+  /// Guard-firing counters (screened blocks, loading retries, quiescent
+  /// fallbacks) accumulated over this computer's lifetime.
+  const WeightHealth& health() const { return health_; }
+
  private:
   StapParams p_;
   linalg::MatrixCF steering_;  // J x M
   std::vector<index_t> bins_;
   std::deque<std::vector<linalg::MatrixCF>> history_;  // newest at back
+  mutable WeightHealth health_;
 };
 
 /// One independent hard weight problem: a (Doppler bin, range segment)
@@ -100,11 +135,15 @@ class HardWeightComputer {
   static std::vector<HardUnit> units_for_bins(const StapParams& p,
                                               std::span<const index_t> bins);
 
+  /// Guard-firing counters accumulated over this computer's lifetime.
+  const WeightHealth& health() const { return health_; }
+
  private:
   StapParams p_;
   linalg::MatrixCF steering_;          // J x M
   std::vector<HardUnit> units_;
   std::vector<linalg::MatrixCF> r_;    // per unit: 2J x 2J upper
+  mutable WeightHealth health_;
 };
 
 /// Normalize every column of `w` to unit 2-norm (the paper normalizes the

@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "common/flops.hpp"
 #include "common/rng.hpp"
 
@@ -114,6 +117,94 @@ TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
   Rng f1_again = Rng(42).fork(1);
   EXPECT_EQ(f1.next_u64(), f1_again.next_u64());
   EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+// --- hardened environment parsing ------------------------------------------
+
+class EnvParse : public ::testing::Test {
+ protected:
+  static constexpr const char* kVar = "PPSTAP_TEST_ENV_PARSE";
+  void TearDown() override { unsetenv(kVar); }
+  void set(const char* value) { setenv(kVar, value, 1); }
+};
+
+TEST_F(EnvParse, UnsetAndEmptyAreNotConfigured) {
+  unsetenv(kVar);
+  EXPECT_FALSE(parse_env_double(kVar).has_value());
+  EXPECT_FALSE(parse_env_int(kVar).has_value());
+  EXPECT_FALSE(parse_env_flag(kVar).has_value());
+  EXPECT_FALSE(parse_env_choice(kVar, {"a", "b"}).has_value());
+  set("");
+  EXPECT_FALSE(parse_env_double(kVar).has_value());
+  EXPECT_FALSE(parse_env_int(kVar).has_value());
+  EXPECT_FALSE(parse_env_flag(kVar).has_value());
+  EXPECT_FALSE(parse_env_choice(kVar, {"a", "b"}).has_value());
+}
+
+TEST_F(EnvParse, ParsesValidNumbers) {
+  set("2.5");
+  EXPECT_DOUBLE_EQ(parse_env_double(kVar).value(), 2.5);
+  set("-3");
+  EXPECT_EQ(parse_env_int(kVar).value(), -3);
+  set("42");
+  EXPECT_EQ(parse_env_int(kVar, 0, 100).value(), 42);
+}
+
+TEST_F(EnvParse, GarbageThrowsNamingTheVariable) {
+  for (const char* bad : {"abc", "1.5x", "12 monkeys", "--3", "0x10"}) {
+    set(bad);
+    try {
+      parse_env_int(kVar);
+      FAIL() << "expected Error for int input '" << bad << "'";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(kVar), std::string::npos) << bad;
+    }
+  }
+  set("not-a-number");
+  EXPECT_THROW(parse_env_double(kVar).value(), Error);
+  set("nan");
+  EXPECT_THROW(parse_env_double(kVar).value(), Error);
+}
+
+TEST_F(EnvParse, OutOfRangeThrowsInsteadOfClamping) {
+  set("-1");
+  EXPECT_THROW(parse_env_int(kVar, 0, 100), Error);
+  EXPECT_THROW(parse_env_double(kVar, 0.0, 1.0), Error);
+  set("101");
+  EXPECT_THROW(parse_env_int(kVar, 0, 100), Error);
+  set("1e300");
+  EXPECT_THROW(parse_env_double(kVar, 0.0, 1e6), Error);
+}
+
+TEST_F(EnvParse, FlagAcceptsCommonSpellings) {
+  for (const char* yes : {"1", "true", "TRUE", "yes", "on", "On"}) {
+    set(yes);
+    EXPECT_TRUE(parse_env_flag(kVar).value()) << yes;
+  }
+  for (const char* no : {"0", "false", "no", "off", "OFF"}) {
+    set(no);
+    EXPECT_FALSE(parse_env_flag(kVar).value()) << no;
+  }
+  set("maybe");
+  EXPECT_THROW(parse_env_flag(kVar), Error);
+  set("2");
+  EXPECT_THROW(parse_env_flag(kVar), Error);
+}
+
+TEST_F(EnvParse, ChoiceMatchesCaseInsensitiveAndListsOptions) {
+  set("REJECT");
+  EXPECT_EQ(parse_env_choice(kVar, {"throttle", "reject"}).value(), 1u);
+  set("throttle");
+  EXPECT_EQ(parse_env_choice(kVar, {"throttle", "reject"}).value(), 0u);
+  set("drop");
+  try {
+    parse_env_choice(kVar, {"throttle", "reject"});
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("throttle"), std::string::npos);
+    EXPECT_NE(what.find("reject"), std::string::npos);
+  }
 }
 
 }  // namespace

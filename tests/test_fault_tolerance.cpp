@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <tuple>
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "dsp/waveform.hpp"
 #include "common/timer.hpp"
 #include "core/assignment.hpp"
 #include "core/pipeline.hpp"
@@ -273,6 +275,124 @@ TEST(FaultTolerance, CorruptedFrameIsRetransmittedExactly) {
   EXPECT_EQ(res.faults.frames_corrupted, 1u);
   EXPECT_GE(res.faults.retransmissions, 1u);
   EXPECT_TRUE(res.faults.shed_cpis.empty());
+}
+
+// Combined fault: the overload ladder held at stale-weight reuse while the
+// hard-weight rank is killed mid-stream. The spare must restore the
+// checkpointed recursive state and resume, the throttled admission keeps
+// the stream lossless, and no CPI ever sees non-finite output.
+TEST(FaultTolerance, StaleWeightReuseSurvivesSpareFailover) {
+  auto f = Fixture::make();
+  // The backlog only builds when the stages *behind* admission are the
+  // bottleneck: widen the beam set (beamform + pulse compression scale
+  // with M) and make CPI generation cheap, with the matched filter still
+  // supplied to the pipeline.
+  f.p.num_beams = 16;
+  f.p.num_range = 96;
+  f.p.validate();
+  f.sp.num_range = f.p.num_range;
+  f.sp.chirp_length = 0;
+  const index_t n_cpis = 10;
+  const index_t kill_cpi = 5;
+
+  NodeAssignment a;
+  const int victim = a.first_rank(Task::kHardWeight);
+  FaultPlan plan;
+  plan.add(FaultPlan::kill_on_recv(victim,
+                                   tag_for(kill_cpi, kEdgeDopToHardWt)));
+
+  ScenarioGenerator gen(f.sp);
+  ParallelStapPipeline par(f.p, a, f.steering(), dsp::lfm_chirp(8));
+  FaultToleranceConfig ft;
+  ft.spare_rank = true;
+  par.set_fault_tolerance(ft);
+  par.set_fault_plan(&plan);
+
+  // A one-deep throttled queue pins the backlog at queue_high for every
+  // admission after the pipeline fills, so the proportional ladder climbs
+  // to the stale-weight rung and stays there (dwell blocks de-escalation).
+  // Throttle mode means overload never drops a CPI — the two mechanisms
+  // must compose losslessly.
+  OverloadConfig ov;
+  ov.enabled = true;
+  ov.queue_low = 1;
+  ov.queue_high = 2;
+  ov.dwell = 100;
+  ov.reject_when_full = false;
+  par.set_overload(ov);
+
+  auto res = par.run(gen, n_cpis, /*warmup=*/1, /*cooldown=*/1);
+
+  // The failover happened and was ledgered.
+  EXPECT_EQ(res.faults.kills, 1u);
+  ASSERT_EQ(res.faults.failovers.size(), 1u);
+  EXPECT_EQ(res.faults.failovers[0].rank, victim);
+  EXPECT_EQ(res.faults.failovers[0].task,
+            static_cast<int>(Task::kHardWeight));
+  EXPECT_EQ(res.faults.failovers[0].resume_cpi, kill_cpi);
+
+  // The ladder reached stale-weight reuse; throttling (not rejection)
+  // absorbed the pressure, so nothing was shed.
+  EXPECT_EQ(res.overload.max_level, 3);
+  EXPECT_TRUE(res.overload.rejected_cpis.empty());
+  EXPECT_GE(res.overload.throttle_waits, 1u);
+  EXPECT_TRUE(res.faults.shed_cpis.empty());
+
+  // Degraded output is still *valid* output: every CPI produced a (possibly
+  // reduced) detection list with finite powers — stale weights and the
+  // restored checkpoint never propagate NaN/Inf downstream.
+  ASSERT_EQ(res.detections.size(), static_cast<size_t>(n_cpis));
+  for (const auto& cpi_dets : res.detections)
+    for (const auto& d : cpi_dets) {
+      EXPECT_TRUE(std::isfinite(d.power));
+      EXPECT_TRUE(std::isfinite(d.threshold));
+    }
+  EXPECT_TRUE(res.numerics.clean());
+}
+
+// Combined fault: a frame whose every retransmitted copy is corrupted
+// again. The receiver burns the whole retransmission budget, gives up on
+// exactly that CPI (shed, not crash), and the rest of the stream is exact.
+TEST(FaultTolerance, PersistentCorruptionExhaustsRetransmissionAndSheds) {
+  auto f = Fixture::make();
+  const index_t n_cpis = 5;
+  const index_t bad_cpi = 2;
+  const auto ref = sequential_reference(f, n_cpis);
+
+  NodeAssignment a;
+  FaultPlan plan;
+  plan.add(FaultPlan::corrupt_message(
+      a.first_rank(Task::kDopplerFilter), a.first_rank(Task::kEasyBeamform),
+      tag_for(bad_cpi, kEdgeDopToEasyBf), /*max_applications=*/-1));
+
+  ScenarioGenerator gen(f.sp);
+  ParallelStapPipeline par(f.p, a, f.steering(),
+                           {gen.replica().begin(), gen.replica().end()});
+  FaultToleranceConfig ft;
+  // Shedding gives receives a deadline, which is what turns an exhausted
+  // retransmission budget into a shed CPI instead of a hard failure. The
+  // budget itself is generous: no healthy CPI can miss it.
+  ft.shedding = true;
+  ft.cpi_deadline_seconds = 10.0;
+  par.set_fault_tolerance(ft);
+  par.set_fault_plan(&plan);
+  auto res = par.run(gen, n_cpis, /*warmup=*/1, /*cooldown=*/1);
+
+  // The poisoned CPI was shed after the full retransmission budget
+  // (1 original + 5 refetches, every copy corrupted again).
+  ASSERT_EQ(res.faults.shed_cpis, std::vector<index_t>{bad_cpi});
+  EXPECT_TRUE(res.detections[static_cast<size_t>(bad_cpi)].empty());
+  EXPECT_GE(res.faults.retransmissions, 5u);
+  EXPECT_GE(res.faults.frames_corrupted, 5u);
+  EXPECT_TRUE(res.faults.failovers.empty());
+
+  // Every other CPI is untouched — still exact against the sequential
+  // reference.
+  for (index_t cpi = 0; cpi < n_cpis; ++cpi) {
+    if (cpi == bad_cpi) continue;
+    expect_cpi_matches(res.detections[static_cast<size_t>(cpi)],
+                       ref[static_cast<size_t>(cpi)], cpi);
+  }
 }
 
 }  // namespace
