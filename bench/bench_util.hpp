@@ -99,7 +99,15 @@ class JsonReport {
         "spare.poll_wakeups",
         "stap.nonfinite_training_blocks",
         "stap.loading_retries",
-        "stap.quiescent_fallbacks"};
+        "stap.quiescent_fallbacks",
+        "stap.qr_residual_retries",
+        "stap.qr_residual_rejects",
+        "integrity.checks_passed",
+        "integrity.checks_failed",
+        "integrity.recomputes",
+        "integrity.repairs",
+        "integrity.escalations",
+        "integrity.digest_mismatches"};
     obs::Json out = obs::Json::object();
     for (const char* key : kCounters) {
       const obs::Json* v =

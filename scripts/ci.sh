@@ -20,6 +20,12 @@
 #   6. Overload bench: ext_overload sweeps offered load vs policy and
 #      writes BENCH_overload.json; its exit code asserts the degradation
 #      ladder beats shed-only admission at 2x load.
+#   7. ABFT job: the abft-labelled integrity suite (clean-run invariant
+#      pass + per-stage injected-flip detection) reruns under the ASan
+#      build — recompute-and-swap is exactly where a dangling buffer would
+#      hide — and ext_abft writes BENCH_abft.json; its exit code asserts
+#      >= 99% flip detection, bit-exact repair, and <= 10% throughput
+#      overhead with the checks on.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -63,5 +69,10 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
 
 echo "=== bench: overload ladder vs shed-only (BENCH_overload.json) ==="
 ./build/bench/ext_overload --json BENCH_overload.json
+
+echo "=== ABFT: integrity suite under ASan + BENCH_abft.json ==="
+cmake --build build-asan -j "$JOBS" --target test_integrity
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L abft
+./build/bench/ext_abft --json BENCH_abft.json
 
 echo "ci.sh: all checks passed"

@@ -48,6 +48,18 @@ FaultPlan& FaultPlan::add(const FaultRule& rule) {
   return *this;
 }
 
+FaultPlan& FaultPlan::add_compute(const ComputeFaultRule& rule) {
+  PPSTAP_REQUIRE(rule.probability >= 0.0 && rule.probability <= 1.0,
+                 "compute fault rule probability must be in [0, 1]");
+  PPSTAP_REQUIRE(rule.bit >= 0 && rule.bit < 32,
+                 "compute fault rule bit must be in [0, 32)");
+  std::lock_guard<std::mutex> lock(mu_);
+  compute_rules_.push_back(rule);
+  compute_applications_.push_back(0);
+  compute_match_counter_.push_back(0);
+  return *this;
+}
+
 FaultRule FaultPlan::delay_edge(int edge, int tag_stride, double seconds,
                                 double probability) {
   FaultRule r;
@@ -108,6 +120,46 @@ FaultRule FaultPlan::kill_on_send(int rank, int tag) {
   r.tag = tag;
   r.max_applications = 1;
   return r;
+}
+
+ComputeFaultRule FaultPlan::flip_stage(int task, long long cpi, int bit,
+                                       int max_applications) {
+  ComputeFaultRule r;
+  r.task = task;
+  r.cpi = cpi;
+  r.bit = bit;
+  r.max_applications = max_applications;
+  return r;
+}
+
+bool FaultPlan::compute_flip_due(int task, long long cpi, int rank,
+                                 int attempt, int* bit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < compute_rules_.size(); ++i) {
+    const ComputeFaultRule& r = compute_rules_[i];
+    if (r.task >= 0 && r.task != task) continue;
+    if (r.cpi >= 0 && r.cpi != cpi) continue;
+    if (r.max_applications >= 0 &&
+        compute_applications_[i] >= r.max_applications)
+      continue;
+    const std::uint64_t occurrence = compute_match_counter_[i]++;
+    if (r.probability < 1.0) {
+      const std::uint64_t where =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(task))
+           << 40) ^
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank))
+           << 20) ^
+          static_cast<std::uint64_t>(cpi) ^
+          (static_cast<std::uint64_t>(attempt) << 56);
+      const double u = hash01(seed_ + 0xc0ull + i, where, occurrence);
+      if (u >= r.probability) continue;
+    }
+    ++compute_applications_[i];
+    ++stats_.flips;
+    if (bit != nullptr) *bit = r.bit;
+    return true;
+  }
+  return false;
 }
 
 bool FaultPlan::rule_applies(std::size_t idx, const FaultRule& r, int src,
@@ -191,6 +243,8 @@ void FaultPlan::reset() {
   stats_ = FaultStats{};
   std::fill(applications_.begin(), applications_.end(), 0);
   std::fill(match_counter_.begin(), match_counter_.end(), 0);
+  std::fill(compute_applications_.begin(), compute_applications_.end(), 0);
+  std::fill(compute_match_counter_.begin(), compute_match_counter_.end(), 0);
 }
 
 }  // namespace ppstap::comm

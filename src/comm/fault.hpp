@@ -50,13 +50,32 @@ struct FaultRule {
   double delay_seconds = 0.0; ///< kDelay only
 };
 
+/// Seeded *compute-stage* bit-flip injection (PR 5): flips one bit of one
+/// element of a stage's output buffer after the kernel runs, before the
+/// ABFT invariant is checked. Matched by task and CPI (with -1 wildcards)
+/// instead of (src, dest, tag) — corruption happens inside a rank, not on
+/// the wire. `occurrence` in the coin is the per-rule match ordinal, so a
+/// probability sweep replays exactly. With max_applications = 1 the
+/// recompute runs clean and the repair succeeds; with max_applications = 2
+/// both executions are corrupted and the policy must escalate.
+struct ComputeFaultRule {
+  int task = -1;            ///< stap::Task ordinal, -1 = any
+  long long cpi = -1;       ///< CPI index, -1 = any
+  double probability = 1.0; ///< per matching execution, seeded coin
+  int bit = 30;             ///< bit to flip (30 = top exponent bit)
+  int max_applications = 1; ///< stop after N flips, -1 = unlimited
+};
+
 /// Counters of faults actually applied during the current run.
 struct FaultStats {
   std::uint64_t delayed = 0;
   std::uint64_t dropped = 0;
   std::uint64_t corrupted = 0;
   std::uint64_t kills = 0;
-  std::uint64_t total() const { return delayed + dropped + corrupted + kills; }
+  std::uint64_t flips = 0;  ///< compute-stage bit flips injected
+  std::uint64_t total() const {
+    return delayed + dropped + corrupted + kills + flips;
+  }
 };
 
 class FaultPlan {
@@ -64,6 +83,7 @@ class FaultPlan {
   explicit FaultPlan(std::uint64_t seed = 0x5eedf417) : seed_(seed) {}
 
   FaultPlan& add(const FaultRule& rule);
+  FaultPlan& add_compute(const ComputeFaultRule& rule);
 
   // Convenience builders -----------------------------------------------------
   /// Delay every matching frame of one pipeline edge by `seconds` with the
@@ -80,6 +100,11 @@ class FaultPlan {
   static FaultRule kill_on_recv(int rank, int tag);
   /// Kill `rank` when it first attempts to send a message with `tag`.
   static FaultRule kill_on_send(int rank, int tag);
+  /// Flip `bit` of one output element of `task`'s execution for `cpi`
+  /// (once by default; pass max_applications = 2 to also corrupt the
+  /// recompute and force an escalation).
+  static ComputeFaultRule flip_stage(int task, long long cpi, int bit = 30,
+                                     int max_applications = 1);
 
   // Hooks called by World (thread-safe) --------------------------------------
   /// True when a kKill rule fires for the rank performing the operation.
@@ -93,6 +118,13 @@ class FaultPlan {
   /// corrupts once and the retransmitted copy arrives clean.
   bool corrupt_due(int src, int dest, int tag, std::uint64_t seq,
                    int attempt);
+  /// True when a compute-stage flip fires for this execution; on true,
+  /// `*bit` receives the bit index the rule asks to flip. `attempt`
+  /// distinguishes the original execution (0) from the recompute (1) so a
+  /// count-limited rule leaves the recompute clean. Called by the pipeline
+  /// stages, not by World.
+  bool compute_flip_due(int task, long long cpi, int rank, int attempt,
+                        int* bit);
 
   FaultStats stats() const;
   /// Zero the stats and per-rule application counters (World::run calls
@@ -108,6 +140,9 @@ class FaultPlan {
   std::vector<FaultRule> rules_;
   std::vector<int> applications_;
   std::vector<std::uint64_t> match_counter_;
+  std::vector<ComputeFaultRule> compute_rules_;
+  std::vector<int> compute_applications_;
+  std::vector<std::uint64_t> compute_match_counter_;
   FaultStats stats_;
 };
 

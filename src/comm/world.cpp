@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "comm/fault.hpp"
+#include "common/checksum.hpp"
 #include "common/timer.hpp"
 
 namespace ppstap::comm {
@@ -20,24 +21,6 @@ using Clock = WallTimer::clock;
 Clock::duration to_duration(double seconds) {
   return std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(seconds));
-}
-
-/// Word-wise rotate-xor checksum of a payload. Not cryptographic — it only
-/// needs to catch the single-byte flips the corruption injector applies.
-std::uint64_t checksum_bytes(std::span<const std::byte> b) {
-  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ b.size();
-  std::size_t i = 0;
-  for (; i + 8 <= b.size(); i += 8) {
-    std::uint64_t w;
-    std::memcpy(&w, b.data() + i, 8);
-    h = (h << 7 | h >> 57) ^ w;
-  }
-  if (i < b.size()) {
-    std::uint64_t tail = 0;
-    std::memcpy(&tail, b.data() + i, b.size() - i);
-    h = (h << 7 | h >> 57) ^ tail;
-  }
-  return h;
 }
 
 /// Deterministically flip one byte of a nonempty payload.

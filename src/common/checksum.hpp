@@ -1,0 +1,47 @@
+// Payload checksum shared by the transport layer and the ABFT digest path.
+//
+// One implementation serves two consumers: comm::World stamps every frame
+// with it to catch the corruption injector's byte flips (PR 2), and the
+// integrity layer (PR 5) reuses it for per-CPI, per-task digests so the
+// sink can attribute an end-to-end mismatch to the producing task. Keeping
+// both on the same function means a digest computed over the bytes a sender
+// handed to the transport is directly comparable to one computed over the
+// bytes the receiver got back.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace ppstap {
+
+/// Word-wise rotate-xor checksum of a payload. Not cryptographic — it only
+/// needs to catch single-bit and single-byte flips, which it does for any
+/// payload (a flip changes exactly one word before a chain of
+/// injective rotate-xor mixes).
+inline std::uint64_t checksum_bytes(std::span<const std::byte> b) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ b.size();
+  std::size_t i = 0;
+  for (; i + 8 <= b.size(); i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, b.data() + i, 8);
+    h = (h << 7 | h >> 57) ^ w;
+  }
+  if (i < b.size()) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, b.data() + i, b.size() - i);
+    h = (h << 7 | h >> 57) ^ tail;
+  }
+  return h;
+}
+
+/// Checksum of a typed trivially-copyable buffer, viewed as raw bytes.
+template <typename T>
+std::uint64_t checksum_of(std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "checksum_of needs a bitwise-hashable element type");
+  return checksum_bytes(std::as_bytes(data));
+}
+
+}  // namespace ppstap

@@ -1,0 +1,29 @@
+#include "core/integrity.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+
+namespace ppstap::core {
+
+IntegrityConfig IntegrityConfig::from_env() {
+  IntegrityConfig c;
+  if (const auto on = parse_env_flag("PPSTAP_ABFT")) c.enabled = *on;
+  if (const auto tol = parse_env_double("PPSTAP_ABFT_TOL", 1e-12, 1.0))
+    c.tolerance = *tol;
+  return c;
+}
+
+void flip_float_bit(std::span<float> data, int bit, std::uint64_t salt) {
+  if (data.empty()) return;
+  PPSTAP_REQUIRE(bit >= 0 && bit < 32, "flip_float_bit: bit out of range");
+  const std::size_t idx =
+      static_cast<std::size_t>(salt * 0x9e3779b97f4a7c15ull % data.size());
+  std::uint32_t word;
+  std::memcpy(&word, &data[idx], sizeof word);
+  word ^= (1u << bit);
+  std::memcpy(&data[idx], &word, sizeof word);
+}
+
+}  // namespace ppstap::core

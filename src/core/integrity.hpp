@@ -1,0 +1,76 @@
+// Algorithm-based fault tolerance (ABFT) configuration and accounting.
+//
+// PR 2/3 protect the pipeline against *transport* faults and *load*; this
+// layer closes the remaining gap — silent data corruption inside a compute
+// kernel. Each hot kernel carries a cheap mathematical invariant of the
+// transform it implements (Parseval energy for the windowed Doppler FFTs,
+// Huang–Abraham column checksums for the beamforming matmuls, column-norm
+// residuals for the weight-path QR, a matched-filter energy bound for pulse
+// compression, exact power-lookup equality for CFAR detections), and
+// src/core/pipeline.cpp wires the detect → recompute-once → escalate policy
+// around them. The per-CPI digest that rides the redistribution frames uses
+// the shared checksum in common/checksum.hpp so the sink can attribute a
+// mismatch to the producing task.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stap/flops.hpp"
+
+namespace ppstap::core {
+
+/// Runtime knobs for the integrity layer. Off by default: the invariants
+/// cost a few percent of kernel time and real deployments opt in.
+struct IntegrityConfig {
+  /// Master switch (PPSTAP_ABFT). Enables kernel invariants, the per-CPI
+  /// digest on every redistribution edge, and the recovery policy.
+  bool enabled = false;
+
+  /// Relative tolerance for the floating-point invariants
+  /// (PPSTAP_ABFT_TOL). Verification accumulates in double, so the slack
+  /// only has to absorb float rounding in the kernel under test; 1e-4
+  /// leaves ~two orders of magnitude of margin at Table-1 sizes while
+  /// still catching every interesting exponent-bit flip.
+  double tolerance = 1e-4;
+
+  /// Reads PPSTAP_ABFT / PPSTAP_ABFT_TOL (hardened parse, see
+  /// common/env.hpp).
+  static IntegrityConfig from_env();
+};
+
+/// One detected invariant failure and how it ended.
+struct IntegrityEvent {
+  int task = -1;        ///< stap::Task of the failing stage
+  index_t cpi = -1;     ///< CPI whose output failed verification
+  bool repaired = false;  ///< true: recompute passed; false: escalated
+};
+
+/// Integrity accounting for one pipeline run, returned on PipelineResult.
+struct IntegrityLedger {
+  std::uint64_t checks_passed = 0;   ///< invariant verifications that passed
+  std::uint64_t checks_failed = 0;   ///< detections (first + repeat failures)
+  std::uint64_t recomputes = 0;      ///< bounded stage re-executions
+  std::uint64_t repairs = 0;         ///< recomputes whose re-check passed
+  std::uint64_t escalations = 0;     ///< persistent failures handed to the
+                                     ///< shed / stale-weight machinery
+  std::uint64_t digest_mismatches = 0;  ///< end-to-end digest failures
+  /// Digest mismatches attributed to each producing task.
+  std::array<std::uint64_t, static_cast<size_t>(stap::kNumTasks)>
+      digest_mismatch_by_task{};
+  std::vector<IntegrityEvent> events;  ///< ordered detection outcomes
+
+  bool clean() const { return checks_failed == 0 && digest_mismatches == 0; }
+};
+
+/// Deterministically flip one bit of one element of a float buffer — the
+/// compute-stage analogue of the transport corruptor in comm/world.cpp.
+/// Bit 30 is the top exponent bit: flipping it multiplies the magnitude by
+/// ~2^128 one way or the other, the classic "silent but catastrophic" SEU.
+/// `salt` selects the victim element; no-op on an empty span.
+void flip_float_bit(std::span<float> data, int bit, std::uint64_t salt);
+
+}  // namespace ppstap::core

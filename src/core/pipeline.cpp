@@ -2,16 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 
 #include "comm/fault.hpp"
 #include "comm/world.hpp"
 #include "common/backoff.hpp"
+#include "common/checksum.hpp"
 #include "common/timer.hpp"
 #include "core/cpi_source.hpp"
 #include "core/overload.hpp"
@@ -97,6 +101,22 @@ struct Shared {
   FaultToleranceConfig ft;
   // Overload control (nullptr when disabled — the plain PR 2 pipeline).
   OverloadController* ctrl = nullptr;
+  // ABFT integrity layer (PR 5; inert when integ.enabled is false). The
+  // plan pointer doubles as the compute-stage flip-injection hook — flips
+  // are applied even with verification off, so the ABFT-off arm of the
+  // detection bench measures true silent corruption.
+  IntegrityConfig integ;
+  comm::FaultPlan* plan = nullptr;
+  std::atomic<std::uint64_t> integ_checks_passed{0};
+  std::atomic<std::uint64_t> integ_checks_failed{0};
+  std::atomic<std::uint64_t> integ_recomputes{0};
+  std::atomic<std::uint64_t> integ_repairs{0};
+  std::atomic<std::uint64_t> integ_escalations{0};
+  std::atomic<std::uint64_t> integ_digest_mismatches{0};
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<size_t>(stap::kNumTasks)>
+      integ_digest_by_task{};
+  std::vector<IntegrityEvent> integ_events;  // guarded by mu
   // Numerical-health counters aggregated from every weight computer at
   // task exit; guarded by mu.
   stap::WeightHealth numerics;
@@ -134,6 +154,16 @@ struct Shared {
   int base(Task t) const { return a.first_rank(t); }
   int count(Task t) const { return a[t]; }
 
+  // Task owning global rank `r`, as a stap::Task index (-1 for the spare) —
+  // used to attribute end-to-end digest mismatches to the producer.
+  int task_of_rank(int r) const {
+    for (int t = 0; t < stap::kNumTasks; ++t) {
+      const Task cand = static_cast<Task>(t);
+      if (r >= base(cand) && r < base(cand) + count(cand)) return t;
+    }
+    return -1;
+  }
+
   // Range-cell positions of `cells` inside Doppler rank d's slab, as
   // indices into `cells` (so senders and receivers agree on row order).
   std::vector<index_t> cell_positions_in_slab(
@@ -164,11 +194,114 @@ struct PhaseAcc {
   }
 };
 
+// --- ABFT integrity helpers (PR 5) -----------------------------------------
+
+std::span<float> float_view(cube::CpiCube& cu) {
+  return {reinterpret_cast<float*>(cu.data()),
+          static_cast<size_t>(cu.size()) * 2};
+}
+std::span<float> float_view(cube::RealCube& cu) {
+  return {cu.data(), static_cast<size_t>(cu.size())};
+}
+
+std::uint64_t flip_salt(int rank, index_t cpi, int attempt) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 34) ^
+         (static_cast<std::uint64_t>(cpi) << 2) ^
+         static_cast<std::uint64_t>(attempt);
+}
+
+// Compute-stage fault injection: when the installed plan schedules a flip
+// for (task, cpi, attempt), corrupt one bit of the stage's freshly computed
+// output. Applied before verification — and also when verification is off,
+// so the ABFT-off arm of the detection bench measures true silent
+// corruption.
+void maybe_flip(Shared& s, Task t, index_t cpi, int rank, int attempt,
+                std::span<float> out) {
+  if (s.plan == nullptr) return;
+  int bit = 30;
+  if (s.plan->compute_flip_due(static_cast<int>(t), cpi, rank, attempt, &bit))
+    flip_float_bit(out, bit, flip_salt(rank, cpi, attempt));
+}
+
+void maybe_flip_weights(Shared& s, Task t, index_t cpi, int rank, int attempt,
+                        std::vector<MatrixCF>& ws) {
+  if (s.plan == nullptr || ws.empty()) return;
+  int bit = 30;
+  if (!s.plan->compute_flip_due(static_cast<int>(t), cpi, rank, attempt, &bit))
+    return;
+  const std::uint64_t salt = flip_salt(rank, cpi, attempt);
+  auto& wm = ws[static_cast<size_t>(salt % ws.size())];
+  if (wm.size() == 0) return;
+  flip_float_bit({reinterpret_cast<float*>(wm.data()),
+                  static_cast<size_t>(wm.size()) * 2},
+                 bit, salt >> 1);
+}
+
+// CFAR's output is a sparse detection list; the flip lands in a reported
+// power value, which the exact power-lookup re-check catches bitwise.
+void maybe_flip_detections(Shared& s, index_t cpi, int rank, int attempt,
+                           std::vector<stap::Detection>& dets) {
+  if (s.plan == nullptr || dets.empty()) return;
+  int bit = 30;
+  if (!s.plan->compute_flip_due(static_cast<int>(Task::kCfar), cpi, rank,
+                                attempt, &bit))
+    return;
+  const std::uint64_t salt = flip_salt(rank, cpi, attempt);
+  auto& d = dets[static_cast<size_t>(salt % dets.size())];
+  flip_float_bit({&d.power, 1}, bit, salt);
+}
+
+// Weight-path invariant: the solve normalizes every column to unit 2-norm
+// (zero columns are patched to quiescent first), so any corruption in the
+// weight matrices shows directly in a column norm. Accumulates in double.
+bool weights_unit_norm(const std::vector<MatrixCF>& ws, double tol) {
+  for (const auto& wm : ws) {
+    for (index_t col = 0; col < wm.cols(); ++col) {
+      double nsq = 0.0;
+      for (index_t row = 0; row < wm.rows(); ++row) {
+        const cfloat v = wm(row, col);
+        const double re = v.real(), im = v.imag();
+        nsq += re * re + im * im;
+      }
+      if (!std::isfinite(nsq)) return false;
+      if (nsq == 0.0) continue;  // a zero steering column stays zero
+      if (std::abs(std::sqrt(nsq) - 1.0) > tol) return false;
+    }
+  }
+  return true;
+}
+
+// The 8-byte end-to-end digest is bit-cast into trailing elements of the
+// payload's own type and rides inside the data frame itself — a separate
+// digest message would double the per-CPI message count, and on an
+// oversubscribed host each extra message is a condvar wakeup. Markers carry
+// no digest. Digest bytes bypass the byte accounting so the Table 2-6
+// volume validation is unperturbed.
+template <typename T>
+constexpr size_t digest_elems() {
+  static_assert(sizeof(std::uint64_t) % sizeof(T) == 0);
+  return sizeof(std::uint64_t) / sizeof(T);
+}
+
+template <typename T>
+void append_digest(std::vector<T>& buf) {
+  const std::uint64_t d = checksum_of(std::span<const T>(buf));
+  const size_t n = buf.size();
+  buf.resize(n + digest_elems<T>());
+  std::memcpy(static_cast<void*>(buf.data() + n), &d, sizeof d);
+}
+
 void send_cf(Comm& c, Shared& s, int dest, index_t cpi, Edge e,
-             const std::vector<cfloat>& buf, bool measured, PhaseAcc& acc) {
-  c.send<cfloat>(dest, tag_for(cpi, e), buf);
+             std::vector<cfloat>& buf, bool measured, PhaseAcc& acc) {
+  const std::uint64_t n = buf.size() * sizeof(cfloat);
+  if (s.integ.enabled) {
+    append_digest(buf);
+    c.send<cfloat>(dest, tag_for(cpi, e), buf);
+    buf.resize(buf.size() - digest_elems<cfloat>());
+  } else {
+    c.send<cfloat>(dest, tag_for(cpi, e), buf);
+  }
   if (measured) {
-    const std::uint64_t n = buf.size() * sizeof(cfloat);
     acc.bytes += n;
     s.edge_bytes[static_cast<size_t>(e)].fetch_add(n,
                                                    std::memory_order_relaxed);
@@ -249,9 +382,76 @@ constexpr double kNoDeadline = 1e8;
 
 FtRecv make_ftr(Comm& c, Shared& s) {
   FtRecv f{c, s.ft};
-  f.active = s.ft.shedding || s.ctrl != nullptr;
+  // Integrity escalations emit shed markers on the regular edges, so every
+  // receiver must recognize markers whenever the layer is on.
+  f.active = s.ft.shedding || s.ctrl != nullptr || s.integ.enabled;
   f.budget = s.ft.shedding ? s.ft.cpi_deadline_seconds : kNoDeadline;
   return f;
+}
+
+// Strip the digest trailing the payload and compare it against the bytes
+// actually delivered; a mismatch is counted and attributed to the producing
+// task. (The transport already checksums every frame, so a mismatch here
+// means the producer's buffer changed between verification and pack, or the
+// redistribution reassembly disagrees with the producer.) Must run before
+// the caller's payload-length checks — it shrinks the buffer back to the
+// payload proper.
+template <typename T>
+void strip_digest(FtRecv& ftr, Shared& s, int src, std::vector<T>& buf,
+                  index_t cpi) {
+  if (!s.integ.enabled) return;
+  if (buf.size() < digest_elems<T>()) return;
+  std::uint64_t d = 0;
+  std::memcpy(&d, buf.data() + buf.size() - digest_elems<T>(), sizeof d);
+  buf.resize(buf.size() - digest_elems<T>());
+  if (d == checksum_of(std::span<const T>(buf))) return;
+  s.integ_digest_mismatches.fetch_add(1, std::memory_order_relaxed);
+  const int t = s.task_of_rank(src);
+  if (t >= 0)
+    s.integ_digest_by_task[static_cast<size_t>(t)].fetch_add(
+        1, std::memory_order_relaxed);
+  if (obs::tracing_enabled()) {
+    const double now = WallTimer::now();
+    obs::emit({"digest_mismatch", "integrity", ftr.c.rank(),
+               obs::kIntegrityTrack, static_cast<std::int64_t>(cpi), now, now,
+               -1, static_cast<std::int64_t>(src)});
+  }
+}
+
+// The detect → recompute-once → escalate policy around one stage execution.
+// `compute(attempt)` produces the stage output (and applies any injected
+// flip); `verify()` checks the ABFT invariant over the current output.
+// Returns false when the stage must escalate: both executions failed
+// verification, and the caller falls back to its shed / stale machinery.
+template <typename ComputeFn, typename VerifyFn>
+bool run_checked(Comm& c, Shared& s, Task t, index_t cpi, ComputeFn&& compute,
+                 VerifyFn&& verify) {
+  compute(0);
+  if (!s.integ.enabled) return true;
+  if (verify()) {
+    s.integ_checks_passed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  const double t_fail = WallTimer::now();
+  s.integ_checks_failed.fetch_add(1, std::memory_order_relaxed);
+  s.integ_recomputes.fetch_add(1, std::memory_order_relaxed);
+  compute(1);
+  const bool ok = verify();
+  if (ok) {
+    s.integ_repairs.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    s.integ_checks_failed.fetch_add(1, std::memory_order_relaxed);
+    s.integ_escalations.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.integ_events.push_back(IntegrityEvent{static_cast<int>(t), cpi, ok});
+  }
+  if (obs::tracing_enabled())
+    obs::emit({ok ? "abft_repair" : "abft_escalate", "integrity", c.rank(),
+               obs::kIntegrityTrack, static_cast<std::int64_t>(cpi), t_fail,
+               WallTimer::now(), -1, -1});
+  return ok;
 }
 
 /// Spare-rank resume request: restore the serialized weight computers and
@@ -332,8 +532,43 @@ void run_doppler(Comm& c, Shared& s, int me) {
     full.reset();
     const double t1 = WallTimer::now();
 
-    const cube::CpiCube stag = filter.filter(slab, k0);
+    cube::CpiCube stag;
+    const bool ok = run_checked(
+        c, s, Task::kDopplerFilter, cpi,
+        [&](int attempt) {
+          stag = filter.filter(slab, k0);
+          maybe_flip(s, Task::kDopplerFilter, cpi, c.rank(), attempt,
+                     float_view(stag));
+        },
+        [&] { return filter.parseval_check(slab, stag, k0, s.integ.tolerance); });
     const double t2 = WallTimer::now();
+
+    if (!ok) {
+      // Persistent corruption in the filter output: drop this rank's slab
+      // from the CPI exactly like an admission reject — markers take the
+      // place of every downstream frame and the sink ledgers one shed.
+      for (int r = 0; r < s.count(Task::kEasyWeight); ++r)
+        c.send_marker(s.base(Task::kEasyWeight) + r,
+                      tag_for(cpi, kDopToEasyWt));
+      for (int r = 0; r < s.count(Task::kHardWeight); ++r)
+        c.send_marker(s.base(Task::kHardWeight) + r,
+                      tag_for(cpi, kDopToHardWt));
+      for (int r = 0; r < s.count(Task::kEasyBeamform); ++r)
+        c.send_marker(s.base(Task::kEasyBeamform) + r,
+                      tag_for(cpi, kDopToEasyBf));
+      for (int r = 0; r < s.count(Task::kHardBeamform); ++r)
+        c.send_marker(s.base(Task::kHardBeamform) + r,
+                      tag_for(cpi, kDopToHardBf));
+      const double t3e = WallTimer::now();
+      emit_phase_spans(c.rank(), Task::kDopplerFilter, cpi, t0, t1, t2, t3e,
+                       0);
+      if (meas) {
+        acc.recv += t1 - t0;
+        acc.comp += t2 - t1;
+        acc.send += t3e - t2;
+      }
+      continue;
+    }
 
     // --- data collection + personalized sends (Figs. 6b, 8) --------------
     // Easy weight task: training rows (J channels) at the easy training
@@ -501,7 +736,8 @@ void run_easy_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
         complete = false;
         continue;
       }
-      const auto& buf = *bufo;
+      auto& buf = *bufo;
+      strip_digest(ftr, s, s.base(Task::kDopplerFilter) + d, buf, cpi);
       size_t off = 0;
       for (size_t bi = 0; bi < bins.size(); ++bi)
         for (index_t row : rows_from[static_cast<size_t>(d)]) {
@@ -521,17 +757,37 @@ void run_easy_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
     if (complete) computer.push_training(std::move(training));
     auto& cache = last_w[static_cast<size_t>(cpi % positions)];
     stap::WeightSet w;
+    bool wt_markers = false;
     if (s.ctrl != nullptr &&
         s.ctrl->level_for(cpi) >= DegradationLevel::kStaleWeights && cache) {
       w = *cache;  // stale rung: resend without solving
     } else {
-      w = computer.compute();
-      cache = w;
+      const bool wok = run_checked(
+          c, s, Task::kEasyWeight, cpi,
+          [&](int attempt) {
+            w = computer.compute();
+            maybe_flip_weights(s, Task::kEasyWeight, cpi, c.rank(), attempt,
+                               w.weights);
+          },
+          [&] { return weights_unit_norm(w.weights, s.integ.tolerance); });
+      if (wok)
+        cache = w;
+      else if (cache)
+        w = *cache;  // escalate into the stale-weight fallback
+      else
+        wt_markers = true;  // nothing trustworthy yet: let BF shed
     }
     const double t2 = WallTimer::now();
 
     // These weights serve the *next visit* of the same transmit position.
-    if (cpi + positions < s.n_cpis) send_weights(w, cpi + positions);
+    if (cpi + positions < s.n_cpis) {
+      if (wt_markers)
+        for (int r = 0; r < s.count(Task::kEasyBeamform); ++r)
+          c.send_marker(s.base(Task::kEasyBeamform) + r,
+                        tag_for(cpi + positions, kEasyWtToBf));
+      else
+        send_weights(w, cpi + positions);
+    }
     save_ckpt(cpi + 1);
     const double t3 = WallTimer::now();
     emit_phase_spans(c.rank(), Task::kEasyWeight, cpi, t0, t1, t2, t3,
@@ -638,7 +894,8 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
         complete = false;
         continue;
       }
-      const auto& buf = *bufo;
+      auto& buf = *bufo;
+      strip_digest(ftr, s, s.base(Task::kDopplerFilter) + d, buf, cpi);
       size_t off = 0;
       for (size_t ui = 0; ui < units.size(); ++ui)
         for (index_t row : rows_from[ui][static_cast<size_t>(d)]) {
@@ -658,17 +915,37 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
     if (complete) computer.update(training);
     auto& cache = last_w[static_cast<size_t>(cpi % positions)];
     std::vector<MatrixCF> w;
+    bool wt_markers = false;
     if (s.ctrl != nullptr &&
         s.ctrl->level_for(cpi) >= DegradationLevel::kStaleWeights && cache) {
       w = *cache;  // stale rung: resend without solving
     } else {
-      w = computer.compute();
-      cache = w;
+      const bool wok = run_checked(
+          c, s, Task::kHardWeight, cpi,
+          [&](int attempt) {
+            w = computer.compute();
+            maybe_flip_weights(s, Task::kHardWeight, cpi, c.rank(), attempt,
+                               w);
+          },
+          [&] { return weights_unit_norm(w, s.integ.tolerance); });
+      if (wok)
+        cache = w;
+      else if (cache)
+        w = *cache;  // escalate into the stale-weight fallback
+      else
+        wt_markers = true;  // nothing trustworthy yet: let BF shed
     }
     const double t2 = WallTimer::now();
 
     // These weights serve the *next visit* of the same transmit position.
-    if (cpi + positions < s.n_cpis) send_weights(w, cpi + positions);
+    if (cpi + positions < s.n_cpis) {
+      if (wt_markers)
+        for (int r = 0; r < s.count(Task::kHardBeamform); ++r)
+          c.send_marker(s.base(Task::kHardBeamform) + r,
+                        tag_for(cpi + positions, kHardWtToBf));
+      else
+        send_weights(w, cpi + positions);
+    }
     save_ckpt(cpi + 1);
     const double t3 = WallTimer::now();
     emit_phase_spans(c.rank(), Task::kHardWeight, cpi, t0, t1, t2, t3,
@@ -734,7 +1011,8 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
         weights_complete = false;
         continue;
       }
-      const auto& buf = *bufo;
+      auto& buf = *bufo;
+      strip_digest(ftr, s, s.base(wt_task) + r, buf, cpi);
       size_t off = 0;
       const BlockPartition& wpart = hard ? s.part_hwu : s.part_ewt;
       const index_t my_lo = b0 * segs;
@@ -772,7 +1050,8 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
         shed = true;
         continue;
       }
-      const auto& buf = *bufo;
+      auto& buf = *bufo;
+      strip_digest(ftr, s, s.base(Task::kDopplerFilter) + d, buf, cpi);
       const index_t dk0 = s.part_k.offset(d);
       const index_t dkl = s.part_k.length(d);
       PPSTAP_CHECK(static_cast<index_t>(buf.size()) == bl * dkl * nch,
@@ -807,9 +1086,37 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
     // zero in the output cube, so CFAR simply reports nothing there.
     const index_t active =
         s.ctrl != nullptr ? active_beams_for(s.ctrl->level_for(cpi), m) : m;
-    const cube::CpiCube out = hard ? stap::hard_beamform(data, w, p, active)
-                                   : stap::easy_beamform(data, w, p, active);
+    cube::CpiCube out;
+    const bool ok = run_checked(
+        c, s, task, cpi,
+        [&](int attempt) {
+          out = hard ? stap::hard_beamform(data, w, p, active)
+                     : stap::easy_beamform(data, w, p, active);
+          maybe_flip(s, task, cpi, c.rank(), attempt, float_view(out));
+        },
+        [&] {
+          return hard ? stap::hard_beamform_check(data, w, p, out, active,
+                                                  s.integ.tolerance)
+                      : stap::easy_beamform_check(data, w, p, out, active,
+                                                  s.integ.tolerance);
+        });
     const double t2 = WallTimer::now();
+
+    if (!ok) {
+      // Persistent corruption in the beamformed cube: escalate through the
+      // existing shed path so downstream keeps moving.
+      for (int r = 0; r < s.count(Task::kPulseCompression); ++r)
+        c.send_marker(s.base(Task::kPulseCompression) + r,
+                      tag_for(cpi, out_edge));
+      const double t3e = WallTimer::now();
+      emit_phase_spans(c.rank(), task, cpi, t0, t1, t2, t3e, 0);
+      if (meas) {
+        acc.recv += t1 - t0;
+        acc.comp += t2 - t1;
+        acc.send += t3e - t2;
+      }
+      continue;
+    }
 
     // Route each bin's M x K block to the pulse compression owner of its
     // *global* Doppler bin.
@@ -865,7 +1172,8 @@ void run_pc(Comm& c, Shared& s, int me) {
         shed = true;
         continue;
       }
-      const auto& buf = *bufo;
+      auto& buf = *bufo;
+      strip_digest(ftr, s, s.base(bf_task) + r, buf, cpi);
       size_t off = 0;
       const auto bins = slice(bin_list, part, r);
       for (index_t gbin : bins) {
@@ -913,8 +1221,35 @@ void run_pc(Comm& c, Shared& s, int me) {
 
     const index_t active =
         s.ctrl != nullptr ? active_beams_for(s.ctrl->level_for(cpi), m) : m;
-    const cube::RealCube power = compressor.compress(bf, active);
+    cube::RealCube power;
+    std::vector<double> row_energy;
+    const bool ok = run_checked(
+        c, s, Task::kPulseCompression, cpi,
+        [&](int attempt) {
+          power = compressor.compress(bf, active,
+                                      s.integ.enabled ? &row_energy : nullptr);
+          maybe_flip(s, Task::kPulseCompression, cpi, c.rank(), attempt,
+                     float_view(power));
+        },
+        [&] {
+          return stap::pc_energy_check(power, row_energy, active,
+                                       s.integ.tolerance);
+        });
     const double t2 = WallTimer::now();
+
+    if (!ok) {
+      for (int r = 0; r < s.count(Task::kCfar); ++r)
+        c.send_marker(s.base(Task::kCfar) + r, tag_for(cpi, kPcToCfar));
+      const double t3e = WallTimer::now();
+      emit_phase_spans(c.rank(), Task::kPulseCompression, cpi, t0, t1, t2,
+                       t3e, 0);
+      if (meas) {
+        acc.recv += t1 - t0;
+        acc.comp += t2 - t1;
+        acc.send += t3e - t2;
+      }
+      continue;
+    }
 
     for (int r = 0; r < s.count(Task::kCfar); ++r) {
       const index_t c0 = s.part_cfar.offset(r);
@@ -926,9 +1261,10 @@ void run_pc(Comm& c, Shared& s, int me) {
         const float* src = &power.at(bin - g0, 0, 0);
         buf.insert(buf.end(), src, src + m * k);
       }
+      const std::uint64_t n = buf.size() * sizeof(float);
+      if (s.integ.enabled) append_digest(buf);
       c.send<float>(s.base(Task::kCfar) + r, tag_for(cpi, kPcToCfar), buf);
       if (meas) {
-        const std::uint64_t n = buf.size() * sizeof(float);
         acc.bytes += n;
         s.edge_bytes[static_cast<size_t>(kPcToCfar)].fetch_add(
             n, std::memory_order_relaxed);
@@ -979,7 +1315,8 @@ void run_cfar(Comm& c, Shared& s, int me) {
         shed = true;
         continue;
       }
-      const auto& buf = *bufo;
+      auto& buf = *bufo;
+      strip_digest(ftr, s, s.base(Task::kPulseCompression) + r, buf, cpi);
       PPSTAP_CHECK(static_cast<index_t>(buf.size()) ==
                        std::max<index_t>(0, hi - lo) * m * k,
                    "power message length");
@@ -994,8 +1331,22 @@ void run_cfar(Comm& c, Shared& s, int me) {
 
     // A shed CPI reports no detections — the sink records the drop in the
     // ledger instead of stalling the stream on incomplete power data.
-    auto dets = shed ? std::vector<stap::Detection>{}
-                     : stap::cfar_detect(power, my_bins, p);
+    std::vector<stap::Detection> dets;
+    if (!shed) {
+      const bool ok = run_checked(
+          c, s, Task::kCfar, cpi,
+          [&](int attempt) {
+            dets = stap::cfar_detect(power, my_bins, p);
+            maybe_flip_detections(s, cpi, c.rank(), attempt, dets);
+          },
+          [&] { return stap::verify_detections(dets, power, my_bins, p); });
+      if (!ok) {
+        // Persistently corrupt report: suppress it and ledger the CPI as
+        // shed rather than publish wrong detections.
+        dets.clear();
+        shed = true;
+      }
+    }
     const double t2 = WallTimer::now();
 
     bool cpi_done = false;
@@ -1166,6 +1517,9 @@ PipelineResult ParallelStapPipeline::run(
   stap::StapParams params = p_;
   if (ov_.enabled && ov_.condition_threshold > 0.0)
     params.condition_threshold = ov_.condition_threshold;
+  // The integrity layer arms the weight-path QR residual gate at the same
+  // tolerance as the pipeline-level invariants.
+  if (integ_.enabled) params.abft_tolerance = integ_.tolerance;
 
   CpiSource source(scenario);
   Shared s{params,  assign_, steering_, replica_, source,
@@ -1192,6 +1546,8 @@ PipelineResult ParallelStapPipeline::run(
   s.detections.assign(static_cast<size_t>(num_cpis), {});
   s.ft = ft_;
   s.shed.assign(static_cast<size_t>(num_cpis), 0);
+  s.integ = integ_;
+  s.plan = plan_;
 
   // The controller lives on the driver's stack for the run; every rank
   // shares it through Shared, and the source gates admission on it.
@@ -1207,6 +1563,8 @@ PipelineResult ParallelStapPipeline::run(
       obs::set_track_name(t, stap::task_name(static_cast<stap::Task>(t)));
     if (ft_.any() || plan_ != nullptr || ov_.enabled)
       obs::set_track_name(obs::kFaultTrack, "fault");
+    if (integ_.enabled)
+      obs::set_track_name(obs::kIntegrityTrack, "integrity");
   }
 
   // One extra rank beyond the assignment when a spare is requested; it
@@ -1390,6 +1748,45 @@ PipelineResult ParallelStapPipeline::run(
     reg.counter("stap.loading_retries").add(result.numerics.loading_retries);
     reg.counter("stap.quiescent_fallbacks")
         .add(result.numerics.quiescent_fallbacks);
+    reg.counter("stap.qr_residual_retries")
+        .add(result.numerics.qr_residual_retries);
+    reg.counter("stap.qr_residual_rejects")
+        .add(result.numerics.qr_residual_rejects);
+  }
+
+  // --- integrity ledger -----------------------------------------------------
+  result.integrity.checks_passed =
+      s.integ_checks_passed.load(std::memory_order_relaxed);
+  result.integrity.checks_failed =
+      s.integ_checks_failed.load(std::memory_order_relaxed);
+  result.integrity.recomputes =
+      s.integ_recomputes.load(std::memory_order_relaxed);
+  result.integrity.repairs = s.integ_repairs.load(std::memory_order_relaxed);
+  result.integrity.escalations =
+      s.integ_escalations.load(std::memory_order_relaxed);
+  result.integrity.digest_mismatches =
+      s.integ_digest_mismatches.load(std::memory_order_relaxed);
+  for (int t = 0; t < stap::kNumTasks; ++t)
+    result.integrity.digest_mismatch_by_task[static_cast<size_t>(t)] =
+        s.integ_digest_by_task[static_cast<size_t>(t)].load(
+            std::memory_order_relaxed);
+  std::sort(s.integ_events.begin(), s.integ_events.end(),
+            [](const IntegrityEvent& a, const IntegrityEvent& b) {
+              return std::tie(a.cpi, a.task) < std::tie(b.cpi, b.task);
+            });
+  result.integrity.events = std::move(s.integ_events);
+  if (result.integrity.checks_passed > 0) {
+    reg.counter("integrity.checks_passed")
+        .add(result.integrity.checks_passed);
+  }
+  if (!result.integrity.clean()) {
+    reg.counter("integrity.checks_failed")
+        .add(result.integrity.checks_failed);
+    reg.counter("integrity.recomputes").add(result.integrity.recomputes);
+    reg.counter("integrity.repairs").add(result.integrity.repairs);
+    reg.counter("integrity.escalations").add(result.integrity.escalations);
+    reg.counter("integrity.digest_mismatches")
+        .add(result.integrity.digest_mismatches);
   }
   return result;
 }

@@ -21,6 +21,7 @@
 
 #include "core/assignment.hpp"
 #include "core/fault_tolerance.hpp"
+#include "core/integrity.hpp"
 #include "core/overload.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/metrics.hpp"
@@ -101,6 +102,12 @@ struct PipelineResult {
   /// of the run (screened training blocks, diagonal-loading retries,
   /// quiescent fallbacks). numerics.clean() on a healthy run.
   stap::WeightHealth numerics;
+
+  /// ABFT accounting: invariant checks passed/failed, bounded recomputes,
+  /// repairs, escalations into the shed machinery, and end-to-end digest
+  /// mismatches attributed to the producing task. integrity.clean() on a
+  /// corruption-free run (and trivially when PPSTAP_ABFT is off).
+  IntegrityLedger integrity;
 };
 
 /// Runs the parallel pipelined STAP application on an in-process rank world.
@@ -140,6 +147,11 @@ class ParallelStapPipeline {
   void set_overload(const OverloadConfig& cfg) { ov_ = cfg; }
   const OverloadConfig& overload() const { return ov_; }
 
+  /// Enable/disable the ABFT integrity layer (default: read from the
+  /// PPSTAP_ABFT* environment, i.e. disabled unless knobs are set).
+  void set_integrity(const IntegrityConfig& cfg) { integ_ = cfg; }
+  const IntegrityConfig& integrity() const { return integ_; }
+
  private:
   stap::StapParams p_;
   NodeAssignment assign_;
@@ -147,6 +159,7 @@ class ParallelStapPipeline {
   std::vector<cfloat> replica_;
   FaultToleranceConfig ft_ = FaultToleranceConfig::from_env();
   OverloadConfig ov_ = OverloadConfig::from_env();
+  IntegrityConfig integ_ = IntegrityConfig::from_env();
   comm::FaultPlan* plan_ = nullptr;
 };
 

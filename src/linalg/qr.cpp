@@ -38,6 +38,16 @@ QrFactorization<T>::QrFactorization(const Matrix<T>& a)
   v0_.resize(static_cast<size_t>(n_));
   beta_.resize(static_cast<size_t>(n_));
 
+  // Input column norms, in double, before the factorization overwrites a_:
+  // the reference side of the column-norm ABFT invariant.
+  col_norm_.resize(static_cast<size_t>(n_));
+  for (index_t j = 0; j < n_; ++j) {
+    double s = 0.0;
+    for (index_t i = 0; i < m_; ++i)
+      s += static_cast<double>(abs_sq(a_(i, j)));
+    col_norm_[static_cast<size_t>(j)] = std::sqrt(s);
+  }
+
   std::uint64_t flops = 0;
   for (index_t j = 0; j < n_; ++j) {
     // Build the Householder vector for column j from rows j..m-1.
@@ -101,6 +111,23 @@ double triangular_condition_estimate(const Matrix<T>& r) {
   PPSTAP_REQUIRE(r.rows() == r.cols(), "R must be square");
   return detail::diag_condition<T>(r.rows(),
                                    [&r](index_t i) { return r(i, i); });
+}
+
+template <typename T>
+double QrFactorization<T>::column_norm_residual() const {
+  double worst = 0.0;
+  for (index_t j = 0; j < n_; ++j) {
+    double s = 0.0;
+    for (index_t i = 0; i <= j; ++i)
+      s += static_cast<double>(abs_sq(a_(i, j)));
+    const double rn = std::sqrt(s);
+    const double an = col_norm_[static_cast<size_t>(j)];
+    if (!std::isfinite(rn))
+      return std::numeric_limits<double>::infinity();
+    const double dev = std::abs(rn - an) / std::max(an, 1e-30);
+    worst = std::max(worst, dev);
+  }
+  return worst;
 }
 
 template <typename T>
@@ -218,6 +245,34 @@ Matrix<T> qr_append_rows(const Matrix<T>& r, Matrix<T> x) {
   return out;
 }
 
+template <typename T>
+double append_column_norm_residual(const Matrix<T>& r_old,
+                                   const Matrix<T>& x,
+                                   const Matrix<T>& r_new) {
+  const index_t n = r_old.rows();
+  PPSTAP_REQUIRE(r_new.rows() == n && r_new.cols() == n && r_old.cols() == n,
+                 "R factors must be n x n in append_column_norm_residual");
+  PPSTAP_REQUIRE(x.cols() == n, "appended rows must have R's column count");
+  double worst = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    double before = 0.0;
+    for (index_t i = 0; i <= j; ++i)
+      before += static_cast<double>(abs_sq(r_old(i, j)));
+    for (index_t i = 0; i < x.rows(); ++i)
+      before += static_cast<double>(abs_sq(x(i, j)));
+    double after = 0.0;
+    for (index_t i = 0; i <= j; ++i)
+      after += static_cast<double>(abs_sq(r_new(i, j)));
+    const double bn = std::sqrt(before);
+    const double an = std::sqrt(after);
+    if (!std::isfinite(an))
+      return std::numeric_limits<double>::infinity();
+    const double dev = std::abs(an - bn) / std::max(bn, 1e-30);
+    worst = std::max(worst, dev);
+  }
+  return worst;
+}
+
 template class QrFactorization<cfloat>;
 template class QrFactorization<cdouble>;
 template class QrFactorization<float>;
@@ -247,5 +302,17 @@ template Matrix<float> qr_append_rows<float>(const Matrix<float>&,
                                              Matrix<float>);
 template Matrix<double> qr_append_rows<double>(const Matrix<double>&,
                                                Matrix<double>);
+template double append_column_norm_residual<cfloat>(const Matrix<cfloat>&,
+                                                    const Matrix<cfloat>&,
+                                                    const Matrix<cfloat>&);
+template double append_column_norm_residual<cdouble>(const Matrix<cdouble>&,
+                                                     const Matrix<cdouble>&,
+                                                     const Matrix<cdouble>&);
+template double append_column_norm_residual<float>(const Matrix<float>&,
+                                                   const Matrix<float>&,
+                                                   const Matrix<float>&);
+template double append_column_norm_residual<double>(const Matrix<double>&,
+                                                    const Matrix<double>&,
+                                                    const Matrix<double>&);
 
 }  // namespace ppstap::linalg

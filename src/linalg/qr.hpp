@@ -35,6 +35,15 @@ class QrFactorization {
   /// a solve would divide by (or propagate) it.
   double condition_estimate() const;
 
+  /// ABFT invariant (PR 5): orthogonal transforms preserve column norms,
+  /// so ||R e_j|| must equal ||A e_j|| for every column. Returns the worst
+  /// relative deviation across columns; both sides accumulate in double
+  /// (the input norms are captured before factorization), so a healthy
+  /// float factorization sits orders of magnitude below any sensible
+  /// tolerance while a bit flip in A's copy or a broken reflector shows up
+  /// directly. O(n^2) against the factorization's O(m n^2).
+  double column_norm_residual() const;
+
   /// B (m x nrhs) := Q^H B, applying the stored reflectors in order.
   void apply_qh(Matrix<T>& b) const;
 
@@ -46,6 +55,7 @@ class QrFactorization {
   Matrix<T> a_;  // R in the upper triangle, reflector tails below.
   std::vector<T> v0_;  // leading reflector element per column
   std::vector<real_of_t<T>> beta_;  // 2 / ||v||^2 per column
+  std::vector<double> col_norm_;  // ||A e_j|| of the input, in double
 };
 
 /// Solve R X = B for upper-triangular R (n x n), B is n x nrhs; in place.
@@ -71,6 +81,16 @@ Matrix<T> least_squares(const Matrix<T>& a, const Matrix<T>& b);
 /// least-squares solves against the accumulated data remain possible.
 template <typename T>
 Matrix<T> qr_append_rows(const Matrix<T>& r, Matrix<T> x);
+
+/// ABFT invariant for the row-append update (PR 5): the re-triangularized
+/// R must preserve the column norms of the stacked [r_old; x] matrix.
+/// Returns the worst relative deviation across columns, accumulated in
+/// double. Callers keep their own copy of `x` — qr_append_rows consumes
+/// its argument as workspace.
+template <typename T>
+double append_column_norm_residual(const Matrix<T>& r_old,
+                                   const Matrix<T>& x,
+                                   const Matrix<T>& r_new);
 
 extern template class QrFactorization<cfloat>;
 extern template class QrFactorization<cdouble>;
@@ -108,5 +128,13 @@ extern template double triangular_condition_estimate<float>(
     const Matrix<float>&);
 extern template double triangular_condition_estimate<double>(
     const Matrix<double>&);
+extern template double append_column_norm_residual<cfloat>(
+    const Matrix<cfloat>&, const Matrix<cfloat>&, const Matrix<cfloat>&);
+extern template double append_column_norm_residual<cdouble>(
+    const Matrix<cdouble>&, const Matrix<cdouble>&, const Matrix<cdouble>&);
+extern template double append_column_norm_residual<float>(
+    const Matrix<float>&, const Matrix<float>&, const Matrix<float>&);
+extern template double append_column_norm_residual<double>(
+    const Matrix<double>&, const Matrix<double>&, const Matrix<double>&);
 
 }  // namespace ppstap::linalg

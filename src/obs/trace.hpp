@@ -58,6 +58,9 @@ inline constexpr int kCommTrack = -1;
 inline constexpr int kSeqTrack = -2;
 /// Fault events: injected faults, shed CPIs, spare-rank recoveries.
 inline constexpr int kFaultTrack = -3;
+/// Integrity events: ABFT invariant failures, recomputes, repairs,
+/// escalations, digest mismatches.
+inline constexpr int kIntegrityTrack = -4;
 
 struct Config {
   bool enabled = false;

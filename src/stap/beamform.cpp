@@ -1,5 +1,10 @@
 #include "stap/beamform.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
 #include "common/check.hpp"
 #include "common/flops.hpp"
 #include "common/parallel.hpp"
@@ -101,6 +106,103 @@ cube::CpiCube hard_beamform(const cube::CpiCube& data, const WeightSet& w,
               static_cast<std::uint64_t>(active_beams) *
               static_cast<std::uint64_t>(jj));
   return out;
+}
+
+namespace {
+
+/// Pre-conjugated column sums conj(c_j), c_j = sum_{m < active} w(j, m), of
+/// one weight matrix, accumulated in double — the Huang–Abraham checksum
+/// column, ready for the per-cell dot product.
+std::vector<cdouble> conj_column_sums(const linalg::MatrixCF& w,
+                                      index_t active_beams) {
+  std::vector<cdouble> c(static_cast<size_t>(w.rows()));
+  for (index_t j = 0; j < w.rows(); ++j) {
+    cdouble acc{};
+    for (index_t m = 0; m < active_beams; ++m)
+      acc += static_cast<cdouble>(w(j, m));
+    c[static_cast<size_t>(j)] = std::conj(acc);
+  }
+  return c;
+}
+
+/// Verifies one cell: sum of the active beam outputs against the checksum
+/// dot conj(c)^T x. `tol` is relative to the accumulated term magnitudes
+/// (1-norm — no square roots on the verification path) so the bound scales
+/// with the cell's dynamic range.
+bool cell_checks(const std::vector<cdouble>& csum,
+                 std::span<const cfloat> line, const cube::CpiCube& out,
+                 index_t b, index_t k, index_t active_beams, double tol) {
+  double lr = 0.0, li = 0.0, mag = 0.0;
+  for (index_t m = 0; m < active_beams; ++m) {
+    const cfloat v = out.at(b, m, k);
+    const double re = v.real(), im = v.imag();
+    lr += re;
+    li += im;
+    mag += std::abs(re) + std::abs(im);
+  }
+  double rr = 0.0, ri = 0.0;
+  for (size_t j = 0; j < csum.size(); ++j) {
+    const double cr = csum[j].real(), ci = csum[j].imag();
+    const double xr = line[j].real(), xi = line[j].imag();
+    const double tr = cr * xr - ci * xi;
+    const double ti = cr * xi + ci * xr;
+    rr += tr;
+    ri += ti;
+    mag += std::abs(tr) + std::abs(ti);
+  }
+  if (!std::isfinite(lr) || !std::isfinite(li)) return false;
+  return std::abs(lr - rr) + std::abs(li - ri) <= tol * std::max(mag, 1e-30);
+}
+
+}  // namespace
+
+bool easy_beamform_check(const cube::CpiCube& data, const WeightSet& w,
+                         const StapParams& p, const cube::CpiCube& out,
+                         index_t active_beams, double tol) {
+  const index_t nbins = data.extent(0);
+  const index_t k = data.extent(1);
+  if (active_beams < 0) active_beams = p.num_beams;
+  const index_t ab = active_beams;
+  std::atomic<bool> ok{true};
+  parallel_for_blocks(
+      p.intra_task_threads, nbins, [&](index_t b_begin, index_t b_end) {
+        for (index_t b = b_begin; b < b_end; ++b) {
+          const auto csum =
+              conj_column_sums(w.weights[static_cast<size_t>(b)], ab);
+          for (index_t kk = 0; kk < k; ++kk)
+            if (!cell_checks(csum, data.line(b, kk), out, b, kk, ab, tol)) {
+              ok.store(false, std::memory_order_relaxed);
+              return;
+            }
+        }
+      });
+  return ok.load(std::memory_order_relaxed);
+}
+
+bool hard_beamform_check(const cube::CpiCube& data, const WeightSet& w,
+                         const StapParams& p, const cube::CpiCube& out,
+                         index_t active_beams, double tol) {
+  const index_t nbins = data.extent(0);
+  if (active_beams < 0) active_beams = p.num_beams;
+  const index_t ab = active_beams;
+  std::atomic<bool> ok{true};
+  parallel_for_blocks(
+      p.intra_task_threads, nbins, [&](index_t b_begin, index_t b_end) {
+        for (index_t b = b_begin; b < b_end; ++b) {
+          for (index_t s = 0; s < p.num_segments; ++s) {
+            const auto csum = conj_column_sums(
+                w.weights[static_cast<size_t>(b * p.num_segments + s)], ab);
+            for (index_t kk = p.segment_begin(s); kk < p.segment_end(s);
+                 ++kk)
+              if (!cell_checks(csum, data.line(b, kk), out, b, kk, ab,
+                               tol)) {
+                ok.store(false, std::memory_order_relaxed);
+                return;
+              }
+          }
+        }
+      });
+  return ok.load(std::memory_order_relaxed);
 }
 
 }  // namespace ppstap::stap

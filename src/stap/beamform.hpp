@@ -33,4 +33,20 @@ cube::CpiCube easy_beamform(const cube::CpiCube& data, const WeightSet& w,
 cube::CpiCube hard_beamform(const cube::CpiCube& data, const WeightSet& w,
                             const StapParams& p, index_t active_beams = -1);
 
+/// ABFT invariant (PR 5): Huang–Abraham column-checksum verification of the
+/// beamforming matmul. For each (bin, range) cell the sum of the active
+/// beam outputs must equal the checksum beam — the data line dotted with
+/// the per-matrix column-sum weight vector c_j = sum_m w(j, m). One extra
+/// J-length dot per cell (~1/M of the kernel's flops) recomputed in double,
+/// so `tol` (relative to the term magnitudes) only absorbs float rounding.
+/// Returns false on the first deviating or non-finite cell.
+bool easy_beamform_check(const cube::CpiCube& data, const WeightSet& w,
+                         const StapParams& p, const cube::CpiCube& out,
+                         index_t active_beams, double tol);
+
+/// Same invariant for the segmented hard-bin matmul.
+bool hard_beamform_check(const cube::CpiCube& data, const WeightSet& w,
+                         const StapParams& p, const cube::CpiCube& out,
+                         index_t active_beams, double tol);
+
 }  // namespace ppstap::stap

@@ -1,6 +1,7 @@
 #include "stap/cfar.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 #include "common/flops.hpp"
@@ -77,6 +78,33 @@ std::vector<Detection> cfar_detect(const cube::RealCube& power,
   for (const auto& row : per_row)
     detections.insert(detections.end(), row.begin(), row.end());
   return detections;
+}
+
+bool verify_detections(std::span<const Detection> dets,
+                       const cube::RealCube& power,
+                       std::span<const index_t> bins, const StapParams& p) {
+  const index_t m = power.extent(1);
+  const index_t k = power.extent(2);
+  long long prev_key = -1;
+  for (const Detection& d : dets) {
+    const auto it = std::find(bins.begin(), bins.end(), d.doppler_bin);
+    if (it == bins.end()) return false;
+    const index_t row = static_cast<index_t>(it - bins.begin());
+    if (d.beam < 0 || d.beam >= m || d.range < 0 || d.range >= k)
+      return false;
+    if (!std::isfinite(d.power) || !std::isfinite(d.threshold)) return false;
+    if (d.threshold < 0.0f || d.power < d.threshold) return false;
+    // The detector copies the cell power verbatim (one double->float
+    // rounding both sides share), so any flip in the report buffer breaks
+    // bitwise equality with the cube.
+    if (d.power != power.at(row, d.beam, d.range)) return false;
+    const long long key =
+        (static_cast<long long>(row) * m + d.beam) * k + d.range;
+    if (key <= prev_key) return false;
+    prev_key = key;
+  }
+  (void)p;
+  return true;
 }
 
 }  // namespace ppstap::stap

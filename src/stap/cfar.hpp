@@ -33,4 +33,15 @@ std::vector<Detection> cfar_detect(const cube::RealCube& power,
                                    std::span<const index_t> bins,
                                    const StapParams& p);
 
+/// ABFT invariant (PR 5): sanity check of a detection list against the
+/// power cube it was derived from. Every report must quote exactly the
+/// power stored at its (bin row, beam, range) cell (bitwise float
+/// equality — the detector copies, never transforms), carry a finite
+/// positive power above its finite non-negative threshold, point inside
+/// the cube, reference an owned bin, and the list must be sorted by
+/// (bin row, beam, range). Catches any bit flip in the report buffer.
+bool verify_detections(std::span<const Detection> dets,
+                       const cube::RealCube& power,
+                       std::span<const index_t> bins, const StapParams& p);
+
 }  // namespace ppstap::stap

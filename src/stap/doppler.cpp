@@ -1,5 +1,6 @@
 #include "stap/doppler.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -76,6 +77,55 @@ cube::CpiCube DopplerFilter::filter(const cube::CpiCube& raw,
   }
   });
   return out;
+}
+
+bool DopplerFilter::parseval_check(const cube::CpiCube& raw,
+                                   const cube::CpiCube& stag,
+                                   index_t k_offset, double tol) const {
+  const index_t k_local = raw.extent(0);
+  const index_t j = p_.num_channels;
+  const index_t n = p_.num_pulses;
+  const index_t wlen = p_.window_length();
+  PPSTAP_REQUIRE(stag.extent(0) == k_local && stag.extent(1) == 2 * j &&
+                     stag.extent(2) == n,
+                 "staggered slab must be K_local x 2J x N");
+
+  for (index_t k = 0; k < k_local; ++k) {
+    const double gain = range_gain(k_offset + k);
+    for (index_t ch = 0; ch < j; ++ch) {
+      const auto pulses = raw.line(k, ch);
+      for (int w = 0; w < 2; ++w) {
+        const index_t shift = w == 0 ? 0 : p_.stagger;
+        double time_energy = 0.0;
+        for (index_t i = 0; i < wlen; ++i) {
+          const cfloat x = pulses[static_cast<size_t>(i + shift)];
+          const double scale =
+              static_cast<double>(window_[static_cast<size_t>(i)]) * gain;
+          time_energy += (static_cast<double>(x.real()) *
+                              static_cast<double>(x.real()) +
+                          static_cast<double>(x.imag()) *
+                              static_cast<double>(x.imag())) *
+                         scale * scale;
+        }
+        double freq_energy = 0.0;
+        const auto line = stag.line(k, w * j + ch);
+        for (index_t i = 0; i < n; ++i) {
+          const cfloat v = line[static_cast<size_t>(i)];
+          freq_energy += static_cast<double>(v.real()) *
+                             static_cast<double>(v.real()) +
+                         static_cast<double>(v.imag()) *
+                             static_cast<double>(v.imag());
+        }
+        freq_energy /= static_cast<double>(n);
+        if (!std::isfinite(freq_energy)) return false;
+        const double floor = 1e-30;
+        if (std::abs(freq_energy - time_energy) >
+            tol * std::max(time_energy, floor))
+          return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace ppstap::stap

@@ -33,6 +33,15 @@ class DopplerFilter {
   /// (1.0 when correction is disabled).
   float range_gain(index_t k) const;
 
+  /// ABFT invariant (PR 5): Parseval's theorem per FFT line. For every
+  /// (range cell, channel, stagger window), the Doppler-domain energy
+  /// sum |X[n]|^2 must equal N * sum |window * gain * x[i]|^2 (forward
+  /// transforms are unscaled). Both sides accumulate in double, so `tol`
+  /// (relative) only has to absorb the kernel's float rounding. Returns
+  /// false as soon as any line deviates or holds a non-finite value.
+  bool parseval_check(const cube::CpiCube& raw, const cube::CpiCube& stag,
+                      index_t k_offset, double tol) const;
+
  private:
   StapParams p_;
   std::vector<float> window_;

@@ -63,6 +63,8 @@ void StapParams::validate() const {
   PPSTAP_REQUIRE(diagonal_loading > 0.0, "diagonal loading must be > 0");
   PPSTAP_REQUIRE(condition_threshold > 1.0,
                  "condition threshold must be > 1");
+  PPSTAP_REQUIRE(abft_tolerance >= 0.0 && abft_tolerance <= 1.0,
+                 "ABFT tolerance must be in [0, 1]");
   PPSTAP_REQUIRE(intra_task_threads >= 1,
                  "need at least one intra-task thread");
   PPSTAP_REQUIRE(num_beam_positions >= 1,

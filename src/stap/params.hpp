@@ -50,6 +50,14 @@ struct StapParams {
   /// loading appended at data scale (and ledgered); weights that still come
   /// out non-finite fall back to the quiescent (steering) beamformer.
   double condition_threshold = 1e6;
+  /// ABFT residual gate on the weight-path QR (PR 5): when > 0, every
+  /// factorization's column-norm residual (orthogonal transforms preserve
+  /// column norms) is checked against this relative tolerance. A failing
+  /// fresh QR is retried once through the diagonal-loading path; a failing
+  /// recursive row-append update is recomputed once and, if still off,
+  /// rejected so the corruption cannot enter the carried R. 0 disables the
+  /// gate (the default — the pipeline sets it from PPSTAP_ABFT).
+  double abft_tolerance = 0.0;
 
   // --- beam set ------------------------------------------------------------
   double beam_center_rad = 0.0;

@@ -1,5 +1,8 @@
 #include "stap/pulse_compression.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.hpp"
 #include "common/flops.hpp"
 #include "common/parallel.hpp"
@@ -26,7 +29,9 @@ PulseCompressor::PulseCompressor(const StapParams& p,
 }
 
 cube::RealCube PulseCompressor::compress(const cube::CpiCube& beamformed,
-                                         index_t active_beams) const {
+                                         index_t active_beams,
+                                         std::vector<double>* row_energy)
+    const {
   const index_t nbins = beamformed.extent(0);
   const index_t m = beamformed.extent(1);
   const index_t k = beamformed.extent(2);
@@ -36,6 +41,8 @@ cube::RealCube PulseCompressor::compress(const cube::CpiCube& beamformed,
                  "active beam count must be in [1, M]");
 
   cube::RealCube out(nbins, m, k);
+  if (row_energy != nullptr)
+    row_energy->assign(static_cast<size_t>(nbins * m), 0.0);
 
   parallel_for_blocks(p_.intra_task_threads, nbins * m, [&](index_t row_begin,
                                                             index_t row_end) {
@@ -52,6 +59,15 @@ cube::RealCube PulseCompressor::compress(const cube::CpiCube& beamformed,
         for (index_t kk = 0; kk < k; ++kk)
           out.at(b, mm, kk) =
               linalg::abs_sq(src[static_cast<size_t>(kk)]);
+        if (row_energy != nullptr) {
+          double e = 0.0;
+          for (const cfloat v : src)
+            e += static_cast<double>(v.real()) *
+                     static_cast<double>(v.real()) +
+                 static_cast<double>(v.imag()) *
+                     static_cast<double>(v.imag());
+          (*row_energy)[static_cast<size_t>(row)] = e;
+        }
         continue;
       }
       std::copy(src.begin(), src.end(), line.begin());
@@ -59,6 +75,16 @@ cube::RealCube PulseCompressor::compress(const cube::CpiCube& beamformed,
       for (index_t kk = 0; kk < k; ++kk)
         line[static_cast<size_t>(kk)] *=
             filter_spec_[static_cast<size_t>(kk)];
+      if (row_energy != nullptr) {
+        // Parseval across the scaled inverse transform: the output power
+        // sum equals the spectrum energy / K.
+        double e = 0.0;
+        for (const cfloat v : line)
+          e += static_cast<double>(v.real()) * static_cast<double>(v.real()) +
+               static_cast<double>(v.imag()) * static_cast<double>(v.imag());
+        (*row_energy)[static_cast<size_t>(row)] =
+            e / static_cast<double>(k);
+      }
       plans_->inv.execute(line);
       for (index_t kk = 0; kk < k; ++kk)
         out.at(b, mm, kk) = linalg::abs_sq(line[static_cast<size_t>(kk)]);
@@ -68,6 +94,33 @@ cube::RealCube PulseCompressor::compress(const cube::CpiCube& beamformed,
   }
   });
   return out;
+}
+
+bool pc_energy_check(const cube::RealCube& power,
+                     const std::vector<double>& row_energy,
+                     index_t active_beams, double tol) {
+  const index_t nbins = power.extent(0);
+  const index_t m = power.extent(1);
+  const index_t k = power.extent(2);
+  if (row_energy.size() != static_cast<size_t>(nbins * m)) return false;
+  if (active_beams < 0) active_beams = m;
+  for (index_t b = 0; b < nbins; ++b) {
+    for (index_t mm = 0; mm < m; ++mm) {
+      double sum = 0.0;
+      const auto row = power.line(b, mm);
+      for (index_t kk = 0; kk < k; ++kk) {
+        const float v = row[static_cast<size_t>(kk)];
+        if (!(v >= 0.0f) || !std::isfinite(v)) return false;
+        sum += static_cast<double>(v);
+      }
+      const double expect =
+          mm < active_beams ? row_energy[static_cast<size_t>(b * m + mm)]
+                            : 0.0;
+      if (std::abs(sum - expect) > tol * std::max(expect, 1e-30))
+        return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace ppstap::stap

@@ -30,8 +30,16 @@ class PulseCompressor {
   /// `active_beams` (-1 = all): beams past the count are skipped — they
   /// are all-zero under the overload ladder's reduced-beam rungs, so the
   /// matched-filter cost scales with the active count.
+  ///
+  /// `row_energy` (ABFT probe, PR 5): when non-null, receives one expected
+  /// power sum per (bin, beam) row, computed in double from the matched
+  /// filter's frequency domain via Parseval — sum |Y[k]|^2 / K for the
+  /// spectrum-multiplied line (sum |x[k]|^2 on the filterless path, 0 for
+  /// skipped beams). pc_energy_check compares the emitted power cube
+  /// against it.
   cube::RealCube compress(const cube::CpiCube& beamformed,
-                          index_t active_beams = -1) const;
+                          index_t active_beams = -1,
+                          std::vector<double>* row_energy = nullptr) const;
 
  private:
   StapParams p_;
@@ -39,5 +47,13 @@ class PulseCompressor {
   struct Plans;
   std::shared_ptr<const Plans> plans_;
 };
+
+/// ABFT invariant (PR 5): matched-filter energy bound. Each row of the
+/// power cube must sum (in double) to the frequency-domain energy recorded
+/// by the compress() probe within relative `tol`, and hold only finite,
+/// non-negative values. Returns false on the first violating row.
+bool pc_energy_check(const cube::RealCube& power,
+                     const std::vector<double>& row_energy,
+                     index_t active_beams, double tol);
 
 }  // namespace ppstap::stap

@@ -40,11 +40,21 @@ float mean_abs_upper(const linalg::MatrixCF& r) {
 linalg::MatrixCF guarded_least_squares(const linalg::MatrixCF& a,
                                        const linalg::MatrixCF& b,
                                        double threshold, float load,
-                                       WeightHealth& health) {
+                                       WeightHealth& health,
+                                       double abft_tol = 0.0) {
   linalg::QrFactorization<cfloat> qr(a);
-  if (qr.condition_estimate() <= threshold) return qr.solve(b);
+  // ABFT residual gate (PR 5): a factorization that no longer preserves
+  // the input's column norms was corrupted mid-flight; route it through
+  // the loading retry like an ill-conditioned solve.
+  const bool residual_bad =
+      abft_tol > 0.0 && qr.column_norm_residual() > abft_tol;
+  if (residual_bad)
+    ++health.qr_residual_retries;
+  else if (qr.condition_estimate() <= threshold)
+    return qr.solve(b);
+  else
+    ++health.loading_retries;
 
-  ++health.loading_retries;
   const index_t n = a.cols();
   if (load <= 0.0f || !std::isfinite(load)) load = 1.0f;
   linalg::MatrixCF a2(a.rows() + n, n);
@@ -54,7 +64,10 @@ linalg::MatrixCF guarded_least_squares(const linalg::MatrixCF& a,
   linalg::MatrixCF b2(a.rows() + n, b.cols());
   for (index_t i = 0; i < b.rows(); ++i)
     for (index_t j = 0; j < b.cols(); ++j) b2(i, j) = b(i, j);
-  return linalg::least_squares(a2, b2);
+  linalg::QrFactorization<cfloat> qr2(a2);
+  if (abft_tol > 0.0 && qr2.column_norm_residual() > abft_tol)
+    ++health.qr_residual_rejects;  // persistent — patch_bad_columns screens
+  return qr2.solve(b2);
 }
 
 // Post-solve screen: replace any non-finite or identically-zero weight
@@ -201,7 +214,8 @@ WeightSet EasyWeightComputer::compute() const {
         b(total_rows + r, c) = steering_(r, c);
 
     linalg::MatrixCF w = guarded_least_squares(a, b, p_.condition_threshold,
-                                               scale, health_);
+                                               scale, health_,
+                                               p_.abft_tolerance);
     patch_bad_columns(w, quiescent, health_);
     normalize_columns(w);
     out.weights.push_back(std::move(w));
@@ -299,7 +313,27 @@ void HardWeightComputer::update(
     linalg::MatrixCF faded = r_[i];
     for (index_t a = 0; a < faded.rows(); ++a)
       for (index_t b = 0; b < faded.cols(); ++b) faded(a, b) *= lambda;
-    r_[i] = linalg::qr_append_rows(faded, std::move(x));
+    if (p_.abft_tolerance <= 0.0) {
+      r_[i] = linalg::qr_append_rows(faded, std::move(x));
+      continue;
+    }
+    // ABFT residual gate (PR 5): the append update must preserve the
+    // column norms of [faded R; X]. A corrupted update would contaminate
+    // every later CPI through the forgetting recursion, so verify,
+    // recompute once, and on persistent failure discard the update rather
+    // than fold it in.
+    linalg::MatrixCF r_new = linalg::qr_append_rows(faded, x);
+    if (linalg::append_column_norm_residual(faded, x, r_new) >
+        p_.abft_tolerance) {
+      ++health_.qr_residual_retries;
+      r_new = linalg::qr_append_rows(faded, x);
+      if (linalg::append_column_norm_residual(faded, x, r_new) >
+          p_.abft_tolerance) {
+        ++health_.qr_residual_rejects;
+        continue;  // keep the previous R; this unit skips one update
+      }
+    }
+    r_[i] = std::move(r_new);
   }
 }
 
@@ -355,7 +389,8 @@ std::vector<linalg::MatrixCF> HardWeightComputer::compute() const {
     normalize_columns(quiescent);
 
     linalg::MatrixCF w = guarded_least_squares(a, b, p_.condition_threshold,
-                                               scale, health_);
+                                               scale, health_,
+                                               p_.abft_tolerance);
     patch_bad_columns(w, quiescent, health_);
     normalize_columns(w);
     out.push_back(std::move(w));

@@ -36,20 +36,31 @@ namespace ppstap::stap {
 ///  * quiescent_fallbacks — weight matrices that still came out non-finite
 ///    (or identically zero) after the retry and were replaced column-wise
 ///    by the quiescent (normalized steering) beamformer.
+///  * qr_residual_retries — factorizations whose ABFT column-norm residual
+///    exceeded StapParams::abft_tolerance and were re-run once (fresh QR:
+///    through the diagonal-loading path; recursive append: recomputed).
+///  * qr_residual_rejects — recursive append updates that failed the
+///    residual gate twice and were discarded so the corruption never
+///    entered the carried R.
 struct WeightHealth {
   std::uint64_t nonfinite_training_blocks = 0;
   std::uint64_t loading_retries = 0;
   std::uint64_t quiescent_fallbacks = 0;
+  std::uint64_t qr_residual_retries = 0;
+  std::uint64_t qr_residual_rejects = 0;
 
   WeightHealth& operator+=(const WeightHealth& o) {
     nonfinite_training_blocks += o.nonfinite_training_blocks;
     loading_retries += o.loading_retries;
     quiescent_fallbacks += o.quiescent_fallbacks;
+    qr_residual_retries += o.qr_residual_retries;
+    qr_residual_rejects += o.qr_residual_rejects;
     return *this;
   }
   bool clean() const {
     return nonfinite_training_blocks == 0 && loading_retries == 0 &&
-           quiescent_fallbacks == 0;
+           quiescent_fallbacks == 0 && qr_residual_retries == 0 &&
+           qr_residual_rejects == 0;
   }
 };
 

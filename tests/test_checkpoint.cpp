@@ -6,7 +6,9 @@
 
 #include <sstream>
 
+#include "comm/fault.hpp"
 #include "common/rng.hpp"
+#include "core/pipeline.hpp"
 #include "linalg/serialize.hpp"
 #include "stap/sequential.hpp"
 #include "synth/scenario.hpp"
@@ -173,6 +175,44 @@ TEST(Checkpoint, MismatchedConfigurationRejected) {
   std::stringstream junk("not a checkpoint");
   stap::SequentialStap c(f.p, f.steering(), gen.replica());
   EXPECT_THROW(c.load_state(junk), Error);
+}
+
+// PR 5: integrity digests must stay continuous across a spare-rank
+// failover. The spare restores the checkpointed adaptive state mid-stream;
+// every frame it then produces must still verify end to end — zero digest
+// mismatches, none attributed to the recovered task, and a clean ledger.
+TEST(Checkpoint, DigestContinuityAcrossSpareFailover) {
+  auto f = ChainFixture::make();
+  synth::ScenarioGenerator gen(f.sp);
+  const index_t n_cpis = 6;
+  const index_t kill_cpi = 2;
+
+  core::NodeAssignment a;  // all ones: one rank per task plus the spare
+  const int victim = a.first_rank(stap::Task::kHardWeight);
+  comm::FaultPlan plan;
+  // Pipeline tag layout (pipeline.cpp): tag = cpi * 16 + edge, and the
+  // Doppler -> hard-weight training edge is 1.
+  plan.add(comm::FaultPlan::kill_on_recv(
+      victim, static_cast<int>(kill_cpi) * 16 + 1));
+
+  core::ParallelStapPipeline par(
+      f.p, a, f.steering(), {gen.replica().begin(), gen.replica().end()});
+  core::FaultToleranceConfig ft;
+  ft.spare_rank = true;
+  par.set_fault_tolerance(ft);
+  par.set_fault_plan(&plan);
+  core::IntegrityConfig ic;
+  ic.enabled = true;
+  par.set_integrity(ic);
+  auto res = par.run(gen, n_cpis, /*warmup=*/1, /*cooldown=*/1);
+
+  ASSERT_EQ(res.faults.failovers.size(), 1u);
+  EXPECT_EQ(res.faults.failovers[0].rank, victim);
+  EXPECT_TRUE(res.faults.shed_cpis.empty());
+  EXPECT_EQ(res.integrity.digest_mismatches, 0u);
+  for (auto n : res.integrity.digest_mismatch_by_task) EXPECT_EQ(n, 0u);
+  EXPECT_TRUE(res.integrity.clean());
+  EXPECT_GT(res.integrity.checks_passed, 0u);
 }
 
 }  // namespace

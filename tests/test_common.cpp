@@ -3,10 +3,13 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/checksum.hpp"
 #include "common/env.hpp"
 #include "common/flops.hpp"
 #include "common/rng.hpp"
@@ -189,6 +192,40 @@ TEST_F(EnvParse, FlagAcceptsCommonSpellings) {
   EXPECT_THROW(parse_env_flag(kVar), Error);
   set("2");
   EXPECT_THROW(parse_env_flag(kVar), Error);
+}
+
+TEST(Checksum, DeterministicAndSensitiveToEveryBit) {
+  std::vector<float> data(37);
+  for (size_t i = 0; i < data.size(); ++i)
+    data[i] = 0.5f * static_cast<float>(i) - 3.0f;
+  const std::span<const float> view(data);
+  const std::uint64_t base = checksum_of(view);
+  EXPECT_EQ(checksum_of(view), base);  // pure function of the bytes
+
+  // Any single-bit flip anywhere in the payload changes the checksum —
+  // the property both the transport and the ABFT digest rely on.
+  auto bytes = std::as_writable_bytes(std::span<float>(data));
+  for (size_t byte = 0; byte < bytes.size(); byte += 13)
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[byte] ^= std::byte{1} << bit;
+      EXPECT_NE(checksum_of(view), base) << byte << ":" << bit;
+      bytes[byte] ^= std::byte{1} << bit;
+    }
+  EXPECT_EQ(checksum_of(view), base);
+}
+
+TEST(Checksum, LengthIsPartOfTheDigest) {
+  const std::vector<float> a(8, 0.0f);
+  const std::vector<float> b(9, 0.0f);  // same prefix bytes, longer
+  EXPECT_NE(checksum_of(std::span<const float>(a)),
+            checksum_of(std::span<const float>(b)));
+  EXPECT_EQ(checksum_bytes({}), checksum_bytes({}));
+}
+
+TEST(Checksum, TypedViewMatchesRawBytes) {
+  const std::vector<cfloat> z{{1.0f, -2.0f}, {0.25f, 4.0f}};
+  const std::span<const cfloat> view(z);
+  EXPECT_EQ(checksum_of(view), checksum_bytes(std::as_bytes(view)));
 }
 
 TEST_F(EnvParse, ChoiceMatchesCaseInsensitiveAndListsOptions) {
