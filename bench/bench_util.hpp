@@ -17,8 +17,10 @@
 
 #include "core/machine.hpp"
 #include "core/sim.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ppstap::bench {
 
@@ -56,12 +58,25 @@ class JsonReport {
   /// Writes the document if --json was requested; returns main()'s exit
   /// code (the requested `code`, or 1 if the file could not be written).
   int finish(int code = 0) {
+    // Exporter health check, printed with or without --json: dropped
+    // spans mean the trace (and any bottleneck verdict from it) is
+    // incomplete — the ring needs PPSTAP_TRACE_CAPACITY raised.
+    if (obs::dropped_count() > 0)
+      std::fprintf(stderr,
+                   "warning: trace ring dropped %llu spans; raise "
+                   "PPSTAP_TRACE_CAPACITY\n",
+                   static_cast<unsigned long long>(obs::dropped_count()));
     if (path_.empty()) return code;
     obs::Json doc = obs::Json::object();
     doc["schema"] = "ppstap-bench-v1";
     doc["bench"] = name_;
     doc["exit_code"] = code;
     doc["robustness"] = robustness_summary();
+    // Bottleneck verdict from whatever spans the bench left recorded (the
+    // critical-path analyzer's Tables 7-10 computation); absent when no
+    // spans were recorded.
+    if (obs::span_count() > 0)
+      doc["bottleneck"] = obs::analyze_spans(obs::snapshot()).to_json();
     for (auto& [k, v] : extra_) doc[k] = std::move(v);
     obs::Json rows = obs::Json::array();
     for (auto& r : rows_) rows.push_back(std::move(r));
@@ -118,6 +133,10 @@ class JsonReport {
         gauges != nullptr ? gauges->find("overload.max_level") : nullptr;
     out["overload.max_level"] =
         max_level != nullptr ? *max_level : obs::Json(0.0);
+    // Trace exporter health: spans currently held and spans lost to
+    // ring-buffer wrap (nonzero dropped_count invalidates chain stitching).
+    out["trace.spans"] = obs::span_count();
+    out["trace.dropped_count"] = obs::dropped_count();
     return out;
   }
 

@@ -1,0 +1,311 @@
+#!/usr/bin/env python3
+"""Compare fresh ppstap-bench-v1 JSON documents against committed baselines.
+
+Design: the fine-grained acceptance gates (trace overhead <= 2%, chain
+closure >= 95%, ABFT detection >= 99%, bottleneck verdicts, ...) live
+INSIDE the bench binaries, which fold failures into their exit_code field.
+This script therefore checks three things a baseline diff can check
+reliably across differently-loaded hosts:
+
+  1. the fresh run passed its own gates (exit_code == 0),
+  2. the document structure still matches the baseline (same row
+     identities, no silently dropped metrics),
+  3. no metric drifted beyond a noise tolerance in its bad direction —
+     throughput-like metrics may not drop, latency-like metrics may not
+     grow; string verdicts (e.g. bottleneck.gating_task_name) must match
+     exactly.
+
+Exit status: 0 when every pair is clean, 1 on any regression, 2 on usage
+or file errors.
+
+Usage:
+  bench_compare.py [--tolerance T] BASELINE FRESH [BASELINE FRESH ...]
+  bench_compare.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+# Relative headroom for host-measured numbers. Deterministic simulator
+# metrics move 0%; host throughput on a saturated CI box can legitimately
+# move tens of percent, so the default only catches gross regressions —
+# the precise gates are the benches' own.
+DEFAULT_TOLERANCE = 0.50
+
+# Metric-name fragments that say which direction is a regression.
+HIGHER_IS_BETTER = (
+    "throughput",
+    "detection_rate",
+    "coverage",
+    "accounted",
+    "bit_exact",
+    "pass",
+    "speedup",
+)
+LOWER_IS_BETTER = (
+    "latency",
+    "overhead",
+    "period",
+    "dropped",
+    "recv_s",
+    "comp_s",
+    "send_s",
+    "total_s",
+)
+
+# Stochastic per-run event counters (how many CPIs were shed, how many
+# repairs fired, ...). Their run-to-run swing is huge on small counts and
+# their semantics are already gated inside the bench binaries (detection
+# rate, ladder-beats-shed, ...), so a baseline diff only checks they are
+# still present, not their magnitude.
+EVENT_COUNTERS = (
+    "shed",
+    "level_changes",
+    "repairs",
+    "escalations",
+    "recover",
+    "retrans",
+    "failover",
+)
+
+# Minimum absolute slack by metric fragment. Overhead fractions hover
+# around zero (and go negative under measurement noise), where a relative
+# tolerance is meaningless — allow +/- 5 percentage points instead.
+ABS_SLACK = (("overhead", 0.05),)
+
+# Keys that identify a row rather than measure it.
+IDENTITY_KEYS = ("kind", "case", "task", "name", "bench")
+
+
+def direction(key):
+    k = key.lower()
+    for frag in HIGHER_IS_BETTER:
+        if frag in k:
+            return +1
+    for frag in LOWER_IS_BETTER:
+        if frag in k:
+            return -1
+    return 0  # two-sided
+
+
+def row_identity(row, index):
+    parts = [str(index)]
+    for k in IDENTITY_KEYS:
+        if k in row:
+            parts.append("%s=%s" % (k, row[k]))
+    return "/".join(parts)
+
+
+def compare_value(path, base, fresh, tol, problems):
+    if isinstance(base, str) or isinstance(fresh, str):
+        if base != fresh:
+            problems.append("%s: verdict changed %r -> %r" % (path, base, fresh))
+        return
+    if not isinstance(base, (int, float)) or not isinstance(fresh, (int, float)):
+        return
+    if base.__class__ is bool or fresh.__class__ is bool:
+        if bool(base) != bool(fresh):
+            problems.append("%s: flag changed %s -> %s" % (path, base, fresh))
+        return
+    # paper_* columns are constants transcribed from the publication.
+    if "paper_" in path:
+        if base != fresh:
+            problems.append("%s: paper constant changed %r -> %r" % (path, base, fresh))
+        return
+    key = path.rsplit(".", 1)[-1].lower()
+    if any(frag in key for frag in EVENT_COUNTERS):
+        return
+    slack = tol * max(abs(base), 1e-12)
+    for frag, floor in ABS_SLACK:
+        if frag in key:
+            slack = max(slack, floor)
+    d = direction(key)
+    if d >= 0 and fresh < base - slack:
+        problems.append(
+            "%s: regressed %.6g -> %.6g (floor %.6g)" % (path, base, fresh, base - slack)
+        )
+    if d <= 0 and fresh > base + slack:
+        problems.append(
+            "%s: regressed %.6g -> %.6g (ceiling %.6g)" % (path, base, fresh, base + slack)
+        )
+
+
+def compare_rows(base_rows, fresh_rows, tol, problems):
+    base_ids = [row_identity(r, i) for i, r in enumerate(base_rows)]
+    fresh_ids = [row_identity(r, i) for i, r in enumerate(fresh_rows)]
+    if base_ids != fresh_ids:
+        problems.append(
+            "row structure changed: baseline has %d rows %s, fresh has %d rows %s"
+            % (len(base_rows), base_ids, len(fresh_rows), fresh_ids)
+        )
+        return
+    for i, (b, f) in enumerate(zip(base_rows, fresh_rows)):
+        for key, bval in b.items():
+            if key in IDENTITY_KEYS:
+                continue
+            if key not in f:
+                problems.append("rows[%d].%s: metric disappeared" % (i, key))
+                continue
+            compare_value("rows[%d].%s" % (i, key), bval, f[key], tol, problems)
+
+
+def compare_docs(base, fresh, tol):
+    problems = []
+    if fresh.get("exit_code", 0) != 0:
+        problems.append("fresh run failed its own gates (exit_code=%s)" % fresh.get("exit_code"))
+    if base.get("bench") != fresh.get("bench"):
+        problems.append(
+            "bench mismatch: %r vs %r (wrong baseline file?)" % (base.get("bench"), fresh.get("bench"))
+        )
+    compare_rows(base.get("rows", []), fresh.get("rows", []), tol, problems)
+    bb, fb = base.get("bottleneck"), fresh.get("bottleneck")
+    if isinstance(bb, dict):
+        if not isinstance(fb, dict):
+            problems.append("bottleneck block disappeared from fresh run")
+        else:
+            for key in ("valid", "gating_task_name"):
+                if key in bb:
+                    compare_value("bottleneck.%s" % key, bb[key], fb.get(key), tol, problems)
+            if "accounted_fraction" in bb:
+                compare_value(
+                    "bottleneck.accounted_fraction",
+                    bb["accounted_fraction"],
+                    fb.get("accounted_fraction", 0.0),
+                    tol,
+                    problems,
+                )
+    rob = fresh.get("robustness", {})
+    if isinstance(rob, dict) and rob.get("trace.dropped_count", 0) > 0:
+        problems.append(
+            "fresh run dropped %s trace spans (raise PPSTAP_TRACE_CAPACITY)"
+            % rob["trace.dropped_count"]
+        )
+    return problems
+
+
+def compare_files(baseline_path, fresh_path, tol):
+    try:
+        with open(baseline_path) as f:
+            base = json.load(f)
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+    except (OSError, ValueError) as e:
+        print("error: %s" % e, file=sys.stderr)
+        return None
+    return compare_docs(base, fresh, tol)
+
+
+def self_test():
+    """Exercise the comparator on synthetic documents; exit 0 iff it both
+    accepts a clean run and rejects injected regressions."""
+    base = {
+        "schema": "ppstap-bench-v1",
+        "bench": "synthetic",
+        "exit_code": 0,
+        "robustness": {"trace.dropped_count": 0},
+        "bottleneck": {"valid": True, "gating_task_name": "Doppler filter processing"},
+        "rows": [
+            {
+                "kind": "summary",
+                "throughput_cpi_per_s": 10.0,
+                "latency_s": 1.0,
+                "overhead_fraction": -0.01,
+                "shed_cpis": 20,
+            },
+        ],
+    }
+    ok = True
+
+    def check(name, fresh, want_problems):
+        nonlocal ok
+        problems = compare_docs(base, fresh, tol=0.2)
+        if bool(problems) != want_problems:
+            print(
+                "self-test FAILED: %s -> %s" % (name, problems or "no problems detected"),
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print("self-test: %s ok" % name)
+
+    clean = json.loads(json.dumps(base))
+    check("identical run passes", clean, want_problems=False)
+
+    within = json.loads(json.dumps(base))
+    within["rows"][0]["throughput_cpi_per_s"] = 9.0  # -10%, inside 20% tol
+    within["rows"][0]["latency_s"] = 1.1
+    check("in-tolerance noise passes", within, want_problems=False)
+
+    slow = json.loads(json.dumps(base))
+    slow["rows"][0]["throughput_cpi_per_s"] = 6.0  # -40% throughput
+    check("throughput regression rejected", slow, want_problems=True)
+
+    lat = json.loads(json.dumps(base))
+    lat["rows"][0]["latency_s"] = 2.0  # +100% latency
+    check("latency regression rejected", lat, want_problems=True)
+
+    failed = json.loads(json.dumps(base))
+    failed["exit_code"] = 1
+    check("failed gate rejected", failed, want_problems=True)
+
+    verdict = json.loads(json.dumps(base))
+    verdict["bottleneck"]["gating_task_name"] = "hard weight computation"
+    check("bottleneck verdict flip rejected", verdict, want_problems=True)
+
+    dropped = json.loads(json.dumps(base))
+    dropped["robustness"]["trace.dropped_count"] = 5
+    check("dropped spans rejected", dropped, want_problems=True)
+
+    missing = json.loads(json.dumps(base))
+    del missing["rows"][0]["latency_s"]
+    check("disappeared metric rejected", missing, want_problems=True)
+
+    counter = json.loads(json.dumps(base))
+    counter["rows"][0]["shed_cpis"] = 3  # -85%: event counters are informational
+    check("event-counter swing tolerated", counter, want_problems=False)
+
+    sign = json.loads(json.dumps(base))
+    sign["rows"][0]["overhead_fraction"] = 0.015  # noise around zero
+    check("near-zero overhead sign flip tolerated", sign, want_problems=False)
+
+    heavy = json.loads(json.dumps(base))
+    heavy["rows"][0]["overhead_fraction"] = 0.2  # beyond the absolute slack
+    check("real overhead regression rejected", heavy, want_problems=True)
+
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", help="BASELINE FRESH pairs")
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.paths or len(args.paths) % 2 != 0:
+        ap.print_usage(sys.stderr)
+        print("error: need BASELINE FRESH path pairs", file=sys.stderr)
+        return 2
+
+    rc = 0
+    for i in range(0, len(args.paths), 2):
+        baseline, fresh = args.paths[i], args.paths[i + 1]
+        problems = compare_files(baseline, fresh, args.tolerance)
+        if problems is None:
+            rc = max(rc, 2)
+            continue
+        if problems:
+            rc = max(rc, 1)
+            print("REGRESSION: %s vs %s" % (fresh, baseline))
+            for p in problems:
+                print("  - %s" % p)
+        else:
+            print("ok: %s matches %s (tolerance %g)" % (fresh, baseline, args.tolerance))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

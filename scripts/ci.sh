@@ -3,7 +3,11 @@
 #
 #   1. Configure, build, and run the full test suite (ROADMAP tier-1).
 #   2. Seed the machine-readable benchmark baseline: table 8 with --json
-#      writes BENCH_table8.json (tracked across PRs, never committed).
+#      writes BENCH_table8.json, with the causal flow tracer armed
+#      (PPSTAP_TRACE=1) so the run also exports trace_table8.json for the
+#      analyzer stage below. The bench itself asserts the Table-9/10
+#      bottleneck verdicts, the <= 2% piggyback-overhead budget, and the
+#      >= 95% stitched-chain latency coverage.
 #   3. Build-both-ways check: the tree must also compile and pass the
 #      obs-labelled tests with -DPPSTAP_ENABLE_TRACING=OFF, proving the
 #      no-op stub API stays in sync with the real one.
@@ -26,6 +30,12 @@
 #      hide — and ext_abft writes BENCH_abft.json; its exit code asserts
 #      >= 99% flip detection, bit-exact repair, and <= 10% throughput
 #      overhead with the checks on.
+#   8. Analyzer + regression gate: ppstap-analyze must reach a valid
+#      bottleneck verdict on the traced table-8 export, name the same
+#      gating group Table 9 does (Doppler), and see zero dropped spans;
+#      bench_compare.py first proves it can reject injected regressions
+#      (--self-test), then diffs the fresh BENCH_*.json documents against
+#      the committed bench/baselines/ with noise tolerances.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -37,8 +47,9 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== bench baseline: BENCH_table8.json ==="
-./build/bench/table8_throughput_latency --json BENCH_table8.json
+echo "=== bench baseline: BENCH_table8.json (traced) ==="
+PPSTAP_TRACE=1 PPSTAP_TRACE_FILE=trace_table8.json \
+  ./build/bench/table8_throughput_latency --json BENCH_table8.json
 
 echo "=== build-both-ways: PPSTAP_ENABLE_TRACING=OFF ==="
 cmake -B build-notrace -S . -DCMAKE_BUILD_TYPE=Release \
@@ -74,5 +85,14 @@ echo "=== ABFT: integrity suite under ASan + BENCH_abft.json ==="
 cmake --build build-asan -j "$JOBS" --target test_integrity
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L abft
 ./build/bench/ext_abft --json BENCH_abft.json
+
+echo "=== analyzer verdict + perf regression gate ==="
+./build/tools/ppstap-analyze trace_table8.json \
+  --assert-verdict --assert-no-drops \
+  --expect-gating "Doppler filter processing"
+python3 scripts/bench_compare.py --self-test
+python3 scripts/bench_compare.py bench/baselines/BENCH_table8.json BENCH_table8.json
+python3 scripts/bench_compare.py bench/baselines/BENCH_overload.json BENCH_overload.json
+python3 scripts/bench_compare.py bench/baselines/BENCH_abft.json BENCH_abft.json
 
 echo "ci.sh: all checks passed"

@@ -11,6 +11,7 @@
 #include "comm/fault.hpp"
 #include "common/checksum.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace ppstap::comm {
 
@@ -52,6 +53,9 @@ struct World::Frame {
   /// Uncorrupted original, kept only when a corrupt rule fired, so the
   /// receiver's retransmission path has something to refetch.
   std::vector<std::byte> pristine;
+  /// Piggybacked causal trace context (never part of the payload bytes).
+  FlowContext flow;
+  bool has_flow = false;
 };
 
 struct World::Mailbox {
@@ -122,6 +126,9 @@ double World::death_time(int rank) const {
 }
 
 void World::abort_world() {
+  // Flight recorder: capture the span ring before the abort propagates and
+  // every blocked rank starts throwing (no-op unless armed).
+  obs::flight_dump("world_abort");
   {
     std::lock_guard<std::mutex> lock(shared_->mu);
     shared_->aborted.store(true, std::memory_order_release);
@@ -267,12 +274,13 @@ void World::run(const std::function<void(Comm&)>& fn) {
 
 int Comm::size() const { return world_->size(); }
 
-void Comm::send_bytes(int dest, int tag, std::span<const std::byte> bytes) {
-  world_->do_send(*this, dest, tag, bytes, /*marker=*/false);
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> bytes,
+                      const FlowContext* flow) {
+  world_->do_send(*this, dest, tag, bytes, /*marker=*/false, flow);
 }
 
 void Comm::send_marker(int dest, int tag) {
-  world_->do_send(*this, dest, tag, {}, /*marker=*/true);
+  world_->do_send(*this, dest, tag, {}, /*marker=*/true, /*flow=*/nullptr);
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
@@ -297,10 +305,14 @@ void Comm::take_over(int dead_rank) { world_->do_take_over(*this, dead_rank); }
 void Comm::barrier() { world_->do_barrier(); }
 
 void World::do_send(Comm& c, int dest, int tag,
-                    std::span<const std::byte> bytes, bool marker) {
+                    std::span<const std::byte> bytes, bool marker,
+                    const FlowContext* flow) {
   PPSTAP_REQUIRE(dest >= 0 && dest < num_ranks_, "invalid destination rank");
   if (plan_ && plan_->kill_due(FaultPoint::kSend, c.rank(), dest, tag))
     throw RankKilled(c.rank());
+  // Stamped before the mailbox lock so flow-control blocking is charged to
+  // the frame's transport interval, like a congested interconnect.
+  const double flow_sent = flow ? WallTimer::now() : 0.0;
   const auto di = static_cast<size_t>(dest);
   Mailbox& box = *boxes_[di];
 
@@ -326,6 +338,11 @@ void World::do_send(Comm& c, int dest, int tag,
   f.tag = tag;
   f.marker = marker;
   f.seq = box.next_seq[static_cast<size_t>(c.rank())]++;
+  if (flow != nullptr) {
+    f.flow = *flow;
+    f.flow.sent_at = flow_sent;
+    f.has_flow = true;
+  }
   c.stats_.bytes_sent += bytes.size();
   c.stats_.messages_sent += 1;
 
@@ -382,6 +399,30 @@ std::optional<std::vector<std::byte>> World::finalize_frame(
   }
   c.stats_.bytes_received += f.bytes.size();
   c.stats_.messages_received += 1;
+  if (f.has_flow && obs::tracing_enabled()) {
+    // One "xfer" flow span per delivered frame: [send start, consumption].
+    // deliver_at (push time + injected delay) splits it into transport and
+    // mailbox-queue residency.
+    const double now = WallTimer::now();
+    const double arrival = std::min(
+        now,
+        std::chrono::duration<double>(f.deliver_at.time_since_epoch()).count());
+    obs::Span sp;
+    sp.name = "xfer";
+    sp.category = "flow";
+    sp.rank = c.rank();
+    sp.task = obs::kFlowTrack;
+    sp.cpi = f.flow.cpi;
+    sp.t_start = f.flow.sent_at;
+    sp.t_end = now;
+    sp.bytes = static_cast<std::int64_t>(f.bytes.size());
+    sp.src_rank = f.src;
+    sp.src_task = f.flow.task;
+    sp.edge = f.flow.edge;
+    sp.hop = f.flow.hop;
+    sp.queue_s = std::max(0.0, now - std::max(arrival, f.flow.sent_at));
+    obs::emit(sp);
+  }
   return std::move(f.bytes);
 }
 

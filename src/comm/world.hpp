@@ -83,6 +83,20 @@ struct CommStats {
   double send_wait_seconds = 0.0;
 };
 
+/// Small causal trace context a sender can piggyback on a frame (the
+/// observability analogue of PR 5's payload digests): enough for obs to
+/// stitch per-rank spans into one end-to-end chain per CPI. Carried in the
+/// frame struct itself — never serialized into the payload — so receivers
+/// see exactly the bytes that were sent and the disabled path costs one
+/// null-pointer test per send.
+struct FlowContext {
+  std::int64_t cpi = -1;    ///< CPI the consumer will process
+  std::int16_t task = -1;   ///< producing task (stap::Task index)
+  std::int16_t edge = -1;   ///< redistribution edge id (core SimEdge)
+  std::int32_t hop = 0;     ///< hop sequence along the pipeline (1-based)
+  double sent_at = 0.0;     ///< WallTimer::now() when the send started
+};
+
 /// Outcome of a deadline receive (Comm::recv_bytes_for).
 enum class RecvStatus {
   kOk,        ///< payload (or marker) delivered
@@ -123,8 +137,12 @@ class Comm {
   int size() const;
 
   /// Eager buffered send: copies `bytes` into the destination mailbox.
-  /// Blocks only when the destination mailbox is over capacity.
-  void send_bytes(int dest, int tag, std::span<const std::byte> bytes);
+  /// Blocks only when the destination mailbox is over capacity. When
+  /// `flow` is non-null its trace context rides on the frame (sent_at is
+  /// stamped here) and the receiver emits an obs "xfer" flow span on
+  /// delivery.
+  void send_bytes(int dest, int tag, std::span<const std::byte> bytes,
+                  const FlowContext* flow = nullptr);
 
   /// Blocking receive of the next message matching (src, tag).
   std::vector<std::byte> recv_bytes(int src, int tag);
@@ -144,6 +162,17 @@ class Comm {
   /// RecvResult::marker == true). The pipeline uses it as the "CPI shed"
   /// token propagated downstream in place of data.
   void send_marker(int dest, int tag);
+
+  /// Typed span send for trivially copyable T carrying a trace context.
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data,
+            const FlowContext* flow) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag,
+               {reinterpret_cast<const std::byte*>(data.data()),
+                data.size() * sizeof(T)},
+               flow);
+  }
 
   /// Drop every currently buffered frame matching (src, tag) — late
   /// arrivals for a CPI the receiver already shed. Returns the number of
@@ -306,7 +335,7 @@ class World {
   std::unique_ptr<Shared> shared_;
 
   void do_send(Comm& c, int dest, int tag, std::span<const std::byte> bytes,
-               bool marker);
+               bool marker, const FlowContext* flow);
   RecvResult do_recv(Comm& c, int src, int tag, const double* timeout);
   std::optional<std::vector<std::byte>> do_try_recv(Comm& c, int src,
                                                     int tag);

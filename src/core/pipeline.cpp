@@ -291,15 +291,33 @@ void append_digest(std::vector<T>& buf) {
   std::memcpy(static_cast<void*>(buf.data() + n), &d, sizeof d);
 }
 
+// Trace context for a redistribution frame on edge `e` toward the consumer
+// of `cpi` (weight edges pass the consumer's CPI, so the flow lands on the
+// chain that actually uses the weights). Built only when tracing is on.
+comm::FlowContext flow_for(index_t cpi, Edge e) {
+  comm::FlowContext fc;
+  fc.cpi = static_cast<std::int64_t>(cpi);
+  fc.task = static_cast<std::int16_t>(sim_edge_src(static_cast<SimEdge>(e)));
+  fc.edge = static_cast<std::int16_t>(e);
+  fc.hop = e <= kDopToHardBf ? 1 : (e == kPcToCfar ? 3 : 2);
+  return fc;
+}
+
 void send_cf(Comm& c, Shared& s, int dest, index_t cpi, Edge e,
              std::vector<cfloat>& buf, bool measured, PhaseAcc& acc) {
   const std::uint64_t n = buf.size() * sizeof(cfloat);
+  comm::FlowContext fc;
+  const comm::FlowContext* flow = nullptr;
+  if (obs::tracing_enabled()) {
+    fc = flow_for(cpi, e);
+    flow = &fc;
+  }
   if (s.integ.enabled) {
     append_digest(buf);
-    c.send<cfloat>(dest, tag_for(cpi, e), buf);
+    c.send<cfloat>(dest, tag_for(cpi, e), buf, flow);
     buf.resize(buf.size() - digest_elems<cfloat>());
   } else {
-    c.send<cfloat>(dest, tag_for(cpi, e), buf);
+    c.send<cfloat>(dest, tag_for(cpi, e), buf, flow);
   }
   if (measured) {
     acc.bytes += n;
@@ -451,6 +469,7 @@ bool run_checked(Comm& c, Shared& s, Task t, index_t cpi, ComputeFn&& compute,
     obs::emit({ok ? "abft_repair" : "abft_escalate", "integrity", c.rank(),
                obs::kIntegrityTrack, static_cast<std::int64_t>(cpi), t_fail,
                WallTimer::now(), -1, -1});
+  if (!ok) obs::flight_dump("integrity_escalation");
   return ok;
 }
 
@@ -1263,7 +1282,14 @@ void run_pc(Comm& c, Shared& s, int me) {
       }
       const std::uint64_t n = buf.size() * sizeof(float);
       if (s.integ.enabled) append_digest(buf);
-      c.send<float>(s.base(Task::kCfar) + r, tag_for(cpi, kPcToCfar), buf);
+      comm::FlowContext fc;
+      const comm::FlowContext* flow = nullptr;
+      if (obs::tracing_enabled()) {
+        fc = flow_for(cpi, kPcToCfar);
+        flow = &fc;
+      }
+      c.send<float>(s.base(Task::kCfar) + r, tag_for(cpi, kPcToCfar), buf,
+                    flow);
       if (meas) {
         acc.bytes += n;
         s.edge_bytes[static_cast<size_t>(kPcToCfar)].fetch_add(
@@ -1458,6 +1484,7 @@ void run_spare(comm::World& world, Comm& c, Shared& s) {
       if (obs::tracing_enabled())
         obs::emit({"failover", "fault", c.rank(), obs::kFaultTrack,
                    static_cast<std::int64_t>(cpi), t_death, t_up, -1, -1});
+      obs::flight_dump("failover");
     };
     if (task == Task::kEasyWeight)
       run_easy_wt(c, s, local, &resume);
@@ -1647,6 +1674,7 @@ PipelineResult ParallelStapPipeline::run(
     // not a report latency and is excluded from the averages.
     if (s.shed[i]) continue;
     const double lat = s.completion[i] - s.input_ready[i];
+    result.per_cpi_index.push_back(cpi);
     result.per_cpi_latency.push_back(lat);
     latency_hist.observe(lat);
     latency_sum += lat;

@@ -61,6 +61,10 @@ struct PipelineResult {
   /// Mean input-arrival to detection-report time over the measured CPIs.
   double latency = 0.0;
   std::vector<double> per_cpi_latency;
+  /// CPI index of each per_cpi_latency entry (measured, non-shed CPIs in
+  /// order) — lets trace consumers join stitched per-CPI chains against
+  /// the measured latencies.
+  std::vector<index_t> per_cpi_index;
 
   /// Per-CPI latency percentiles extracted from `latency_histogram` —
   /// within one bucket of the exact order statistics of per_cpi_latency.

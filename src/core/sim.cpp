@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
+#include "stap/flops.hpp"
+
 namespace ppstap::core {
 
 using stap::Task;
@@ -225,6 +228,16 @@ SimResult PipelineSimulator::simulate_replicated(const NodeAssignment& assign,
 
   const Constants c = build_constants(*this, p_, m_, assign);
 
+  // When tracing is on, the simulator emits the same span vocabulary as
+  // the live pipeline — phase triples per (task, CPI) with rank = task
+  // index, plus one "xfer" flow span per edge message — so the
+  // critical-path analyzer works identically on simulated (Table 8/9/10)
+  // and live traces. Only measured CPIs are emitted.
+  const bool tracing = obs::tracing_enabled();
+  if (tracing)
+    for (int ti = 0; ti < stap::kNumTasks; ++ti)
+      obs::set_track_name(ti, stap::task_name(static_cast<Task>(ti)));
+
   const auto n = static_cast<size_t>(num_cpis);
   std::array<std::vector<double>, stap::kNumTasks> loop_start, send_end;
   for (auto& v : loop_start) v.assign(n, 0.0);
@@ -300,9 +313,31 @@ SimResult PipelineSimulator::simulate_replicated(const NodeAssignment& assign,
                 : static_cast<std::ptrdiff_t>(t);
         double arrival = 0.0;
         if (m >= 0) {
-          arrival = std::max(send_end[ssz][static_cast<size_t>(m)],
-                             gate(ei, m, loop_start)) +
-                    c.wire[static_cast<size_t>(ei)];
+          const double avail = send_end[ssz][static_cast<size_t>(m)];
+          const double depart = std::max(avail, gate(ei, m, loop_start));
+          arrival = depart + c.wire[static_cast<size_t>(ei)];
+          if (tracing && measured(t)) {
+            // Rendezvous wait (frame ready but the consuming loop not yet
+            // reached) is the sim's analogue of mailbox queue residency.
+            obs::Span sp;
+            sp.name = "xfer";
+            sp.category = "flow";
+            sp.rank = ti;
+            sp.task = obs::kFlowTrack;
+            sp.cpi = static_cast<std::int64_t>(t);
+            sp.t_start = avail;
+            sp.t_end = arrival;
+            sp.bytes = static_cast<std::int64_t>(
+                edge_volume_bytes(static_cast<SimEdge>(ei)));
+            sp.src_rank = static_cast<std::int32_t>(inf.src);
+            sp.src_task = static_cast<std::int32_t>(inf.src);
+            sp.edge = ei;
+            sp.hop = inf.src == Task::kDopplerFilter
+                         ? 1
+                         : (inf.src == Task::kPulseCompression ? 3 : 2);
+            sp.queue_s = std::max(0.0, depart - avail);
+            obs::emit(sp);
+          }
         }
         ready = std::max(ready, arrival);
         if (measured(t)) {
@@ -341,6 +376,24 @@ SimResult PipelineSimulator::simulate_replicated(const NodeAssignment& assign,
         timing[tsz].recv += (recv_end - loop_start[tsz][t]) / measured_count;
         timing[tsz].comp += c.comp[tsz] / measured_count;
         timing[tsz].send += (send_end[tsz][t] - comp_end) / measured_count;
+      }
+      if (tracing && measured(t)) {
+        const auto cpi64 = static_cast<std::int64_t>(t);
+        const double pure_send_end =
+            comp_end + c.pack_total[tsz] + c.post_total[tsz];
+        obs::emit({"recv", "pipeline", ti, ti, cpi64, loop_start[tsz][t],
+                   recv_end, -1, -1});
+        obs::emit({"comp", "pipeline", ti, ti, cpi64, recv_end, comp_end, -1,
+                   -1});
+        // The visible send splits into real pack/post work and the line-14
+        // delivery stall; the analyzer's intrinsic time must exclude the
+        // stall (it is absorbed slack, not service — the Table 3/4/6 send
+        // spikes), so they are separate spans.
+        obs::emit({"send", "pipeline", ti, ti, cpi64, comp_end, pure_send_end,
+                   -1, -1});
+        if (send_end[tsz][t] > pure_send_end)
+          obs::emit({"stall", "pipeline", ti, ti, cpi64, pure_send_end,
+                     send_end[tsz][t], -1, -1});
       }
       if (task == Task::kCfar) {
         completion[t] = comp_end;  // sink: no send phase

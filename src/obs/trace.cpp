@@ -76,22 +76,39 @@ void configure_from_env() {
   // Error would terminate the process — report a bad value and keep
   // tracing off instead.
   bool enabled = false;
+  bool flight = false;
+  std::optional<long long> capacity;
   try {
     enabled = parse_env_flag("PPSTAP_TRACE").value_or(false);
+    flight = parse_env_flag("PPSTAP_FLIGHT_RECORDER").value_or(false);
+    capacity = parse_env_int("PPSTAP_TRACE_CAPACITY");
+    if (capacity && *capacity <= 0)
+      throw Error("PPSTAP_TRACE_CAPACITY must be positive");
   } catch (const ppstap::Error& e) {
     std::fprintf(stderr, "ppstap: %s (tracing stays disabled)\n", e.what());
     return;
   }
-  if (!enabled) return;
+  if (!enabled && !flight) return;
   Config c;
   c.enabled = true;
+  c.flight_armed = flight;
+  // Flight-recorder-only mode keeps a deliberately small always-on ring:
+  // enough recent history to explain a fault, cheap enough to leave armed.
+  if (flight && !enabled) c.capacity_per_thread = 4096;
+  if (capacity) c.capacity_per_thread = static_cast<std::size_t>(*capacity);
   if (const char* path = std::getenv("PPSTAP_TRACE_FILE"))
     if (path[0] != '\0') c.path = path;
+  if (const char* path = std::getenv("PPSTAP_FLIGHT_FILE"))
+    if (path[0] != '\0') c.flight_path = path;
   configure(c);
-  static bool registered = false;
-  if (!registered) {
-    registered = true;
-    std::atexit(atexit_export);
+  // The atexit full-trace export belongs to PPSTAP_TRACE; flight-recorder
+  // mode only writes on explicit fault dumps.
+  if (enabled) {
+    static bool registered = false;
+    if (!registered) {
+      registered = true;
+      std::atexit(atexit_export);
+    }
   }
 }
 
@@ -180,6 +197,7 @@ Json chrome_trace_json() {
   }
   names.emplace(kCommTrack, "comm");
   names.emplace(kSeqTrack, "sequential");
+  names.emplace(kFlowTrack, "flow");
 
   double t0 = 0.0;
   for (const Span& s : spans)
@@ -214,6 +232,11 @@ Json chrome_trace_json() {
     if (s.cpi >= 0) args["cpi"] = static_cast<double>(s.cpi);
     if (s.bytes >= 0) args["bytes"] = static_cast<double>(s.bytes);
     if (s.items >= 0) args["items"] = static_cast<double>(s.items);
+    if (s.src_rank >= 0) args["src_rank"] = s.src_rank;
+    if (s.src_task >= 0) args["src_task"] = s.src_task;
+    if (s.edge >= 0) args["edge"] = s.edge;
+    if (s.hop >= 0) args["hop"] = s.hop;
+    if (s.queue_s > 0.0) args["queue_us"] = s.queue_s * 1e6;
     e["args"] = std::move(args);
     events.push_back(std::move(e));
   }
@@ -234,6 +257,26 @@ bool write_chrome_trace(const std::string& path) {
   if (!os) return false;
   os << chrome_trace_json().dump(1) << "\n";
   return os.good();
+}
+
+void flight_dump(const char* reason) {
+  std::string path;
+  {
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (!r.config.flight_armed) return;
+    path = r.config.flight_path;
+  }
+  Json doc = chrome_trace_json();
+  doc["otherData"]["flight_reason"] = reason;
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "ppstap: flight dump to %s failed\n", path.c_str());
+    return;
+  }
+  os << doc.dump(1) << "\n";
+  std::fprintf(stderr, "ppstap: flight recorder dumped %s (reason: %s)\n",
+               path.c_str(), reason);
 }
 
 void reset() {

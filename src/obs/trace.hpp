@@ -50,6 +50,15 @@ struct Span {
   double t_end = 0.0;
   std::int64_t bytes = -1;    ///< payload bytes, -1 when absent
   std::int64_t items = -1;    ///< participants / element count, -1 absent
+  // Causal flow fields, set on "xfer" spans (category "flow") stitched from
+  // the FlowContext piggybacked on redistribution frames; -1 when absent.
+  std::int32_t src_rank = -1;  ///< producing rank
+  std::int32_t src_task = -1;  ///< producing task (stap::Task index)
+  std::int32_t edge = -1;      ///< redistribution edge id (core SimEdge)
+  std::int32_t hop = -1;       ///< hop sequence number along the pipeline
+  /// Seconds the frame sat delivered-but-unconsumed in the receiver's
+  /// mailbox (consumer busy); t_end - t_start - queue_s is pure transport.
+  double queue_s = 0.0;
 };
 
 /// Pseudo-task ids for spans not owned by one of the seven pipeline tasks;
@@ -61,14 +70,24 @@ inline constexpr int kFaultTrack = -3;
 /// Integrity events: ABFT invariant failures, recomputes, repairs,
 /// escalations, digest mismatches.
 inline constexpr int kIntegrityTrack = -4;
+/// Causal flow spans: one "xfer" per delivered redistribution frame,
+/// carrying the FlowContext the sender piggybacked on it.
+inline constexpr int kFlowTrack = -5;
 
 struct Config {
   bool enabled = false;
   /// Destination of the atexit export when enabled via environment.
   std::string path = "ppstap_trace.json";
   /// Span slots per thread ring buffer; the oldest spans are overwritten
-  /// (and counted as dropped) when a thread exceeds this.
+  /// (and counted as dropped) when a thread exceeds this. Overridable via
+  /// PPSTAP_TRACE_CAPACITY.
   std::size_t capacity_per_thread = 1 << 14;
+  /// Flight-recorder mode: when armed, fault paths (world abort, spare
+  /// failover, integrity escalation) dump the span ring to `flight_path`
+  /// via flight_dump(). Enabled via PPSTAP_FLIGHT_RECORDER=1, which also
+  /// turns recording on with a smaller bounded ring.
+  bool flight_armed = false;
+  std::string flight_path = "ppstap_flight.json";
 };
 
 #if PPSTAP_ENABLE_TRACING
@@ -117,6 +136,12 @@ Json chrome_trace_json();
 /// Serialize chrome_trace_json() to `path`. Returns false on I/O failure.
 bool write_chrome_trace(const std::string& path);
 
+/// Flight-recorder dump: when config().flight_armed, write the current
+/// span ring to config().flight_path with `reason` recorded in otherData.
+/// No-op when not armed; safe to call from fault paths repeatedly (the
+/// file is overwritten, so it always holds the most recent pre-fault ring).
+void flight_dump(const char* reason);
+
 /// Drop all recorded spans and detach every thread's buffer (threads
 /// re-register on their next emit).
 void reset();
@@ -155,6 +180,7 @@ inline std::uint64_t dropped_count() { return 0; }
 inline std::vector<Span> snapshot() { return {}; }
 inline Json chrome_trace_json() { return Json::object(); }
 inline bool write_chrome_trace(const std::string&) { return false; }
+inline void flight_dump(const char*) {}
 inline void reset() {}
 
 class ScopedSpan {

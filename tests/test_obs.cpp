@@ -150,6 +150,60 @@ TEST(Histogram, RejectsInvalidBounds) {
   EXPECT_THROW(Histogram({2.0, 1.0}), Error);
 }
 
+TEST(Histogram, EmptyHistogramQuantilesAreZero) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.count(), 0u);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 0.0) << "q=" << q;
+}
+
+TEST(Histogram, SingleSampleCollapsesEveryQuantile) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 42.0) << "q=" << q;
+}
+
+TEST(Histogram, AllSamplesInOverflowBucketStayInObservedRange) {
+  // Every observation lands beyond the last bound: the overflow bucket has
+  // no upper edge, so interpolation must fall back to the observed max and
+  // the clamp must keep estimates inside [min, max].
+  Histogram h({1.0, 2.0});
+  for (double v : {50.0, 100.0, 200.0}) h.observe(v);
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts.back(), 3u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 200.0);
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, 50.0) << "q=" << q;
+    EXPECT_LE(v, 200.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantilesAreMonotonicOnSkewedData) {
+  // Heavy head plus a long tail — the shape that exposed non-monotonic
+  // estimators in other histogram implementations.
+  Histogram h(Histogram::exponential_bounds(1e-3, 1e3, 1.5));
+  for (int i = 1; i <= 500; ++i) h.observe(0.01 * i);
+  for (int i = 1; i <= 20; ++i) h.observe(50.0 * i);
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  double prev = h.quantile(0.0);
+  for (int i = 1; i <= 20; ++i) {
+    const double v = h.quantile(0.05 * i);
+    EXPECT_GE(v, prev) << "q=" << 0.05 * i;
+    prev = v;
+  }
+}
+
 TEST(Histogram, ConcurrentObserveLosesNothing) {
   Histogram h(Histogram::exponential_bounds(1.0, 1e6, 2.0));
   constexpr int kThreads = 4, kPerThread = 10000;

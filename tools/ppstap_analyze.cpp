@@ -1,0 +1,174 @@
+// ppstap-analyze: critical-path bottleneck report from a trace file.
+//
+// Reads a Chrome-trace JSON document written by the obs span exporter
+// (PPSTAP_TRACE=1 / PPSTAP_TRACE_FILE, or a flight-recorder dump), stitches
+// the per-CPI causal chains, and prints the Tables-7-10-style report: per
+// task-group service and intrinsic time, utilization and slack against the
+// gating group, the per-CPI latency decomposition, and the Table-9/10-style
+// rank reassignment recommendation.
+//
+// Exit status is 0 unless an --assert-* / --expect-* flag fails, making the
+// tool usable as a CI gate (see scripts/ci.sh):
+//
+//   ppstap-analyze trace.json                 # report only
+//   ppstap-analyze trace.json --json          # machine-readable report
+//   ppstap-analyze trace.json --assert-verdict --assert-no-drops
+//                             --expect-gating "Doppler filter processing"
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/json.hpp"
+
+using namespace ppstap;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <trace.json> [options]\n"
+      "  --json                  print the report as JSON instead of text\n"
+      "  --assert-verdict        fail unless the analyzer reached a valid\n"
+      "                          bottleneck verdict\n"
+      "  --assert-no-drops       fail if the trace recorder dropped spans\n"
+      "                          (otherData.dropped_spans > 0)\n"
+      "  --expect-gating NAME    fail unless the gating task group is NAME\n",
+      argv0);
+  return 2;
+}
+
+void print_report(const obs::BottleneckReport& rep) {
+  if (!rep.valid) {
+    std::printf("no bottleneck verdict: %s\n",
+                rep.note.empty() ? "(no note)" : rep.note.c_str());
+    return;
+  }
+  std::printf("critical-path report\n");
+  std::printf("%-28s %6s %8s %10s %10s %12s %9s\n", "task group", "ranks",
+              "samples", "service", "intrinsic", "utilization", "slack");
+  for (const auto& st : rep.stages)
+    std::printf("%-28s %6d %8lld %9.4fs %9.4fs %12.3f %8.4fs%s\n",
+                obs::stap_task_label(st.task).c_str(), st.ranks,
+                static_cast<long long>(st.samples), st.service(),
+                st.intrinsic(), st.utilization, st.slack,
+                st.task == rep.gating_task ? "  <- gating" : "");
+  std::printf("\ngating task group: %s\n", rep.gating_task_name.c_str());
+  std::printf("pipeline period:   %.4f s  (throughput estimate %.4f "
+              "CPI/s)\n",
+              rep.period, rep.throughput_estimate);
+  std::printf("stitched chains:   %zu  (mean end-to-end latency %.4f s, "
+              "accounted fraction %.3f)\n",
+              rep.chains.size(), rep.mean_latency, rep.accounted_fraction);
+  if (!rep.chains.empty()) {
+    double compute = 0, unpack = 0, pack = 0, transport = 0, queue = 0;
+    for (const auto& ch : rep.chains) {
+      compute += ch.compute;
+      unpack += ch.unpack;
+      pack += ch.pack;
+      transport += ch.transport;
+      queue += ch.queue;
+    }
+    const auto n = static_cast<double>(rep.chains.size());
+    std::printf("latency breakdown: compute %.4fs, unpack %.4fs, pack "
+                "%.4fs, transport %.4fs, queue %.4fs\n",
+                compute / n, unpack / n, pack / n, transport / n, queue / n);
+  }
+  if (rep.recommend_task >= 0)
+    std::printf("recommendation:    add %d rank(s) to \"%s\" -> predicted "
+                "throughput %.4f CPI/s\n",
+                rep.recommend_add_ranks,
+                obs::stap_task_label(rep.recommend_task).c_str(),
+                rep.predicted_throughput);
+  if (!rep.note.empty()) std::printf("note: %s\n", rep.note.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string expect_gating;
+  bool as_json = false;
+  bool assert_verdict = false;
+  bool assert_no_drops = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--assert-verdict") {
+      assert_verdict = true;
+    } else if (arg == "--assert-no-drops") {
+      assert_no_drops = true;
+    } else if (arg == "--expect-gating" && i + 1 < argc) {
+      expect_gating = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(ss.str());
+  } catch (const ppstap::Error& e) {
+    std::fprintf(stderr, "error: %s is not valid JSON: %s\n", path.c_str(),
+                 e.what());
+    return 2;
+  }
+
+  const obs::BottleneckReport rep = obs::analyze_trace(doc);
+
+  double dropped = 0.0;
+  if (const obs::Json* other = doc.find("otherData"))
+    if (const obs::Json* d = other->find("dropped_spans"))
+      if (d->is_number()) dropped = d->as_number();
+
+  if (as_json) {
+    obs::Json out = rep.to_json();
+    out["trace_file"] = path;
+    out["dropped_spans"] = dropped;
+    std::printf("%s\n", out.dump(2).c_str());
+  } else {
+    std::printf("trace: %s (%.0f dropped spans)\n", path.c_str(), dropped);
+    print_report(rep);
+  }
+
+  int rc = 0;
+  if (assert_verdict && !rep.valid) {
+    std::fprintf(stderr, "FAIL: no valid bottleneck verdict (%s)\n",
+                 rep.note.c_str());
+    rc = 1;
+  }
+  if (assert_no_drops && dropped > 0) {
+    std::fprintf(stderr,
+                 "FAIL: trace dropped %.0f spans; raise "
+                 "PPSTAP_TRACE_CAPACITY\n",
+                 dropped);
+    rc = 1;
+  }
+  if (!expect_gating.empty() &&
+      (!rep.valid || rep.gating_task_name != expect_gating)) {
+    std::fprintf(stderr, "FAIL: expected gating task \"%s\", got \"%s\"\n",
+                 expect_gating.c_str(),
+                 rep.valid ? rep.gating_task_name.c_str() : "(invalid)");
+    rc = 1;
+  }
+  return rc;
+}
