@@ -122,7 +122,11 @@ class JsonReport {
         "integrity.recomputes",
         "integrity.repairs",
         "integrity.escalations",
-        "integrity.digest_mismatches"};
+        "integrity.digest_mismatches",
+        "elastic.migrations_committed",
+        "elastic.migrations_rolled_back",
+        "overload.elastic_assists",
+        "pipeline.uncovered_failures"};
     obs::Json out = obs::Json::object();
     for (const char* key : kCounters) {
       const obs::Json* v =

@@ -67,15 +67,25 @@ EVENT_COUNTERS = (
     "recover",
     "retrans",
     "failover",
+    "commit",
+    "rolled",
+    "migrat",
+    "assist",
+    "uncovered",
+    "exact_cpis",
+    "kills",
 )
 
 # Minimum absolute slack by metric fragment. Overhead fractions hover
 # around zero (and go negative under measurement noise), where a relative
-# tolerance is meaningless — allow +/- 5 percentage points instead.
-ABS_SLACK = (("overhead", 0.05),)
+# tolerance is meaningless — allow +/- 5 percentage points instead. Live
+# migration gains swing several points around zero on a timeshared host,
+# and the barrier stall in periods is a handful of milliseconds divided by
+# a handful of milliseconds — both need absolute, not relative, headroom.
+ABS_SLACK = (("overhead", 0.05), ("gain", 0.15), ("stall", 1.5))
 
 # Keys that identify a row rather than measure it.
-IDENTITY_KEYS = ("kind", "case", "task", "name", "bench")
+IDENTITY_KEYS = ("kind", "case", "task", "name", "bench", "scenario", "phase")
 
 
 def direction(key):

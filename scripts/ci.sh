@@ -30,7 +30,17 @@
 #      hide — and ext_abft writes BENCH_abft.json; its exit code asserts
 #      >= 99% flip detection, bit-exact repair, and <= 10% throughput
 #      overhead with the checks on.
-#   8. Analyzer + regression gate: ppstap-analyze must reach a valid
+#   8. Elastic migration job: the elastic-labelled suite (transactional
+#      commit/rollback, chaos kills inside the migration window, overload
+#      assist) reruns under the TSan build — the 2PC vote/verdict exchange
+#      and the epoch publish cross every rank thread at the barrier, so a
+#      race there wedges or corrupts a live migration — and ext_elastic
+#      writes BENCH_elastic.json; its exit code asserts the >= 5%
+#      steady-state throughput gain (live where cores allow, else the sim
+#      prediction for the identical plan), the <= 2x-sim-transient stall,
+#      and 20+ chaos scenarios all ending commit-or-clean-rollback with
+#      bit-exact surviving CPIs.
+#   9. Analyzer + regression gate: ppstap-analyze must reach a valid
 #      bottleneck verdict on the traced table-8 export, name the same
 #      gating group Table 9 does (Doppler), and see zero dropped spans;
 #      bench_compare.py first proves it can reject injected regressions
@@ -57,15 +67,16 @@ cmake -B build-notrace -S . -DCMAKE_BUILD_TYPE=Release \
 cmake --build build-notrace -j "$JOBS"
 ctest --test-dir build-notrace -L obs --output-on-failure -j "$JOBS"
 
-echo "=== TSan: comm + core + fault tolerance ==="
+echo "=== TSan: comm + core + fault tolerance + elastic migration ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "$JOBS" \
-      --target test_comm test_collectives test_core test_fault_tolerance
+      --target test_comm test_collectives test_core test_fault_tolerance \
+               test_elastic
 TSAN_OPTIONS="halt_on_error=1" \
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R '^(test_comm|test_collectives|test_core|test_fault_tolerance)$'
+      -R '^(test_comm|test_collectives|test_core|test_fault_tolerance|test_elastic)$'
 
 echo "=== ASan+UBSan: comm + core + fault + overload ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -86,6 +97,9 @@ cmake --build build-asan -j "$JOBS" --target test_integrity
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L abft
 ./build/bench/ext_abft --json BENCH_abft.json
 
+echo "=== elastic: live migration gates + chaos (BENCH_elastic.json) ==="
+./build/bench/ext_elastic --json BENCH_elastic.json
+
 echo "=== analyzer verdict + perf regression gate ==="
 ./build/tools/ppstap-analyze trace_table8.json \
   --assert-verdict --assert-no-drops \
@@ -94,5 +108,6 @@ python3 scripts/bench_compare.py --self-test
 python3 scripts/bench_compare.py bench/baselines/BENCH_table8.json BENCH_table8.json
 python3 scripts/bench_compare.py bench/baselines/BENCH_overload.json BENCH_overload.json
 python3 scripts/bench_compare.py bench/baselines/BENCH_abft.json BENCH_abft.json
+python3 scripts/bench_compare.py bench/baselines/BENCH_elastic.json BENCH_elastic.json
 
 echo "ci.sh: all checks passed"

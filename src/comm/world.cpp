@@ -111,6 +111,17 @@ void World::set_recoverable(int rank, bool flag) {
   PPSTAP_REQUIRE(rank >= 0 && rank < num_ranks_, "invalid rank");
   shared_->recoverable[static_cast<size_t>(rank)].store(
       flag, std::memory_order_release);
+  if (flag) return;
+  // Clearing the flag on an already-dead rank (e.g. the spare was just
+  // consumed and can no longer cover it) must wake receivers parked on the
+  // full recovery deadline: their predicate re-reads `recoverable` and now
+  // resolves to a prompt dead-peer status instead of a wait nobody will
+  // ever satisfy.
+  shared_->cv.notify_all();
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
 }
 
 bool World::rank_dead(int rank) const {

@@ -74,11 +74,15 @@ struct FaultLedger {
   std::uint64_t frames_corrupted = 0;
   std::uint64_t kills = 0;
   std::vector<FailoverEvent> failovers;
+  /// Ranks that died with no spare left to cover them (one spare covers one
+  /// failure; a later weight-rank death cannot be revived). Their CPIs are
+  /// shed instead of hanging the stream, and the gap is ledgered here.
+  std::vector<int> uncovered_ranks;
 
   bool clean() const {
     return shed_cpis.empty() && retransmissions == 0 && frames_delayed == 0 &&
            frames_dropped == 0 && frames_corrupted == 0 && kills == 0 &&
-           failovers.empty();
+           failovers.empty() && uncovered_ranks.empty();
   }
 };
 

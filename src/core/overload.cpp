@@ -105,6 +105,16 @@ void OverloadController::step_ladder_locked() {
   if (slo_violated_locked()) target = std::max(target, level_ + 1);
   target = std::min(target, kNumDegradationLevels - 1);
   if (target > level_) {
+    // Elastic-assist rung (PR 7): before first degrading past reduced
+    // beams, ask the migration engine to move a rank toward the gating
+    // group. A granted assist suppresses this one escalation — capacity is
+    // being added instead of fidelity removed; if the backlog persists the
+    // ladder resumes climbing on the next admission.
+    if (level_ + 1 >= static_cast<int>(DegradationLevel::kFrozenHard) &&
+        !assist_consumed_ && elastic_assist_) {
+      assist_consumed_ = true;
+      if (elastic_assist_()) return;
+    }
     ++level_;
     ++level_changes_;
     healthy_streak_ = 0;
@@ -189,6 +199,12 @@ void OverloadController::on_complete(index_t cpi, double latency_seconds,
     }
   }
   cv_.notify_all();
+}
+
+void OverloadController::set_elastic_assist(std::function<bool()> assist) {
+  std::lock_guard<std::mutex> lk(mu_);
+  elastic_assist_ = std::move(assist);
+  assist_consumed_ = false;
 }
 
 OverloadLedger OverloadController::ledger() const {

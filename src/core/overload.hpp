@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -168,6 +169,15 @@ class OverloadController {
 
   const OverloadConfig& config() const { return cfg_; }
 
+  /// Elastic-assist rung: install a hook consulted once, right before the
+  /// ladder would first escalate past the reduced-beams rung. A hook that
+  /// returns true (a rank migration toward the gating group is under way)
+  /// suppresses that one escalation — capacity is being added instead of
+  /// fidelity removed. If the backlog persists the ladder resumes climbing
+  /// on the next admission. The hook must be nonblocking and must not call
+  /// back into this controller (it runs under the admission lock).
+  void set_elastic_assist(std::function<bool()> assist);
+
   /// Snapshot of the run's accounting (call after the stream drains).
   OverloadLedger ledger() const;
 
@@ -184,6 +194,9 @@ class OverloadController {
   // level_for() reads concurrently. -1 = undecided.
   std::vector<std::int8_t> memo_;
   std::vector<std::uint8_t> was_admitted_;
+
+  std::function<bool()> elastic_assist_;  // PR 7 migration hook
+  bool assist_consumed_ = false;
 
   double start_time_ = -1.0;  // arrival-schedule origin (first admission)
   index_t admitted_ = 0;

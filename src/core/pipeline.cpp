@@ -18,6 +18,7 @@
 #include "common/checksum.hpp"
 #include "common/timer.hpp"
 #include "core/cpi_source.hpp"
+#include "core/elastic.hpp"
 #include "core/overload.hpp"
 #include "core/sim.hpp"
 #include "cube/partition.hpp"
@@ -85,13 +86,12 @@ struct Shared {
   CpiSource& source;
   index_t n_cpis, warmup, cooldown;
 
-  BlockPartition part_k;     // Doppler filtering: range cells
-  BlockPartition part_ewt;   // easy weights: easy-bin positions
-  BlockPartition part_hwu;   // hard weights: (bin, segment) unit positions
-  BlockPartition part_ebf;   // easy BF: easy-bin positions
-  BlockPartition part_hbf;   // hard BF: hard-bin positions
-  BlockPartition part_pc;    // pulse compression: global bins
-  BlockPartition part_cfar;  // CFAR: global bins
+  /// The elastic migration engine owns the epoch sequence: every partner
+  /// set and block partition is resolved per CPI through topo(cpi), so a
+  /// committed migration changes the redistribution fan-out for CPI >= B
+  /// on every rank at once. Always installed (a run with elastic disabled
+  /// simply never leaves epoch 0).
+  ElasticEngine* eng = nullptr;
 
   std::vector<index_t> easy_bins, hard_bins, easy_cells;
   std::vector<std::vector<index_t>> hard_cells;  // per segment
@@ -151,25 +151,41 @@ struct Shared {
   }
   index_t measured_count() const { return n_cpis - warmup - cooldown; }
 
+  // Initial-layout rank lookups. Only valid for the non-migratable groups
+  // (weights, beamforming — their membership never changes) and for
+  // spare-rank bookkeeping; anything involving Doppler / pulse compression
+  // / CFAR membership must go through topo(cpi).
   int base(Task t) const { return a.first_rank(t); }
   int count(Task t) const { return a[t]; }
 
-  // Task owning global rank `r`, as a stap::Task index (-1 for the spare) —
-  // used to attribute end-to-end digest mismatches to the producer.
-  int task_of_rank(int r) const {
-    for (int t = 0; t < stap::kNumTasks; ++t) {
-      const Task cand = static_cast<Task>(t);
-      if (r >= base(cand) && r < base(cand) + count(cand)) return t;
-    }
+  /// Topology governing `cpi` (lock-free epoch lookup).
+  const Topology& topo(index_t cpi) const { return eng->topo(cpi); }
+  /// Per-CPI migration hook: records progress, joins a pending barrier,
+  /// returns the topology for `cpi`. Call at the top of every task's CPI
+  /// loop before any receive or send for that CPI.
+  const Topology& barrier(Comm& c, index_t cpi) {
+    return eng->barrier_point(c, cpi);
+  }
+
+  // Task owning global rank `r` at `cpi`, as a stap::Task index (-1 for
+  // the spare) — used to attribute end-to-end digest mismatches to the
+  // producer across migration epochs.
+  int task_of_rank(int r, index_t cpi) const {
+    const Topology& tp = topo(cpi);
+    for (size_t t = 0; t < tp.ranks.size(); ++t)
+      for (const int rr : tp.ranks[t])
+        if (rr == r) return static_cast<int>(t);
     return -1;
   }
 
-  // Range-cell positions of `cells` inside Doppler rank d's slab, as
-  // indices into `cells` (so senders and receivers agree on row order).
+  // Range-cell positions of `cells` inside Doppler rank d's slab under
+  // partition `pk`, as indices into `cells` (so senders and receivers
+  // agree on row order).
   std::vector<index_t> cell_positions_in_slab(
-      const std::vector<index_t>& cells, index_t d) const {
-    const index_t k0 = part_k.offset(d);
-    const index_t k1 = k0 + part_k.length(d);
+      const std::vector<index_t>& cells, index_t d,
+      const BlockPartition& pk) const {
+    const index_t k0 = pk.offset(d);
+    const index_t k1 = k0 + pk.length(d);
     std::vector<index_t> out;
     for (size_t i = 0; i < cells.size(); ++i)
       if (cells[i] >= k0 && cells[i] < k1)
@@ -401,8 +417,12 @@ constexpr double kNoDeadline = 1e8;
 FtRecv make_ftr(Comm& c, Shared& s) {
   FtRecv f{c, s.ft};
   // Integrity escalations emit shed markers on the regular edges, so every
-  // receiver must recognize markers whenever the layer is on.
-  f.active = s.ft.shedding || s.ctrl != nullptr || s.integ.enabled;
+  // receiver must recognize markers whenever the layer is on. Spare-rank
+  // mode also needs the deadline-aware path (with an effectively infinite
+  // budget): once the spare is consumed, a later weight-rank death is
+  // unrecoverable and a plain recv would block forever, whereas the
+  // deadline recv surfaces a prompt dead-peer status and the CPI sheds.
+  f.active = s.ft.any() || s.ctrl != nullptr || s.integ.enabled;
   f.budget = s.ft.shedding ? s.ft.cpi_deadline_seconds : kNoDeadline;
   return f;
 }
@@ -424,7 +444,7 @@ void strip_digest(FtRecv& ftr, Shared& s, int src, std::vector<T>& buf,
   buf.resize(buf.size() - digest_elems<T>());
   if (d == checksum_of(std::span<const T>(buf))) return;
   s.integ_digest_mismatches.fetch_add(1, std::memory_order_relaxed);
-  const int t = s.task_of_rank(src);
+  const int t = s.task_of_rank(src, cpi);
   if (t >= 0)
     s.integ_digest_by_task[static_cast<size_t>(t)].fetch_add(
         1, std::memory_order_relaxed);
@@ -485,16 +505,32 @@ struct Resume {
 // ---------------------------------------------------------------------------
 // Task 0: Doppler filter processing (partitioned along K)
 // ---------------------------------------------------------------------------
-void run_doppler(Comm& c, Shared& s, int me) {
+// Returns the first CPI this rank did NOT process as a Doppler rank
+// (s.n_cpis when it ran to the end): a committed migration that changes
+// this rank's role hands control back to the per-rank driver loop, which
+// re-dispatches the new task's body at the returned CPI.
+index_t run_doppler(Comm& c, Shared& s, index_t begin) {
   const auto& p = s.p;
-  const index_t k0 = s.part_k.offset(me);
-  const index_t kl = s.part_k.length(me);
   const index_t j = p.num_channels;
   const index_t jj = p.num_staggered_channels();
   stap::DopplerFilter filter(p);
   PhaseAcc acc;
 
-  for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+  index_t next = s.n_cpis;
+  for (index_t cpi = begin; cpi < s.n_cpis; ++cpi) {
+    // Migration hook: record progress, join a pending barrier, resolve
+    // this CPI's topology. On a committed migration that moved this rank,
+    // bail out to the driver loop.
+    const Topology& tp = s.barrier(c, cpi);
+    const Topology::Role role = tp.role_of(c.rank());
+    if (role.task != Task::kDopplerFilter) {
+      next = cpi;
+      break;
+    }
+    const int me = role.local;
+    if (c.rank() == s.eng->coordinator_rank()) s.eng->policy_tick(c, cpi);
+    const index_t k0 = tp.part_k.offset(me);
+    const index_t kl = tp.part_k.length(me);
     const bool meas = s.measured(cpi);
     const std::uint64_t bytes0 = acc.bytes;
 
@@ -516,17 +552,17 @@ void run_doppler(Comm& c, Shared& s, int me) {
     if (!adm.admit) {
       // Rejected at admission (kShedInput): the cube is never generated;
       // shed markers take the place of every downstream frame.
-      for (int r = 0; r < s.count(Task::kEasyWeight); ++r)
-        c.send_marker(s.base(Task::kEasyWeight) + r,
+      for (int r = 0; r < tp.count(Task::kEasyWeight); ++r)
+        c.send_marker(tp.rank_at(Task::kEasyWeight, r),
                       tag_for(cpi, kDopToEasyWt));
-      for (int r = 0; r < s.count(Task::kHardWeight); ++r)
-        c.send_marker(s.base(Task::kHardWeight) + r,
+      for (int r = 0; r < tp.count(Task::kHardWeight); ++r)
+        c.send_marker(tp.rank_at(Task::kHardWeight, r),
                       tag_for(cpi, kDopToHardWt));
-      for (int r = 0; r < s.count(Task::kEasyBeamform); ++r)
-        c.send_marker(s.base(Task::kEasyBeamform) + r,
+      for (int r = 0; r < tp.count(Task::kEasyBeamform); ++r)
+        c.send_marker(tp.rank_at(Task::kEasyBeamform, r),
                       tag_for(cpi, kDopToEasyBf));
-      for (int r = 0; r < s.count(Task::kHardBeamform); ++r)
-        c.send_marker(s.base(Task::kHardBeamform) + r,
+      for (int r = 0; r < tp.count(Task::kHardBeamform); ++r)
+        c.send_marker(tp.rank_at(Task::kHardBeamform, r),
                       tag_for(cpi, kDopToHardBf));
       const double t3 = WallTimer::now();
       emit_phase_spans(c.rank(), Task::kDopplerFilter, cpi, t0, t0, t0, t3,
@@ -566,17 +602,17 @@ void run_doppler(Comm& c, Shared& s, int me) {
       // Persistent corruption in the filter output: drop this rank's slab
       // from the CPI exactly like an admission reject — markers take the
       // place of every downstream frame and the sink ledgers one shed.
-      for (int r = 0; r < s.count(Task::kEasyWeight); ++r)
-        c.send_marker(s.base(Task::kEasyWeight) + r,
+      for (int r = 0; r < tp.count(Task::kEasyWeight); ++r)
+        c.send_marker(tp.rank_at(Task::kEasyWeight, r),
                       tag_for(cpi, kDopToEasyWt));
-      for (int r = 0; r < s.count(Task::kHardWeight); ++r)
-        c.send_marker(s.base(Task::kHardWeight) + r,
+      for (int r = 0; r < tp.count(Task::kHardWeight); ++r)
+        c.send_marker(tp.rank_at(Task::kHardWeight, r),
                       tag_for(cpi, kDopToHardWt));
-      for (int r = 0; r < s.count(Task::kEasyBeamform); ++r)
-        c.send_marker(s.base(Task::kEasyBeamform) + r,
+      for (int r = 0; r < tp.count(Task::kEasyBeamform); ++r)
+        c.send_marker(tp.rank_at(Task::kEasyBeamform, r),
                       tag_for(cpi, kDopToEasyBf));
-      for (int r = 0; r < s.count(Task::kHardBeamform); ++r)
-        c.send_marker(s.base(Task::kHardBeamform) + r,
+      for (int r = 0; r < tp.count(Task::kHardBeamform); ++r)
+        c.send_marker(tp.rank_at(Task::kHardBeamform, r),
                       tag_for(cpi, kDopToHardBf));
       const double t3e = WallTimer::now();
       emit_phase_spans(c.rank(), Task::kDopplerFilter, cpi, t0, t1, t2, t3e,
@@ -594,66 +630,66 @@ void run_doppler(Comm& c, Shared& s, int me) {
     // cells inside this slab, for each destination's owned bins. On the
     // stale-weights rung a marker replaces the rows (the computer keeps
     // serving its last weights).
-    for (int r = 0; r < s.count(Task::kEasyWeight); ++r) {
+    for (int r = 0; r < tp.count(Task::kEasyWeight); ++r) {
       if (skip_easy_training) {
-        c.send_marker(s.base(Task::kEasyWeight) + r,
+        c.send_marker(tp.rank_at(Task::kEasyWeight, r),
                       tag_for(cpi, kDopToEasyWt));
         continue;
       }
       std::vector<cfloat> buf;
-      const auto bins = slice(s.easy_bins, s.part_ewt, r);
+      const auto bins = slice(s.easy_bins, tp.part_ewt, r);
       for (index_t bin : bins)
         for (index_t cell : s.easy_cells) {
           if (cell < k0 || cell >= k0 + kl) continue;
           for (index_t ch = 0; ch < j; ++ch)
             buf.push_back(stag.at(cell - k0, ch, bin));
         }
-      send_cf(c, s, s.base(Task::kEasyWeight) + r, cpi, kDopToEasyWt, buf,
+      send_cf(c, s, tp.rank_at(Task::kEasyWeight, r), cpi, kDopToEasyWt, buf,
               meas, acc);
     }
     // Hard weight task: 2J-channel training rows per (bin, segment) unit.
     // Frozen from kFrozenHard up — the recursion reuses its last R.
-    for (int r = 0; r < s.count(Task::kHardWeight); ++r) {
+    for (int r = 0; r < tp.count(Task::kHardWeight); ++r) {
       if (skip_hard_training) {
-        c.send_marker(s.base(Task::kHardWeight) + r,
+        c.send_marker(tp.rank_at(Task::kHardWeight, r),
                       tag_for(cpi, kDopToHardWt));
         continue;
       }
       std::vector<cfloat> buf;
-      const auto units = slice(s.hard_units, s.part_hwu, r);
+      const auto units = slice(s.hard_units, tp.part_hwu, r);
       for (const auto& u : units)
         for (index_t cell : s.hard_cells[static_cast<size_t>(u.segment)]) {
           if (cell < k0 || cell >= k0 + kl) continue;
           for (index_t ch = 0; ch < jj; ++ch)
             buf.push_back(stag.at(cell - k0, ch, u.bin));
         }
-      send_cf(c, s, s.base(Task::kHardWeight) + r, cpi, kDopToHardWt, buf,
+      send_cf(c, s, tp.rank_at(Task::kHardWeight, r), cpi, kDopToHardWt, buf,
               meas, acc);
     }
     // Easy beamforming: the full slab for the destination's bins, J
     // channels, reorganized to (bin, range, channel) — Fig. 8.
-    for (int r = 0; r < s.count(Task::kEasyBeamform); ++r) {
-      const auto bins = slice(s.easy_bins, s.part_ebf, r);
+    for (int r = 0; r < tp.count(Task::kEasyBeamform); ++r) {
+      const auto bins = slice(s.easy_bins, tp.part_ebf, r);
       std::vector<cfloat> buf;
       buf.reserve(bins.size() * static_cast<size_t>(kl * j));
       for (index_t bin : bins)
         for (index_t k = 0; k < kl; ++k)
           for (index_t ch = 0; ch < j; ++ch)
             buf.push_back(stag.at(k, ch, bin));
-      send_cf(c, s, s.base(Task::kEasyBeamform) + r, cpi, kDopToEasyBf, buf,
-              meas, acc);
+      send_cf(c, s, tp.rank_at(Task::kEasyBeamform, r), cpi, kDopToEasyBf,
+              buf, meas, acc);
     }
     // Hard beamforming: same with both stagger halves (2J channels).
-    for (int r = 0; r < s.count(Task::kHardBeamform); ++r) {
-      const auto bins = slice(s.hard_bins, s.part_hbf, r);
+    for (int r = 0; r < tp.count(Task::kHardBeamform); ++r) {
+      const auto bins = slice(s.hard_bins, tp.part_hbf, r);
       std::vector<cfloat> buf;
       buf.reserve(bins.size() * static_cast<size_t>(kl * jj));
       for (index_t bin : bins)
         for (index_t k = 0; k < kl; ++k)
           for (index_t ch = 0; ch < jj; ++ch)
             buf.push_back(stag.at(k, ch, bin));
-      send_cf(c, s, s.base(Task::kHardBeamform) + r, cpi, kDopToHardBf, buf,
-              meas, acc);
+      send_cf(c, s, tp.rank_at(Task::kHardBeamform, r), cpi, kDopToHardBf,
+              buf, meas, acc);
     }
     const double t3 = WallTimer::now();
     emit_phase_spans(c.rank(), Task::kDopplerFilter, cpi, t0, t1, t2, t3,
@@ -666,6 +702,7 @@ void run_doppler(Comm& c, Shared& s, int me) {
     }
   }
   acc.commit(s, Task::kDopplerFilter, s.measured_count());
+  return next;
 }
 
 // ---------------------------------------------------------------------------
@@ -675,7 +712,11 @@ void run_easy_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
   const auto& p = s.p;
   const index_t j = p.num_channels;
   const index_t positions = p.num_beam_positions;
-  const auto bins = slice(s.easy_bins, s.part_ewt, me);
+  // The weight and beamforming groups never migrate, so their partitions
+  // and rank lists are epoch-0 invariants; only the Doppler fan-in below is
+  // resolved per CPI.
+  const Topology& tp0 = s.topo(0);
+  const auto bins = slice(s.easy_bins, tp0.part_ewt, me);
   // One computer per transmit position: training pools only same-azimuth
   // looks (paper §3).
   std::vector<stap::EasyWeightComputer> computers;
@@ -684,30 +725,28 @@ void run_easy_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
                            std::vector<index_t>(bins.begin(), bins.end()));
   PhaseAcc acc;
 
-  // Precompute each Doppler rank's contribution rows (cells of the global
-  // training list inside its slab).
-  std::vector<std::vector<index_t>> rows_from(
-      static_cast<size_t>(s.count(Task::kDopplerFilter)));
-  for (int d = 0; d < s.count(Task::kDopplerFilter); ++d)
-    rows_from[static_cast<size_t>(d)] =
-        s.cell_positions_in_slab(s.easy_cells, d);
+  // Each Doppler rank's contribution rows (cells of the global training
+  // list inside its slab); recomputed when a migration resizes the group.
+  int rows_for_dops = -1;
+  std::vector<std::vector<index_t>> rows_from;
 
   // Send the quiescent weights that beamform the first visit of each
   // position (TD_{1,3} bootstrap).
   auto send_weights = [&](const stap::WeightSet& w, index_t for_cpi) {
-    for (int r = 0; r < s.count(Task::kEasyBeamform); ++r) {
-      const index_t lo = std::max(s.part_ewt.offset(me), s.part_ebf.offset(r));
+    for (int r = 0; r < tp0.count(Task::kEasyBeamform); ++r) {
+      const index_t lo =
+          std::max(tp0.part_ewt.offset(me), tp0.part_ebf.offset(r));
       const index_t hi =
-          std::min(s.part_ewt.offset(me) + s.part_ewt.length(me),
-                   s.part_ebf.offset(r) + s.part_ebf.length(r));
+          std::min(tp0.part_ewt.offset(me) + tp0.part_ewt.length(me),
+                   tp0.part_ebf.offset(r) + tp0.part_ebf.length(r));
       std::vector<cfloat> buf;
       for (index_t pos = lo; pos < hi; ++pos) {
         const auto& wm =
-            w.weights[static_cast<size_t>(pos - s.part_ewt.offset(me))];
+            w.weights[static_cast<size_t>(pos - tp0.part_ewt.offset(me))];
         buf.insert(buf.end(), wm.data(), wm.data() + wm.size());
       }
-      send_cf(c, s, s.base(Task::kEasyBeamform) + r, for_cpi, kEasyWtToBf,
-              buf, s.measured(for_cpi), acc);
+      send_cf(c, s, tp0.rank_at(Task::kEasyBeamform, r), for_cpi,
+              kEasyWtToBf, buf, s.measured(for_cpi), acc);
     }
   };
   // Checkpoint the computers' state after every CPI so a spare can resume
@@ -741,22 +780,31 @@ void run_easy_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
       static_cast<size_t>(positions));
   const index_t total_cells = static_cast<index_t>(s.easy_cells.size());
   for (index_t cpi = start_cpi; cpi < s.n_cpis; ++cpi) {
+    const Topology& tp = s.barrier(c, cpi);
     const bool meas = s.measured(cpi);
     const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
     ftr.begin();
 
+    if (tp.count(Task::kDopplerFilter) != rows_for_dops) {
+      rows_for_dops = tp.count(Task::kDopplerFilter);
+      rows_from.assign(static_cast<size_t>(rows_for_dops), {});
+      for (int d = 0; d < rows_for_dops; ++d)
+        rows_from[static_cast<size_t>(d)] =
+            s.cell_positions_in_slab(s.easy_cells, d, tp.part_k);
+    }
+
     bool complete = true;
     std::vector<MatrixCF> training(bins.size(), MatrixCF(total_cells, j));
-    for (int d = 0; d < s.count(Task::kDopplerFilter); ++d) {
-      auto bufo = ftr.recv_cf(s.base(Task::kDopplerFilter) + d,
-                              tag_for(cpi, kDopToEasyWt));
+    for (int d = 0; d < tp.count(Task::kDopplerFilter); ++d) {
+      const int src = tp.rank_at(Task::kDopplerFilter, d);
+      auto bufo = ftr.recv_cf(src, tag_for(cpi, kDopToEasyWt));
       if (!bufo) {
         complete = false;
         continue;
       }
       auto& buf = *bufo;
-      strip_digest(ftr, s, s.base(Task::kDopplerFilter) + d, buf, cpi);
+      strip_digest(ftr, s, src, buf, cpi);
       size_t off = 0;
       for (size_t bi = 0; bi < bins.size(); ++bi)
         for (index_t row : rows_from[static_cast<size_t>(d)]) {
@@ -801,8 +849,8 @@ void run_easy_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
     // These weights serve the *next visit* of the same transmit position.
     if (cpi + positions < s.n_cpis) {
       if (wt_markers)
-        for (int r = 0; r < s.count(Task::kEasyBeamform); ++r)
-          c.send_marker(s.base(Task::kEasyBeamform) + r,
+        for (int r = 0; r < tp0.count(Task::kEasyBeamform); ++r)
+          c.send_marker(tp0.rank_at(Task::kEasyBeamform, r),
                         tag_for(cpi + positions, kEasyWtToBf));
       else
         send_weights(w, cpi + positions);
@@ -832,7 +880,9 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
   const auto& p = s.p;
   const index_t jj = p.num_staggered_channels();
   const index_t positions = p.num_beam_positions;
-  const auto units = slice(s.hard_units, s.part_hwu, me);
+  // Weight/BF groups never migrate: epoch-0 partitions are invariant here.
+  const Topology& tp0 = s.topo(0);
+  const auto units = slice(s.hard_units, tp0.part_hwu, me);
   std::vector<stap::HardWeightComputer> computers;
   for (index_t pos = 0; pos < positions; ++pos)
     computers.emplace_back(
@@ -840,32 +890,28 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
         std::vector<stap::HardUnit>(units.begin(), units.end()));
   PhaseAcc acc;
 
-  // Row positions per (unit, doppler rank).
+  // Row positions per (unit, doppler rank); recomputed when a migration
+  // resizes the Doppler group.
+  int rows_for_dops = -1;
   std::vector<std::vector<std::vector<index_t>>> rows_from(units.size());
-  for (size_t ui = 0; ui < units.size(); ++ui) {
-    rows_from[ui].resize(static_cast<size_t>(s.count(Task::kDopplerFilter)));
-    for (int d = 0; d < s.count(Task::kDopplerFilter); ++d)
-      rows_from[ui][static_cast<size_t>(d)] = s.cell_positions_in_slab(
-          s.hard_cells[static_cast<size_t>(units[ui].segment)], d);
-  }
 
-  const index_t u_base = s.part_hwu.offset(me);
+  const index_t u_base = tp0.part_hwu.offset(me);
   auto send_weights = [&](const std::vector<MatrixCF>& w, index_t for_cpi) {
-    for (int r = 0; r < s.count(Task::kHardBeamform); ++r) {
+    for (int r = 0; r < tp0.count(Task::kHardBeamform); ++r) {
       // Hard BF rank r owns bin positions [b0, b0+bl) — i.e. unit
       // positions [b0*S, (b0+bl)*S) in the bin-major unit list.
       const index_t segs = p.num_segments;
-      const index_t r_lo = s.part_hbf.offset(r) * segs;
-      const index_t r_hi = r_lo + s.part_hbf.length(r) * segs;
+      const index_t r_lo = tp0.part_hbf.offset(r) * segs;
+      const index_t r_hi = r_lo + tp0.part_hbf.length(r) * segs;
       const index_t lo = std::max(u_base, r_lo);
-      const index_t hi = std::min(u_base + s.part_hwu.length(me), r_hi);
+      const index_t hi = std::min(u_base + tp0.part_hwu.length(me), r_hi);
       std::vector<cfloat> buf;
       for (index_t pos = lo; pos < hi; ++pos) {
         const auto& wm = w[static_cast<size_t>(pos - u_base)];
         buf.insert(buf.end(), wm.data(), wm.data() + wm.size());
       }
-      send_cf(c, s, s.base(Task::kHardBeamform) + r, for_cpi, kHardWtToBf,
-              buf, s.measured(for_cpi), acc);
+      send_cf(c, s, tp0.rank_at(Task::kHardBeamform, r), for_cpi,
+              kHardWtToBf, buf, s.measured(for_cpi), acc);
     }
   };
   auto save_ckpt = [&](index_t next_cpi) {
@@ -895,10 +941,22 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
   std::vector<std::optional<std::vector<MatrixCF>>> last_w(
       static_cast<size_t>(positions));
   for (index_t cpi = start_cpi; cpi < s.n_cpis; ++cpi) {
+    const Topology& tp = s.barrier(c, cpi);
     const bool meas = s.measured(cpi);
     const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
     ftr.begin();
+
+    if (tp.count(Task::kDopplerFilter) != rows_for_dops) {
+      rows_for_dops = tp.count(Task::kDopplerFilter);
+      for (size_t ui = 0; ui < units.size(); ++ui) {
+        rows_from[ui].assign(static_cast<size_t>(rows_for_dops), {});
+        for (int d = 0; d < rows_for_dops; ++d)
+          rows_from[ui][static_cast<size_t>(d)] = s.cell_positions_in_slab(
+              s.hard_cells[static_cast<size_t>(units[ui].segment)], d,
+              tp.part_k);
+      }
+    }
 
     bool complete = true;
     std::vector<MatrixCF> training;
@@ -906,15 +964,15 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
     for (size_t ui = 0; ui < units.size(); ++ui)
       training.emplace_back(
           static_cast<index_t>(p.hard_samples_per_segment), jj);
-    for (int d = 0; d < s.count(Task::kDopplerFilter); ++d) {
-      auto bufo = ftr.recv_cf(s.base(Task::kDopplerFilter) + d,
-                              tag_for(cpi, kDopToHardWt));
+    for (int d = 0; d < tp.count(Task::kDopplerFilter); ++d) {
+      const int src = tp.rank_at(Task::kDopplerFilter, d);
+      auto bufo = ftr.recv_cf(src, tag_for(cpi, kDopToHardWt));
       if (!bufo) {
         complete = false;
         continue;
       }
       auto& buf = *bufo;
-      strip_digest(ftr, s, s.base(Task::kDopplerFilter) + d, buf, cpi);
+      strip_digest(ftr, s, src, buf, cpi);
       size_t off = 0;
       for (size_t ui = 0; ui < units.size(); ++ui)
         for (index_t row : rows_from[ui][static_cast<size_t>(d)]) {
@@ -959,8 +1017,8 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
     // These weights serve the *next visit* of the same transmit position.
     if (cpi + positions < s.n_cpis) {
       if (wt_markers)
-        for (int r = 0; r < s.count(Task::kHardBeamform); ++r)
-          c.send_marker(s.base(Task::kHardBeamform) + r,
+        for (int r = 0; r < tp0.count(Task::kHardBeamform); ++r)
+          c.send_marker(tp0.rank_at(Task::kHardBeamform, r),
                         tag_for(cpi + positions, kHardWtToBf));
       else
         send_weights(w, cpi + positions);
@@ -993,7 +1051,11 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
   const Edge data_edge = hard ? kDopToHardBf : kDopToEasyBf;
   const Edge wt_edge = hard ? kHardWtToBf : kEasyWtToBf;
   const Edge out_edge = hard ? kHardBfToPc : kEasyBfToPc;
-  const BlockPartition& part = hard ? s.part_hbf : s.part_ebf;
+  // Weight/BF groups never migrate: epoch-0 partitions are invariant here;
+  // the Doppler fan-in and PC fan-out are resolved per CPI.
+  const Topology& tp0 = s.topo(0);
+  const BlockPartition& part = hard ? tp0.part_hbf : tp0.part_ebf;
+  const BlockPartition& wpart = hard ? tp0.part_hwu : tp0.part_ewt;
   const std::vector<index_t>& bin_list = hard ? s.hard_bins : s.easy_bins;
   const index_t nch = hard ? p.num_staggered_channels() : p.num_channels;
   const index_t k = p.num_range;
@@ -1012,6 +1074,7 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
   PhaseAcc acc;
 
   for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+    const Topology& tp = s.barrier(c, cpi);
     const bool meas = s.measured(cpi);
     const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
@@ -1024,16 +1087,16 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
     w.bins.assign(bins.begin(), bins.end());
     w.weights.assign(static_cast<size_t>(bl * segs), MatrixCF());
     bool weights_complete = true;
-    for (int r = 0; r < s.count(wt_task); ++r) {
-      auto bufo = ftr.recv_cf(s.base(wt_task) + r, tag_for(cpi, wt_edge));
+    for (int r = 0; r < tp0.count(wt_task); ++r) {
+      const int src = tp0.rank_at(wt_task, r);
+      auto bufo = ftr.recv_cf(src, tag_for(cpi, wt_edge));
       if (!bufo) {
         weights_complete = false;
         continue;
       }
       auto& buf = *bufo;
-      strip_digest(ftr, s, s.base(wt_task) + r, buf, cpi);
+      strip_digest(ftr, s, src, buf, cpi);
       size_t off = 0;
-      const BlockPartition& wpart = hard ? s.part_hwu : s.part_ewt;
       const index_t my_lo = b0 * segs;
       const index_t my_hi = (b0 + bl) * segs;
       const index_t lo = std::max(wpart.offset(r), my_lo);
@@ -1062,17 +1125,17 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
     // Doppler data, reassembled into the bin-major (bin, range, channel)
     // cube of Fig. 8.
     cube::CpiCube data(bl, k, nch);
-    for (int d = 0; d < s.count(Task::kDopplerFilter); ++d) {
-      auto bufo = ftr.recv_cf(s.base(Task::kDopplerFilter) + d,
-                              tag_for(cpi, data_edge));
+    for (int d = 0; d < tp.count(Task::kDopplerFilter); ++d) {
+      const int src = tp.rank_at(Task::kDopplerFilter, d);
+      auto bufo = ftr.recv_cf(src, tag_for(cpi, data_edge));
       if (!bufo) {
         shed = true;
         continue;
       }
       auto& buf = *bufo;
-      strip_digest(ftr, s, s.base(Task::kDopplerFilter) + d, buf, cpi);
-      const index_t dk0 = s.part_k.offset(d);
-      const index_t dkl = s.part_k.length(d);
+      strip_digest(ftr, s, src, buf, cpi);
+      const index_t dk0 = tp.part_k.offset(d);
+      const index_t dkl = tp.part_k.length(d);
       PPSTAP_CHECK(static_cast<index_t>(buf.size()) == bl * dkl * nch,
                    "doppler data message length");
       size_t off = 0;
@@ -1089,8 +1152,8 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
     if (shed) {
       // CPI i cannot be produced within the budget: propagate the dropped
       // marker downstream so the stream keeps moving.
-      for (int r = 0; r < s.count(Task::kPulseCompression); ++r)
-        c.send_marker(s.base(Task::kPulseCompression) + r,
+      for (int r = 0; r < tp.count(Task::kPulseCompression); ++r)
+        c.send_marker(tp.rank_at(Task::kPulseCompression, r),
                       tag_for(cpi, out_edge));
       const double t3 = WallTimer::now();
       emit_phase_spans(c.rank(), task, cpi, t0, t1, t1, t3, 0);
@@ -1124,8 +1187,8 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
     if (!ok) {
       // Persistent corruption in the beamformed cube: escalate through the
       // existing shed path so downstream keeps moving.
-      for (int r = 0; r < s.count(Task::kPulseCompression); ++r)
-        c.send_marker(s.base(Task::kPulseCompression) + r,
+      for (int r = 0; r < tp.count(Task::kPulseCompression); ++r)
+        c.send_marker(tp.rank_at(Task::kPulseCompression, r),
                       tag_for(cpi, out_edge));
       const double t3e = WallTimer::now();
       emit_phase_spans(c.rank(), task, cpi, t0, t1, t2, t3e, 0);
@@ -1139,9 +1202,9 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
 
     // Route each bin's M x K block to the pulse compression owner of its
     // *global* Doppler bin.
-    for (int r = 0; r < s.count(Task::kPulseCompression); ++r) {
-      const index_t g0 = s.part_pc.offset(r);
-      const index_t g1 = g0 + s.part_pc.length(r);
+    for (int r = 0; r < tp.count(Task::kPulseCompression); ++r) {
+      const index_t g0 = tp.part_pc.offset(r);
+      const index_t g1 = g0 + tp.part_pc.length(r);
       std::vector<cfloat> buf;
       for (index_t b = 0; b < bl; ++b) {
         const index_t gbin = bins[static_cast<size_t>(b)];
@@ -1151,8 +1214,8 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
           buf.insert(buf.end(), line.begin(), line.end());
         }
       }
-      send_cf(c, s, s.base(Task::kPulseCompression) + r, cpi, out_edge, buf,
-              meas, acc);
+      send_cf(c, s, tp.rank_at(Task::kPulseCompression, r), cpi, out_edge,
+              buf, meas, acc);
     }
     const double t3 = WallTimer::now();
     emit_phase_spans(c.rank(), task, cpi, t0, t1, t2, t3, acc.bytes - bytes0);
@@ -1169,30 +1232,35 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
 // ---------------------------------------------------------------------------
 // Task 5: pulse compression (partitioned along all Doppler bins)
 // ---------------------------------------------------------------------------
-void run_pc(Comm& c, Shared& s, int me) {
+// Like run_doppler, returns the first CPI this rank did not process as a
+// pulse-compression rank (s.n_cpis when it ran to the end).
+index_t run_pc(Comm& c, Shared& s, index_t begin) {
   const auto& p = s.p;
-  const index_t g0 = s.part_pc.offset(me);
-  const index_t gl = s.part_pc.length(me);
   const index_t m = p.num_beams;
   const index_t k = p.num_range;
+  // The beamforming groups never migrate: their partitions and rank lists
+  // are epoch-0 invariants. This rank's own bin span is per CPI.
+  const Topology& tp0 = s.topo(0);
   stap::PulseCompressor compressor(p, s.replica);
   FtRecv ftr = make_ftr(c, s);
   PhaseAcc acc;
 
-  auto recv_from_bf = [&](index_t cpi, bool hard, bool& shed) {
+  auto recv_from_bf = [&](index_t cpi, bool hard, bool& shed, index_t g0,
+                          index_t gl) {
     const Task bf_task = hard ? Task::kHardBeamform : Task::kEasyBeamform;
     const Edge edge = hard ? kHardBfToPc : kEasyBfToPc;
-    const BlockPartition& part = hard ? s.part_hbf : s.part_ebf;
+    const BlockPartition& part = hard ? tp0.part_hbf : tp0.part_ebf;
     const std::vector<index_t>& bin_list = hard ? s.hard_bins : s.easy_bins;
     std::vector<std::pair<index_t, std::vector<cfloat>>> rows;
-    for (int r = 0; r < s.count(bf_task); ++r) {
-      auto bufo = ftr.recv_cf(s.base(bf_task) + r, tag_for(cpi, edge));
+    for (int r = 0; r < tp0.count(bf_task); ++r) {
+      const int src = tp0.rank_at(bf_task, r);
+      auto bufo = ftr.recv_cf(src, tag_for(cpi, edge));
       if (!bufo) {
         shed = true;
         continue;
       }
       auto& buf = *bufo;
-      strip_digest(ftr, s, s.base(bf_task) + r, buf, cpi);
+      strip_digest(ftr, s, src, buf, cpi);
       size_t off = 0;
       const auto bins = slice(bin_list, part, r);
       for (index_t gbin : bins) {
@@ -1210,7 +1278,16 @@ void run_pc(Comm& c, Shared& s, int me) {
     return rows;
   };
 
-  for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+  index_t next = s.n_cpis;
+  for (index_t cpi = begin; cpi < s.n_cpis; ++cpi) {
+    const Topology& tp = s.barrier(c, cpi);
+    const Topology::Role role = tp.role_of(c.rank());
+    if (role.task != Task::kPulseCompression) {
+      next = cpi;
+      break;
+    }
+    const index_t g0 = tp.part_pc.offset(role.local);
+    const index_t gl = tp.part_pc.length(role.local);
     const bool meas = s.measured(cpi);
     const std::uint64_t bytes0 = acc.bytes;
     const double t0 = WallTimer::now();
@@ -1219,15 +1296,15 @@ void run_pc(Comm& c, Shared& s, int me) {
     cube::CpiCube bf(gl, m, k);
     bool shed = false;
     for (bool hard : {false, true})
-      for (auto& [gbin, row] : recv_from_bf(cpi, hard, shed)) {
+      for (auto& [gbin, row] : recv_from_bf(cpi, hard, shed, g0, gl)) {
         cfloat* dst = &bf.at(gbin - g0, 0, 0);
         std::copy(row.begin(), row.end(), dst);
       }
     const double t1 = WallTimer::now();
 
     if (shed) {
-      for (int r = 0; r < s.count(Task::kCfar); ++r)
-        c.send_marker(s.base(Task::kCfar) + r, tag_for(cpi, kPcToCfar));
+      for (int r = 0; r < tp.count(Task::kCfar); ++r)
+        c.send_marker(tp.rank_at(Task::kCfar, r), tag_for(cpi, kPcToCfar));
       const double t3 = WallTimer::now();
       emit_phase_spans(c.rank(), Task::kPulseCompression, cpi, t0, t1, t1,
                        t3, 0);
@@ -1257,8 +1334,8 @@ void run_pc(Comm& c, Shared& s, int me) {
     const double t2 = WallTimer::now();
 
     if (!ok) {
-      for (int r = 0; r < s.count(Task::kCfar); ++r)
-        c.send_marker(s.base(Task::kCfar) + r, tag_for(cpi, kPcToCfar));
+      for (int r = 0; r < tp.count(Task::kCfar); ++r)
+        c.send_marker(tp.rank_at(Task::kCfar, r), tag_for(cpi, kPcToCfar));
       const double t3e = WallTimer::now();
       emit_phase_spans(c.rank(), Task::kPulseCompression, cpi, t0, t1, t2,
                        t3e, 0);
@@ -1270,9 +1347,9 @@ void run_pc(Comm& c, Shared& s, int me) {
       continue;
     }
 
-    for (int r = 0; r < s.count(Task::kCfar); ++r) {
-      const index_t c0 = s.part_cfar.offset(r);
-      const index_t c1 = c0 + s.part_cfar.length(r);
+    for (int r = 0; r < tp.count(Task::kCfar); ++r) {
+      const index_t c0 = tp.part_cfar.offset(r);
+      const index_t c1 = c0 + tp.part_cfar.length(r);
       const index_t lo = std::max(g0, c0);
       const index_t hi = std::min(g0 + gl, c1);
       std::vector<float> buf;
@@ -1288,7 +1365,7 @@ void run_pc(Comm& c, Shared& s, int me) {
         fc = flow_for(cpi, kPcToCfar);
         flow = &fc;
       }
-      c.send<float>(s.base(Task::kCfar) + r, tag_for(cpi, kPcToCfar), buf,
+      c.send<float>(tp.rank_at(Task::kCfar, r), tag_for(cpi, kPcToCfar), buf,
                     flow);
       if (meas) {
         acc.bytes += n;
@@ -1307,42 +1384,52 @@ void run_pc(Comm& c, Shared& s, int me) {
     }
   }
   acc.commit(s, Task::kPulseCompression, s.measured_count());
+  return next;
 }
 
 // ---------------------------------------------------------------------------
 // Task 6: CFAR (partitioned along all Doppler bins); pipeline sink
 // ---------------------------------------------------------------------------
-void run_cfar(Comm& c, Shared& s, int me) {
+// Like run_doppler, returns the first CPI this rank did not process as a
+// CFAR rank (s.n_cpis when it ran to the end).
+index_t run_cfar(Comm& c, Shared& s, index_t begin) {
   const auto& p = s.p;
-  const index_t c0 = s.part_cfar.offset(me);
-  const index_t cl = s.part_cfar.length(me);
   const index_t m = p.num_beams;
   const index_t k = p.num_range;
-  std::vector<index_t> my_bins(static_cast<size_t>(cl));
-  for (index_t i = 0; i < cl; ++i) my_bins[static_cast<size_t>(i)] = c0 + i;
   FtRecv ftr = make_ftr(c, s);
   PhaseAcc acc;
 
-  for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+  index_t next = s.n_cpis;
+  for (index_t cpi = begin; cpi < s.n_cpis; ++cpi) {
+    const Topology& tp = s.barrier(c, cpi);
+    const Topology::Role role = tp.role_of(c.rank());
+    if (role.task != Task::kCfar) {
+      next = cpi;
+      break;
+    }
+    const index_t c0 = tp.part_cfar.offset(role.local);
+    const index_t cl = tp.part_cfar.length(role.local);
+    std::vector<index_t> my_bins(static_cast<size_t>(cl));
+    for (index_t i = 0; i < cl; ++i) my_bins[static_cast<size_t>(i)] = c0 + i;
     const bool meas = s.measured(cpi);
     const double t0 = WallTimer::now();
     ftr.begin();
     bool shed = false;
 
     cube::RealCube power(cl, m, k);
-    for (int r = 0; r < s.count(Task::kPulseCompression); ++r) {
-      const index_t g0 = s.part_pc.offset(r);
-      const index_t g1 = g0 + s.part_pc.length(r);
+    for (int r = 0; r < tp.count(Task::kPulseCompression); ++r) {
+      const index_t g0 = tp.part_pc.offset(r);
+      const index_t g1 = g0 + tp.part_pc.length(r);
       const index_t lo = std::max(c0, g0);
       const index_t hi = std::min(c0 + cl, g1);
-      auto bufo = ftr.recv<float>(s.base(Task::kPulseCompression) + r,
-                                  tag_for(cpi, kPcToCfar));
+      const int src = tp.rank_at(Task::kPulseCompression, r);
+      auto bufo = ftr.recv<float>(src, tag_for(cpi, kPcToCfar));
       if (!bufo) {
         shed = true;
         continue;
       }
       auto& buf = *bufo;
-      strip_digest(ftr, s, s.base(Task::kPulseCompression) + r, buf, cpi);
+      strip_digest(ftr, s, src, buf, cpi);
       PPSTAP_CHECK(static_cast<index_t>(buf.size()) ==
                        std::max<index_t>(0, hi - lo) * m * k,
                    "power message length");
@@ -1384,7 +1471,7 @@ void run_cfar(Comm& c, Shared& s, int me) {
       auto& sink = s.detections[static_cast<size_t>(cpi)];
       sink.insert(sink.end(), dets.begin(), dets.end());
       if (++s.cfar_done[static_cast<size_t>(cpi)] ==
-          s.count(Task::kCfar)) {
+          tp.count(Task::kCfar)) {
         const double done = WallTimer::now();
         s.completion[static_cast<size_t>(cpi)] = done;
         cpi_done = true;
@@ -1411,13 +1498,11 @@ void run_cfar(Comm& c, Shared& s, int me) {
       acc.comp += t2 - t1;
     }
   }
-  {
-    // Last CFAR rank out releases an idle spare from its standby loop.
-    std::lock_guard<std::mutex> lock(s.mu);
-    if (++s.cfar_ranks_finished == s.count(Task::kCfar))
-      s.stream_done.store(true, std::memory_order_release);
-  }
+  // Stream-completion bookkeeping (releasing an idle spare) moved to the
+  // driver loop: only ranks whose *final* role is CFAR count, and a rank
+  // migrating away mid-stream must not tick the counter.
   acc.commit(s, Task::kCfar, s.measured_count());
+  return next;
 }
 
 // ---------------------------------------------------------------------------
@@ -1474,6 +1559,16 @@ void run_spare(comm::World& world, Comm& c, Shared& s) {
                  "spare can only take over a weight rank");
 
     c.take_over(*dead);
+    // One spare covers one failure: the moment it is consumed, no later
+    // weight-rank death can be revived. Clear the recoverable flags (the
+    // taken-over id included) so a second death surfaces to receivers as a
+    // prompt dead-peer status — the CPI sheds and the driver ledgers an
+    // uncovered failure — instead of parking them on a recovery wait that
+    // nobody will ever satisfy.
+    for (int r = 0; r < s.count(Task::kEasyWeight); ++r)
+      world.set_recoverable(s.base(Task::kEasyWeight) + r, false);
+    for (int r = 0; r < s.count(Task::kHardWeight); ++r)
+      world.set_recoverable(s.base(Task::kHardWeight) + r, false);
     resume.restored = [&s, &c, dead = *dead, task, t_death](index_t cpi) {
       const double t_up = WallTimer::now();
       {
@@ -1551,15 +1646,6 @@ PipelineResult ParallelStapPipeline::run(
   CpiSource source(scenario);
   Shared s{params,  assign_, steering_, replica_, source,
            num_cpis, warmup,  cooldown};
-  s.part_k = BlockPartition(p_.num_range, assign_[Task::kDopplerFilter]);
-  s.part_ewt = BlockPartition(p_.num_easy(), assign_[Task::kEasyWeight]);
-  s.part_hwu = BlockPartition(p_.num_hard * p_.num_segments,
-                              assign_[Task::kHardWeight]);
-  s.part_ebf = BlockPartition(p_.num_easy(), assign_[Task::kEasyBeamform]);
-  s.part_hbf = BlockPartition(p_.num_hard, assign_[Task::kHardBeamform]);
-  s.part_pc = BlockPartition(p_.num_pulses,
-                             assign_[Task::kPulseCompression]);
-  s.part_cfar = BlockPartition(p_.num_pulses, assign_[Task::kCfar]);
   s.easy_bins = p_.easy_bins();
   s.hard_bins = p_.hard_bins();
   s.easy_cells = stap::easy_training_cells(p_);
@@ -1604,33 +1690,65 @@ PipelineResult ParallelStapPipeline::run(
     for (int r = 0; r < s.count(Task::kHardWeight); ++r)
       world.set_recoverable(s.base(Task::kHardWeight) + r);
   }
+
+  // The migration engine is always installed: with elastic disabled and no
+  // forced migrations it never leaves epoch 0 and every topo(cpi) lookup is
+  // the initial layout. The spare rank (one past assign_.total()) is not
+  // part of any topology and never participates in a barrier.
+  ElasticEngine eng(&world, params, Topology::initial(params, assign_), el_,
+                    num_cpis);
+  s.eng = &eng;
+  if (s.ctrl != nullptr && el_.any())
+    s.ctrl->set_elastic_assist(
+        [&eng] { return eng.request_overload_assist(); });
+
   world.run([&](Comm& c) {
-    int rank = c.rank();
+    const int rank = c.rank();
     if (rank == s.a.total()) return run_spare(world, c, s);
-    for (int t = 0; t < stap::kNumTasks; ++t) {
-      const Task task = static_cast<Task>(t);
-      const int base = s.base(task);
-      if (rank < base + s.count(task)) {
-        const int local = rank - base;
-        switch (task) {
-          case Task::kDopplerFilter:
-            return run_doppler(c, s, local);
-          case Task::kEasyWeight:
-            return run_easy_wt(c, s, local);
-          case Task::kHardWeight:
-            return run_hard_wt(c, s, local);
-          case Task::kEasyBeamform:
-            return run_beamform(c, s, local, /*hard=*/false);
-          case Task::kHardBeamform:
-            return run_beamform(c, s, local, /*hard=*/true);
-          case Task::kPulseCompression:
-            return run_pc(c, s, local);
-          case Task::kCfar:
-            return run_cfar(c, s, local);
-        }
+    // Role-dispatch loop: the migratable tasks return the CPI at which a
+    // committed migration changed this rank's role, and the loop re-enters
+    // the new task's body there. The stateful weight/BF tasks never change
+    // role and always run to the end of the stream.
+    index_t cpi = 0;
+    while (cpi < s.n_cpis) {
+      const Topology::Role role = s.topo(cpi).role_of(rank);
+      PPSTAP_CHECK(role.local >= 0, "rank not assigned to any task");
+      switch (role.task) {
+        case Task::kDopplerFilter:
+          cpi = run_doppler(c, s, cpi);
+          break;
+        case Task::kEasyWeight:
+          run_easy_wt(c, s, role.local);
+          cpi = s.n_cpis;
+          break;
+        case Task::kHardWeight:
+          run_hard_wt(c, s, role.local);
+          cpi = s.n_cpis;
+          break;
+        case Task::kEasyBeamform:
+          run_beamform(c, s, role.local, /*hard=*/false);
+          cpi = s.n_cpis;
+          break;
+        case Task::kHardBeamform:
+          run_beamform(c, s, role.local, /*hard=*/true);
+          cpi = s.n_cpis;
+          break;
+        case Task::kPulseCompression:
+          cpi = run_pc(c, s, cpi);
+          break;
+        case Task::kCfar:
+          cpi = run_cfar(c, s, cpi);
+          break;
       }
     }
-    PPSTAP_CHECK(false, "rank not assigned to any task");
+    // Last CFAR rank (under the final topology) out releases an idle spare
+    // from its standby loop.
+    const Topology& tf = s.topo(s.n_cpis - 1);
+    if (tf.role_of(rank).task == Task::kCfar) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (++s.cfar_ranks_finished == tf.count(Task::kCfar))
+        s.stream_done.store(true, std::memory_order_release);
+    }
   });
 
   // --- assemble the result --------------------------------------------------
@@ -1644,7 +1762,17 @@ PipelineResult ParallelStapPipeline::run(
 
   for (int t = 0; t < stap::kNumTasks; ++t) {
     const auto ranks = static_cast<double>(s.timing_ranks[static_cast<size_t>(t)]);
-    PPSTAP_CHECK(ranks > 0, "no timing contributions for a task");
+    // A task can legitimately end the run with zero contributions when its
+    // every rank died uncovered (killed before committing its phase
+    // accumulator, with the spare already spent): leave its timing zero.
+    if (ranks <= 0) {
+      const Topology& tf = s.topo(s.n_cpis - 1);
+      bool any_dead = false;
+      for (int r = 0; r < tf.count(static_cast<Task>(t)); ++r)
+        any_dead |= world.rank_dead(tf.rank_at(static_cast<Task>(t), r));
+      PPSTAP_CHECK(any_dead, "no timing contributions for a live task");
+      continue;
+    }
     result.timing[static_cast<size_t>(t)] = TaskTiming{
         s.timing_sum[static_cast<size_t>(t)].recv / ranks,
         s.timing_sum[static_cast<size_t>(t)].comp / ranks,
@@ -1690,15 +1818,19 @@ PipelineResult ParallelStapPipeline::run(
   result.latency_histogram = latency_hist.snapshot();
 
   // Queue-wait gauge per task: mean blocked-in-recv seconds per CPI over
-  // the task's ranks and the whole stream.
+  // the task's ranks and the whole stream. Ranks are attributed to their
+  // final-epoch role (a migrated rank's pre-migration wait rides along —
+  // acceptable smear for a gauge that feeds relative comparisons).
   const auto& stats = world.last_stats();
+  const Topology& tf = eng.final_topology();
   for (int t = 0; t < stap::kNumTasks; ++t) {
     const stap::Task task = static_cast<stap::Task>(t);
     double wait = 0.0;
-    for (int r = 0; r < s.count(task); ++r)
-      wait += stats[static_cast<size_t>(s.base(task) + r)].recv_wait_seconds;
+    for (int r = 0; r < tf.count(task); ++r)
+      wait +=
+          stats[static_cast<size_t>(tf.rank_at(task, r))].recv_wait_seconds;
     result.queue_wait_per_cpi[static_cast<size_t>(t)] =
-        wait / (static_cast<double>(s.count(task)) *
+        wait / (static_cast<double>(tf.count(task)) *
                 static_cast<double>(num_cpis));
   }
 
@@ -1741,12 +1873,30 @@ PipelineResult ParallelStapPipeline::run(
     result.faults.kills = fs.kills;
   }
   result.faults.failovers = std::move(s.failovers);
+  if (ft_.spare_rank) {
+    // A weight rank that is dead at exit with no failover event covering it
+    // died after the one spare was consumed: its CPIs were shed (prompt
+    // dead-peer statuses, not hangs) and the gap is ledgered here.
+    for (const Task t : {Task::kEasyWeight, Task::kHardWeight})
+      for (int r = 0; r < s.count(t); ++r) {
+        const int g = s.base(t) + r;
+        if (!world.rank_dead(g)) continue;
+        bool covered = false;
+        for (const auto& f : result.faults.failovers)
+          if (f.rank == g) covered = true;
+        if (!covered) result.faults.uncovered_ranks.push_back(g);
+      }
+  }
   if (!result.faults.clean()) {
     reg.counter("pipeline.cpis_shed")
         .add(static_cast<std::uint64_t>(result.faults.shed_cpis.size()));
     reg.counter("pipeline.failovers")
         .add(static_cast<std::uint64_t>(result.faults.failovers.size()));
     reg.counter("comm.retransmissions").add(result.faults.retransmissions);
+    if (!result.faults.uncovered_ranks.empty())
+      reg.counter("pipeline.uncovered_failures")
+          .add(static_cast<std::uint64_t>(
+              result.faults.uncovered_ranks.size()));
   }
   if (ft_.spare_rank)
     reg.counter("spare.poll_wakeups")
@@ -1803,6 +1953,34 @@ PipelineResult ParallelStapPipeline::run(
               return std::tie(a.cpi, a.task) < std::tie(b.cpi, b.task);
             });
   result.integrity.events = std::move(s.integ_events);
+
+  // --- migration ledger -----------------------------------------------------
+  result.migrations = eng.ledger();
+  if (!result.migrations.attempts.empty()) {
+    // Measured quiesce stall per attempt: the excess of the barrier CPI's
+    // sink inter-completion gap over the run's median gap (the live
+    // analogue of the simulator's migration_stall).
+    std::vector<double> gaps;
+    for (index_t cpi = 1; cpi < num_cpis; ++cpi) {
+      const auto i = static_cast<size_t>(cpi);
+      if (s.completion[i] > 0.0 && s.completion[i - 1] > 0.0)
+        gaps.push_back(s.completion[i] - s.completion[i - 1]);
+    }
+    double median_gap = 0.0;
+    if (!gaps.empty()) {
+      auto mid = gaps.begin() + static_cast<std::ptrdiff_t>(gaps.size() / 2);
+      std::nth_element(gaps.begin(), mid, gaps.end());
+      median_gap = *mid;
+    }
+    for (auto& e : result.migrations.attempts) {
+      const auto b = static_cast<size_t>(e.barrier_cpi);
+      if (e.barrier_cpi >= 1 && b < s.completion.size() &&
+          s.completion[b] > 0.0 && s.completion[b - 1] > 0.0)
+        e.stall_seconds = std::max(
+            0.0, (s.completion[b] - s.completion[b - 1]) - median_gap);
+    }
+  }
+  result.completion_times = s.completion;
   if (result.integrity.checks_passed > 0) {
     reg.counter("integrity.checks_passed")
         .add(result.integrity.checks_passed);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/assignment.hpp"
+#include "core/elastic.hpp"
 #include "core/fault_tolerance.hpp"
 #include "core/integrity.hpp"
 #include "core/overload.hpp"
@@ -112,6 +113,16 @@ struct PipelineResult {
   /// mismatches attributed to the producing task. integrity.clean() on a
   /// corruption-free run (and trivially when PPSTAP_ABFT is off).
   IntegrityLedger integrity;
+
+  /// Live rank-migration accounting: every elastic attempt (committed or
+  /// rolled back) with its barrier CPI and measured quiesce stall.
+  /// migrations.clean() when no migration was ever proposed.
+  MigrationLedger migrations;
+
+  /// Absolute sink completion timestamp per CPI (WallTimer base; 0.0 for
+  /// CPIs that never completed) — lets benches window steady-state
+  /// throughput around a migration barrier.
+  std::vector<double> completion_times;
 };
 
 /// Runs the parallel pipelined STAP application on an in-process rank world.
@@ -156,6 +167,12 @@ class ParallelStapPipeline {
   void set_integrity(const IntegrityConfig& cfg) { integ_ = cfg; }
   const IntegrityConfig& integrity() const { return integ_; }
 
+  /// Configure live elastic rank migration (default: read from the
+  /// PPSTAP_ELASTIC* environment, i.e. disabled unless knobs are set).
+  /// Forced migrations fire even with the policy loop disabled.
+  void set_elastic(const ElasticConfig& cfg) { el_ = cfg; }
+  const ElasticConfig& elastic() const { return el_; }
+
  private:
   stap::StapParams p_;
   NodeAssignment assign_;
@@ -164,6 +181,7 @@ class ParallelStapPipeline {
   FaultToleranceConfig ft_ = FaultToleranceConfig::from_env();
   OverloadConfig ov_ = OverloadConfig::from_env();
   IntegrityConfig integ_ = IntegrityConfig::from_env();
+  ElasticConfig el_ = ElasticConfig::from_env();
   comm::FaultPlan* plan_ = nullptr;
 };
 

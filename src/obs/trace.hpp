@@ -83,9 +83,10 @@ struct Config {
   /// PPSTAP_TRACE_CAPACITY.
   std::size_t capacity_per_thread = 1 << 14;
   /// Flight-recorder mode: when armed, fault paths (world abort, spare
-  /// failover, integrity escalation) dump the span ring to `flight_path`
-  /// via flight_dump(). Enabled via PPSTAP_FLIGHT_RECORDER=1, which also
-  /// turns recording on with a smaller bounded ring.
+  /// failover, integrity escalation, elastic migration rollback) dump the
+  /// span ring to `flight_path` via flight_dump(). Enabled via
+  /// PPSTAP_FLIGHT_RECORDER=1, which also turns recording on with a
+  /// smaller bounded ring.
   bool flight_armed = false;
   std::string flight_path = "ppstap_flight.json";
 };

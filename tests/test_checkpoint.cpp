@@ -215,5 +215,40 @@ TEST(Checkpoint, DigestContinuityAcrossSpareFailover) {
   EXPECT_GT(res.integrity.checks_passed, 0u);
 }
 
+// PR 7: digests must stay continuous across a live elastic migration. The
+// migrating rank checkpoints its partition state at the barrier, switches
+// task groups, and produces frames under the new topology; every frame
+// before, across, and after the epoch boundary must still verify end to
+// end — zero digest mismatches and a clean integrity ledger.
+TEST(Checkpoint, DigestContinuityAcrossLiveMigration) {
+  auto f = ChainFixture::make();
+  synth::ScenarioGenerator gen(f.sp);
+  const index_t n_cpis = 14;
+
+  core::NodeAssignment a;
+  a[stap::Task::kDopplerFilter] = 2;
+  a[stap::Task::kPulseCompression] = 2;
+
+  core::ParallelStapPipeline par(
+      f.p, a, f.steering(), {gen.replica().begin(), gen.replica().end()});
+  core::ElasticConfig el;
+  el.forced.push_back(core::ForcedMigration{
+      3, stap::Task::kPulseCompression, stap::Task::kDopplerFilter});
+  par.set_elastic(el);
+  core::IntegrityConfig ic;
+  ic.enabled = true;
+  par.set_integrity(ic);
+  auto res = par.run(gen, n_cpis, /*warmup=*/1, /*cooldown=*/1);
+
+  ASSERT_EQ(res.migrations.attempts.size(), 1u);
+  EXPECT_EQ(res.migrations.committed(), 1);
+  EXPECT_TRUE(res.faults.clean());
+  EXPECT_EQ(res.integrity.digest_mismatches, 0u);
+  for (auto n : res.integrity.digest_mismatch_by_task) EXPECT_EQ(n, 0u);
+  EXPECT_TRUE(res.integrity.clean());
+  EXPECT_GT(res.integrity.checks_passed, 0u);
+  ASSERT_EQ(res.detections.size(), static_cast<size_t>(n_cpis));
+}
+
 }  // namespace
 }  // namespace ppstap

@@ -350,6 +350,60 @@ TEST(FaultTolerance, StaleWeightReuseSurvivesSpareFailover) {
   EXPECT_TRUE(res.numerics.clean());
 }
 
+// PR 7 (satellite): the single spare covers exactly one weight-rank
+// failure. A *second* weight-rank death after the spare is consumed used
+// to stall receivers forever (the dead rank stayed marked recoverable, so
+// peers waited for a takeover that could never come). Now the takeover
+// downgrades every remaining weight rank to unrecoverable: the second
+// death surfaces promptly, the CPIs that needed the dead rank's weights
+// are shed, and the ledger records the uncovered failure.
+TEST(FaultTolerance, SecondWeightDeathIsUncoveredNotWedged) {
+  auto f = Fixture::make();
+  const index_t n_cpis = 10;
+  const auto ref = sequential_reference(f, n_cpis);
+
+  NodeAssignment a;
+  const int first_victim = a.first_rank(Task::kHardWeight);
+  const int second_victim = a.first_rank(Task::kEasyWeight);
+
+  FaultPlan plan;
+  plan.add(FaultPlan::kill_on_recv(first_victim,
+                                   tag_for(2, kEdgeDopToHardWt)));
+  plan.add(FaultPlan::kill_on_recv(second_victim,
+                                   tag_for(5, kEdgeDopToEasyWt)));
+
+  ScenarioGenerator gen(f.sp);
+  ParallelStapPipeline par(f.p, a, f.steering(),
+                           {gen.replica().begin(), gen.replica().end()});
+  FaultToleranceConfig ft;
+  ft.spare_rank = true;
+  par.set_fault_tolerance(ft);
+  par.set_fault_plan(&plan);
+  auto res = par.run(gen, n_cpis, /*warmup=*/1, /*cooldown=*/1);
+
+  // One covered failure (the spare took over the hard-weight role), one
+  // uncovered (the easy-weight rank died with the spare already spent).
+  EXPECT_EQ(res.faults.kills, 2u);
+  ASSERT_EQ(res.faults.failovers.size(), 1u);
+  EXPECT_EQ(res.faults.failovers[0].rank, first_victim);
+  ASSERT_EQ(res.faults.uncovered_ranks,
+            std::vector<int>{second_victim});
+  EXPECT_FALSE(res.faults.clean());
+
+  // Shed cleanly, not wedged: the run drained every CPI; the ones that
+  // needed the dead easy-weight rank's send-ahead weights are in the shed
+  // ledger, and everything before the second kill is still exact.
+  ASSERT_EQ(res.detections.size(), static_cast<size_t>(n_cpis));
+  EXPECT_FALSE(res.faults.shed_cpis.empty());
+  std::vector<bool> shed(static_cast<size_t>(n_cpis), false);
+  for (index_t s : res.faults.shed_cpis) shed[static_cast<size_t>(s)] = true;
+  for (index_t cpi = 0; cpi < 5 && cpi < n_cpis; ++cpi) {
+    if (shed[static_cast<size_t>(cpi)]) continue;
+    expect_cpi_matches(res.detections[static_cast<size_t>(cpi)],
+                       ref[static_cast<size_t>(cpi)], cpi);
+  }
+}
+
 // Combined fault: a frame whose every retransmitted copy is corrupted
 // again. The receiver burns the whole retransmission budget, gives up on
 // exactly that CPI (shed, not crash), and the rest of the stream is exact.
