@@ -126,7 +126,12 @@ class JsonReport {
         "elastic.migrations_committed",
         "elastic.migrations_rolled_back",
         "overload.elastic_assists",
-        "pipeline.uncovered_failures"};
+        "pipeline.uncovered_failures",
+        "elastic.shrinks_committed",
+        "overload.capacity_losses",
+        "healing.spare_takeovers",
+        "healing.shrinks",
+        "healing.uncovered"};
     obs::Json out = obs::Json::object();
     for (const char* key : kCounters) {
       const obs::Json* v =

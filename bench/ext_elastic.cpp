@@ -296,6 +296,10 @@ struct ChaosScenario {
   // ledgered stale-weight degradation from the fault-tolerance PR), so
   // only CPIs completed before the kill window are required to match.
   index_t exact_below = -1;  // -1: the whole stream
+  // Kill scenarios run with no spare pool configured, so the dead rank is
+  // *expected* to be ledgered as an uncovered failure; everywhere else an
+  // uncovered entry means a rank silently died and must fail the gate.
+  bool expect_uncovered = false;
 };
 
 FaultRule protocol_rule(FaultType type, FaultPoint point, int src, int dest,
@@ -346,8 +350,9 @@ int run_chaos_panel() {
 
   std::vector<ChaosScenario> scenarios;
   auto add = [&](const char* name, const FaultRule& rule,
-                 index_t exact_below = -1) {
-    scenarios.push_back(ChaosScenario{name, rule, exact_below});
+                 index_t exact_below = -1, bool expect_uncovered = false) {
+    scenarios.push_back(
+        ChaosScenario{name, rule, exact_below, expect_uncovered});
   };
   // Dropped protocol messages: starve the coordinator (rollback by vote
   // timeout) or a participant (commit already resolved; the CAS absorbs
@@ -403,30 +408,36 @@ int run_chaos_panel() {
   // tolerance (shed the dead rank's slices).
   add("kill_migrating_at_vote",
       protocol_rule(FaultType::kKill, FaultPoint::kSend, migrating, -1,
-                    kVoteSlot));
+                    kVoteSlot),
+      /*exact_below=*/-1, /*expect_uncovered=*/true);
   add("kill_coordinator_at_vote_recv",
       protocol_rule(FaultType::kKill, FaultPoint::kRecv, -1, coordinator,
-                    kVoteSlot));
+                    kVoteSlot),
+      /*exact_below=*/-1, /*expect_uncovered=*/true);
   add("kill_doppler1_at_vote",
       protocol_rule(FaultType::kKill, FaultPoint::kSend, doppler1, -1,
-                    kVoteSlot));
+                    kVoteSlot),
+      /*exact_below=*/-1, /*expect_uncovered=*/true);
   add("kill_easy_wt_at_vote",
       protocol_rule(FaultType::kKill, FaultPoint::kSend, easy_wt, -1,
                     kVoteSlot),
-      /*exact_below=*/migrate_at);
+      /*exact_below=*/migrate_at, /*expect_uncovered=*/true);
   add("kill_hard_wt_at_vote",
       protocol_rule(FaultType::kKill, FaultPoint::kSend, hard_wt, -1,
                     kVoteSlot),
-      /*exact_below=*/migrate_at);
+      /*exact_below=*/migrate_at, /*expect_uncovered=*/true);
   add("kill_easy_bf_at_vote",
       protocol_rule(FaultType::kKill, FaultPoint::kSend, easy_bf, -1,
-                    kVoteSlot));
+                    kVoteSlot),
+      /*exact_below=*/-1, /*expect_uncovered=*/true);
   add("kill_hard_bf_at_vote",
       protocol_rule(FaultType::kKill, FaultPoint::kSend, hard_bf, -1,
-                    kVoteSlot));
+                    kVoteSlot),
+      /*exact_below=*/-1, /*expect_uncovered=*/true);
   add("kill_migrating_at_verdict_recv",
       protocol_rule(FaultType::kKill, FaultPoint::kRecv, -1, migrating,
-                    kVerdictSlot));
+                    kVerdictSlot),
+      /*exact_below=*/-1, /*expect_uncovered=*/true);
   // Data-plane faults crossing the barrier window: a dropped frame sheds
   // exactly its CPI; a corrupted one is retransmitted; neither may disturb
   // the transaction.
@@ -482,6 +493,18 @@ int run_chaos_panel() {
         res.completion_times.size() != static_cast<size_t>(n_cpis)) {
       ok = false;
       why = "stream size mismatch";
+    }
+    // Uncovered-failure gate: an uncovered entry is only legal where the
+    // scenario explicitly expects pool exhaustion (the kill scenarios run
+    // without spares); and where one is expected it must actually appear,
+    // otherwise the kill never landed and the scenario tested nothing.
+    if (!sc.expect_uncovered && !res.faults.uncovered_ranks.empty()) {
+      ok = false;
+      why = "unexpected uncovered failure";
+    }
+    if (sc.expect_uncovered && res.faults.uncovered_ranks.empty()) {
+      ok = false;
+      why = "expected uncovered failure missing";
     }
     std::vector<bool> shed(static_cast<size_t>(n_cpis), false);
     for (index_t c : res.faults.shed_cpis) {

@@ -52,6 +52,7 @@ LOWER_IS_BETTER = (
     "comp_s",
     "send_s",
     "total_s",
+    "mttr",
 )
 
 # Stochastic per-run event counters (how many CPIs were shed, how many
@@ -74,6 +75,7 @@ EVENT_COUNTERS = (
     "uncovered",
     "exact_cpis",
     "kills",
+    "resume",  # barrier CPI a shrink resumed at: a coordinate, not a measure
 )
 
 # Minimum absolute slack by metric fragment. Overhead fractions hover
@@ -82,7 +84,10 @@ EVENT_COUNTERS = (
 # migration gains swing several points around zero on a timeshared host,
 # and the barrier stall in periods is a handful of milliseconds divided by
 # a handful of milliseconds — both need absolute, not relative, headroom.
-ABS_SLACK = (("overhead", 0.05), ("gain", 0.15), ("stall", 1.5))
+# Shrink MTTR is dominated by the deliberate drain-to-barrier (CPI-deadline
+# paced), which swings a couple of seconds run to run; spare-takeover MTTR
+# is milliseconds, far inside the same floor.
+ABS_SLACK = (("overhead", 0.05), ("gain", 0.15), ("stall", 1.5), ("mttr", 2.5))
 
 # Keys that identify a row rather than measure it.
 IDENTITY_KEYS = ("kind", "case", "task", "name", "bench", "scenario", "phase")
@@ -282,6 +287,19 @@ def self_test():
     heavy = json.loads(json.dumps(base))
     heavy["rows"][0]["overhead_fraction"] = 0.2  # beyond the absolute slack
     check("real overhead regression rejected", heavy, want_problems=True)
+
+    base["rows"][0]["max_mttr_s"] = 3.0
+    quick = json.loads(json.dumps(base))
+    quick["rows"][0]["max_mttr_s"] = 0.002  # a faster repair is never bad
+    check("mttr improvement tolerated", quick, want_problems=False)
+
+    wobble = json.loads(json.dumps(base))
+    wobble["rows"][0]["max_mttr_s"] = 4.8  # inside the absolute floor
+    check("mttr drain-pacing wobble tolerated", wobble, want_problems=False)
+
+    stuck = json.loads(json.dumps(base))
+    stuck["rows"][0]["max_mttr_s"] = 9.0  # repair latency tripled
+    check("mttr regression rejected", stuck, want_problems=True)
 
     return 0 if ok else 1
 

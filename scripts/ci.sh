@@ -40,7 +40,17 @@
 #      prediction for the identical plan), the <= 2x-sim-transient stall,
 #      and 20+ chaos scenarios all ending commit-or-clean-rollback with
 #      bit-exact surviving CPIs.
-#   9. Analyzer + regression gate: ppstap-analyze must reach a valid
+#   9. Survivability job: the ext_survivability smoke subset (spare
+#      takeovers of every role, correlated kills, a mid-migration kill, a
+#      shrink, an expected-exhaustion case) reruns under the TSan build —
+#      death notification, mailbox takeover, and the shrink commit cross
+#      every thread — then the full 34-scenario soak runs on the Release
+#      build and writes BENCH_survivability.json; its exit code asserts
+#      zero lost/duplicated CPIs, the expected healing mechanism with
+#      bounded MTTR in every scenario, uncovered entries only where pool
+#      exhaustion is the scenario's point, and post-shrink throughput
+#      within 10% of the reduced-topology prediction.
+#  10. Analyzer + regression gate: ppstap-analyze must reach a valid
 #      bottleneck verdict on the traced table-8 export, name the same
 #      gating group Table 9 does (Doppler), and see zero dropped spans;
 #      bench_compare.py first proves it can reject injected regressions
@@ -100,6 +110,11 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L abft
 echo "=== elastic: live migration gates + chaos (BENCH_elastic.json) ==="
 ./build/bench/ext_elastic --json BENCH_elastic.json
 
+echo "=== survivability: TSan smoke + full soak (BENCH_survivability.json) ==="
+cmake --build build-tsan -j "$JOBS" --target ext_survivability
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/bench/ext_survivability --smoke
+./build/bench/ext_survivability --json BENCH_survivability.json
+
 echo "=== analyzer verdict + perf regression gate ==="
 ./build/tools/ppstap-analyze trace_table8.json \
   --assert-verdict --assert-no-drops \
@@ -109,5 +124,6 @@ python3 scripts/bench_compare.py bench/baselines/BENCH_table8.json BENCH_table8.
 python3 scripts/bench_compare.py bench/baselines/BENCH_overload.json BENCH_overload.json
 python3 scripts/bench_compare.py bench/baselines/BENCH_abft.json BENCH_abft.json
 python3 scripts/bench_compare.py bench/baselines/BENCH_elastic.json BENCH_elastic.json
+python3 scripts/bench_compare.py bench/baselines/BENCH_survivability.json BENCH_survivability.json
 
 echo "ci.sh: all checks passed"

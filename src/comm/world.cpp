@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "comm/fault.hpp"
+#include "common/backoff.hpp"
 #include "common/checksum.hpp"
 #include "common/timer.hpp"
 #include "obs/trace.hpp"
@@ -31,9 +32,14 @@ void corrupt_copy(std::vector<std::byte>& bytes, std::uint64_t salt) {
   bytes[idx] ^= std::byte{0x40};
 }
 
-/// A corrupted frame is refetched from the pristine copy at most this many
-/// times before the receiver gives up.
-constexpr int kMaxRetransmitAttempts = 5;
+/// The histogram bucket for a frame's tag: data edges map to their slot,
+/// everything else (protocol slots, test traffic, negative tags) shares the
+/// last bucket.
+int retry_bucket(int tag) {
+  const int slot = tag % 16;
+  return slot >= 0 && slot < kRetryEdgeBuckets - 1 ? slot
+                                                   : kRetryEdgeBuckets - 1;
+}
 
 }  // namespace
 
@@ -127,6 +133,12 @@ void World::set_recoverable(int rank, bool flag) {
 bool World::rank_dead(int rank) const {
   PPSTAP_REQUIRE(rank >= 0 && rank < num_ranks_, "invalid rank");
   return shared_->dead[static_cast<size_t>(rank)].load(
+      std::memory_order_acquire);
+}
+
+bool World::rank_recoverable(int rank) const {
+  PPSTAP_REQUIRE(rank >= 0 && rank < num_ranks_, "invalid rank");
+  return shared_->recoverable[static_cast<size_t>(rank)].load(
       std::memory_order_acquire);
 }
 
@@ -387,26 +399,38 @@ std::optional<std::vector<std::byte>> World::finalize_frame(
     Comm& c, Frame&& f, bool allow_corrupt_failure) {
   // Runs with no locks held. A checksum mismatch (only possible under an
   // injected corruption) triggers the retransmission path: refetch the
-  // sender-side pristine copy with linear backoff; a corrupt rule may hit
-  // the refetched copy again (keyed by attempt), bounded by the budget.
-  // On a deadline receive an exhausted budget surfaces as a lost frame
-  // (RecvStatus::kCorrupt) so the caller can shed the CPI instead of
-  // aborting the whole world.
+  // sender-side pristine copy with jittered exponential backoff (the shared
+  // Backoff ladder, salted by (src, tag, seq) so seeded runs replay
+  // identically); a corrupt rule may hit the refetched copy again (keyed by
+  // attempt), bounded by the budget. On a deadline receive an exhausted
+  // budget surfaces as a lost frame (RecvStatus::kCorrupt) so the caller
+  // can shed the CPI instead of aborting the whole world.
   int attempt = 0;
+  const std::uint64_t retry_salt =
+      f.seq + (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.tag))
+               << 24) +
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.src)) << 56);
   while (checksum_bytes(f.bytes) != f.checksum) {
     ++attempt;
     c.stats_.retransmissions += 1;
     if (attempt > kMaxRetransmitAttempts) {
+      c.stats_.retry_histogram[static_cast<size_t>(retry_bucket(f.tag))]
+                              [kMaxRetransmitAttempts] += 1;
       PPSTAP_CHECK(allow_corrupt_failure,
                    "frame corruption persisted past the retransmission budget");
       return std::nullopt;
     }
-    std::this_thread::sleep_for(std::chrono::microseconds(50LL * attempt));
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        Backoff::retry_delay(attempt, retry_salt)));
     f.bytes = f.pristine;
     if (plan_ && !f.bytes.empty() &&
         plan_->corrupt_due(f.src, c.rank(), f.tag, f.seq, attempt)) {
       corrupt_copy(f.bytes, f.seq + static_cast<std::uint64_t>(attempt));
     }
+  }
+  if (attempt > 0) {
+    c.stats_.retry_histogram[static_cast<size_t>(retry_bucket(f.tag))]
+                            [attempt - 1] += 1;
   }
   c.stats_.bytes_received += f.bytes.size();
   c.stats_.messages_received += 1;

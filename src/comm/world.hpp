@@ -33,6 +33,7 @@
 // rank throws ppstap::Error instead of hanging.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -51,6 +52,16 @@ namespace ppstap::comm {
 
 class World;
 class FaultPlan;
+
+/// A corrupted frame is refetched from the sender-side pristine copy at
+/// most this many times before the receiver gives up (RecvStatus::kCorrupt
+/// on a deadline receive, fatal otherwise).
+inline constexpr int kMaxRetransmitAttempts = 5;
+
+/// Tag-slot buckets for the per-edge retry histogram: slots 0-8 are the
+/// Fig. 4 data edges (tag = cpi * 16 + slot, see pipeline.cpp tag_for),
+/// bucket 9 aggregates everything else (protocol slots, test traffic).
+inline constexpr int kRetryEdgeBuckets = 10;
 
 /// Thrown inside a rank when a FaultPlan kKill rule fires (before the
 /// matched operation takes effect, so no message is half-consumed).
@@ -75,6 +86,14 @@ struct CommStats {
   /// Frames whose checksum failed on delivery and were fetched again from
   /// the sender-side pristine copy (nonzero only under fault injection).
   std::uint64_t retransmissions = 0;
+  /// Per-edge retry-count histogram: retry_histogram[e][a] counts frames
+  /// received on edge bucket e (tag slot, kRetryEdgeBuckets) that delivered
+  /// after exactly a+1 refetches; the last column (a ==
+  /// kMaxRetransmitAttempts) counts frames that exhausted the budget.
+  /// All-zero for frames that deliver clean on the first attempt.
+  std::array<std::array<std::uint64_t, kMaxRetransmitAttempts + 1>,
+             kRetryEdgeBuckets>
+      retry_histogram{};
   /// Seconds this rank spent blocked inside recv waiting for a matching
   /// message to arrive (the queue-wait component of Fig. 10's receive
   /// phase; feeds the per-task queue-wait gauges).
@@ -301,6 +320,11 @@ class World {
 
   /// True while `rank` is dead and unclaimed/unrevived.
   bool rank_dead(int rank) const;
+
+  /// True while `rank` is marked recoverable (a standby may still claim its
+  /// death). False means a death of this rank is permanent — the signal the
+  /// elastic shrink path keys on.
+  bool rank_recoverable(int rank) const;
 
   /// WallTimer::now() timestamp at which `rank` died (0 if alive);
   /// subtract from the spare's restore-complete time for recovery stall.

@@ -182,6 +182,20 @@ Topology Topology::migrated(const stap::StapParams& p, Task donor,
   return t;
 }
 
+Topology Topology::shrunk(const stap::StapParams& p, int dead_rank) const {
+  const Role role = role_of(dead_rank);
+  PPSTAP_REQUIRE(task_migratable(role.task),
+                 "only the stateless per-CPI task groups can shrink");
+  PPSTAP_REQUIRE(count(role.task) >= 2,
+                 "shrinking group must keep at least one rank");
+  Topology t = *this;
+  auto& group = t.ranks[static_cast<size_t>(role.task)];
+  group.erase(group.begin() + role.local);
+  t.assign.nodes[static_cast<size_t>(role.task)] -= 1;
+  rebuild_partitions(t, p);
+  return t;
+}
+
 int Topology::total() const {
   int n = 0;
   for (const auto& group : ranks) n += static_cast<int>(group.size());
@@ -262,8 +276,11 @@ ElasticEngine::ElasticEngine(comm::World* world, const stap::StapParams& p,
       coordinator_rank_(initial.rank_at(Task::kDopplerFilter, 0)) {
   cfg_.validate();
   PPSTAP_REQUIRE(n_cpis_ >= 1, "elastic engine needs a nonempty stream");
-  epoch_capacity_ =
-      cfg_.forced.size() + static_cast<size_t>(cfg_.max_migrations) + 8;
+  // Headroom covers the optimization migrations plus, in the worst case,
+  // one shrink epoch per topology rank.
+  epoch_capacity_ = cfg_.forced.size() +
+                    static_cast<size_t>(cfg_.max_migrations) + 8 +
+                    static_cast<size_t>(total_ranks_);
   epochs_.reserve(epoch_capacity_);
   epochs_.push_back(Epoch{0, std::move(initial)});
   epoch_count_.store(1, std::memory_order_release);
@@ -297,12 +314,21 @@ const Topology& ElasticEngine::barrier_point(comm::Comm& c, index_t cpi) {
   progress_[static_cast<size_t>(rank)].store(cpi, std::memory_order_seq_cst);
   Proposal* p = pending_.load(std::memory_order_seq_cst);
   if (p != nullptr && cpi >= p->barrier_cpi &&
-      voted_[static_cast<size_t>(rank)].load(std::memory_order_relaxed) <
-          p->attempt &&
       p->outcome.load(std::memory_order_acquire) == kPending) {
-    voted_[static_cast<size_t>(rank)].store(p->attempt,
-                                            std::memory_order_relaxed);
-    participate(c, *p);
+    if (voted_[static_cast<size_t>(rank)].load(std::memory_order_relaxed) <
+        p->attempt) {
+      voted_[static_cast<size_t>(rank)].store(p->attempt,
+                                              std::memory_order_relaxed);
+      participate(c, *p);
+    } else if (rank != coordinator_rank_) {
+      // A spare-revived incarnation of a participant whose corpse died
+      // inside the window after marking its vote. Whether that vote was
+      // delivered is the coordinator's problem (a missing one times the
+      // attempt out); this rank must still hold at the barrier for the
+      // verdict — sailing past with the pre-commit topology while the
+      // commit re-partitions its peers would desynchronize the epochs.
+      await_verdict(c, *p);
+    }
   }
   return topo(cpi);
 }
@@ -335,10 +361,16 @@ void ElasticEngine::collect_votes(comm::Comm& c, Proposal& p) {
   const double t0 = WallTimer::now();
   const double deadline = t0 + cfg_.stall_budget_seconds;
   const char* reason = nullptr;
-  if (world_ != nullptr && world_->rank_dead(p.migrating_rank))
+  // A live-rank migration aborts if the mover died; a shrink aborts if its
+  // target came back to life (a late spare takeover raced the proposal).
+  if (world_ != nullptr && !p.shrink && world_->rank_dead(p.migrating_rank))
     reason = "migrating_rank_dead";
+  if (world_ != nullptr && p.shrink && !world_->rank_dead(p.migrating_rank))
+    reason = "shrink_target_alive";
   for (int r = 0; reason == nullptr && r < total_ranks_; ++r) {
     if (r == c.rank()) continue;
+    // The shrink target is dead by construction: no vote will ever come.
+    if (p.shrink && r == p.migrating_rank) continue;
     const double remaining = std::max(1e-3, deadline - WallTimer::now());
     const comm::RecvResult res =
         c.recv_bytes_for(r, vote_tag(p.barrier_cpi), remaining);
@@ -356,20 +388,26 @@ void ElasticEngine::collect_votes(comm::Comm& c, Proposal& p) {
       reason = "vote_mismatch";
   }
   // A rank that died after voting would leave a committed topology with a
-  // dead member; re-check liveness right before the commit point.
-  if (reason == nullptr && world_ != nullptr &&
-      world_->rank_dead(p.migrating_rank))
-    reason = "migrating_rank_dead";
+  // dead member; re-check liveness right before the commit point. For a
+  // shrink the target must (still) be dead instead.
+  if (reason == nullptr && world_ != nullptr) {
+    if (!p.shrink && world_->rank_dead(p.migrating_rank))
+      reason = "migrating_rank_dead";
+    if (p.shrink && !world_->rank_dead(p.migrating_rank))
+      reason = "shrink_target_alive";
+  }
   const int out = resolve(p, reason == nullptr ? kCommitted : kRolledBack,
                           reason == nullptr ? "" : reason);
-  emit_migration_span(out == kCommitted ? "migration_commit"
-                                        : "migration_rollback",
+  emit_migration_span(out == kCommitted
+                          ? (p.shrink ? "shrink_commit" : "migration_commit")
+                          : "migration_rollback",
                       c.rank(), p.barrier_cpi, t0, WallTimer::now());
   const VerdictPayload verdict{static_cast<std::int32_t>(p.attempt),
                                out == kCommitted ? 1 : 0,
                                static_cast<std::int64_t>(p.barrier_cpi)};
   for (int r = 0; r < total_ranks_; ++r) {
     if (r == c.rank()) continue;
+    if (p.shrink && r == p.migrating_rank) continue;
     c.send<VerdictPayload>(r, verdict_tag(p.barrier_cpi),
                            std::span<const VerdictPayload>(&verdict, 1));
   }
@@ -412,10 +450,15 @@ int ElasticEngine::resolve(Proposal& p, int outcome,
   // out first, with no comm operation (hence no injectable kill) between
   // the CAS and the publish: a rank that reads kCommitted is guaranteed a
   // bounded wait for the epoch.
+  const double commit_time = WallTimer::now();
   if (outcome == kCommitted) {
     publish_epoch(p);
-    committed_.fetch_add(1, std::memory_order_relaxed);
-    obs::Registry::global().counter("elastic.migrations_committed").add(1);
+    if (p.shrink) {
+      obs::Registry::global().counter("elastic.shrinks_committed").add(1);
+    } else {
+      committed_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("elastic.migrations_committed").add(1);
+    }
   } else {
     obs::Registry::global().counter("elastic.migrations_rolled_back").add(1);
   }
@@ -424,9 +467,19 @@ int ElasticEngine::resolve(Proposal& p, int outcome,
     MigrationEvent& e = events_[static_cast<size_t>(p.attempt)];
     e.outcome = outcome == kCommitted ? "committed" : "rolled_back";
     e.abort_reason = reason;
-    if (outcome != kCommitted)
+    if (outcome != kCommitted) {
       cooldown_until_ = p.barrier_cpi + cfg_.cooldown_cpis;
+      // A rolled-back shrink may be re-proposed at the next tick.
+      if (p.shrink)
+        shrunk_ranks_.erase(std::remove(shrunk_ranks_.begin(),
+                                        shrunk_ranks_.end(),
+                                        p.migrating_rank),
+                            shrunk_ranks_.end());
+    }
   }
+  if (outcome == kCommitted && p.shrink && shrink_callback_)
+    shrink_callback_(p.migrating_rank, static_cast<int>(p.donor),
+                     p.barrier_cpi, commit_time);
   Proposal* expect_p = &p;
   pending_.compare_exchange_strong(expect_p, nullptr);
   cv_.notify_all();
@@ -459,6 +512,107 @@ bool ElasticEngine::any_rank_dead() const {
   for (int r = 0; r < total_ranks_; ++r)
     if (world_->rank_dead(r)) return true;
   return false;
+}
+
+bool ElasticEngine::rank_permanently_dead(int rank) const {
+  return world_ != nullptr && world_->rank_dead(rank) &&
+         !world_->rank_recoverable(rank);
+}
+
+void ElasticEngine::set_shrink(bool enabled, ShrinkCallback on_commit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shrink_enabled_ = enabled;
+  shrink_callback_ = std::move(on_commit);
+}
+
+std::vector<int> ElasticEngine::shrunk_ranks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shrunk_ranks_;
+}
+
+void ElasticEngine::shrink_tick(index_t cpi) {
+  if (!shrink_enabled_ || world_ == nullptr) return;
+  if (pending_.load(std::memory_order_relaxed) != nullptr) return;
+  // Scan the current topology for permanent deaths (dead and no longer
+  // recoverable: the spare pool is exhausted or was never there). A rank
+  // already healed by a committed shrink is gone from topo(cpi) once the
+  // coordinator's CPI passes the epoch boundary; the shrunk_ranks_ mark
+  // covers the window before that.
+  const Topology& cur = topo(cpi);
+  for (size_t task = 0; task < cur.ranks.size(); ++task) {
+    for (const int r : cur.ranks[task]) {
+      if (!world_->rank_dead(r) || world_->rank_recoverable(r)) continue;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (std::find(shrunk_ranks_.begin(), shrunk_ranks_.end(), r) !=
+            shrunk_ranks_.end())
+          continue;
+      }
+      if (propose_shrink(cpi, r)) return;
+    }
+  }
+}
+
+bool ElasticEngine::propose_shrink(index_t cpi, int dead_rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (pending_.load(std::memory_order_relaxed) != nullptr) return false;
+  const Topology& cur = epochs_.back().topology;
+  bool present = false;
+  Task task = Task::kDopplerFilter;
+  for (size_t t = 0; t < cur.ranks.size() && !present; ++t) {
+    for (const int r : cur.ranks[t]) {
+      if (r != dead_rank) continue;
+      present = true;
+      task = static_cast<Task>(t);
+      break;
+    }
+  }
+  if (!present) return false;
+  if (!task_migratable(task) || cur.count(task) < 2) return false;
+  Topology candidate;
+  try {
+    candidate = cur.shrunk(params_, dead_rank);
+    candidate.assign.validate(params_);
+  } catch (const Error&) {
+    return false;
+  }
+  index_t max_progress = -1;
+  for (const auto& x : progress_)
+    max_progress = std::max(max_progress, x.load(std::memory_order_seq_cst));
+  index_t barrier = std::max(max_progress, cpi) + cfg_.barrier_margin;
+  barrier = std::max(barrier, last_barrier_cpi_ + 1);
+  if (barrier > n_cpis_ - 2) return false;
+  proposals_.emplace_back();
+  Proposal& p = proposals_.back();
+  p.attempt = static_cast<int>(proposals_.size()) - 1;
+  p.barrier_cpi = barrier;
+  p.donor = task;
+  p.recipient = task;
+  p.migrating_rank = dead_rank;
+  p.shrink = true;
+  p.next = std::move(candidate);
+  p.next_checksum = p.next.checksum();
+  MigrationEvent e;
+  e.attempt = p.attempt;
+  e.barrier_cpi = barrier;
+  e.donor_task = static_cast<int>(task);
+  e.recipient_task = -1;
+  e.migrating_rank = dead_rank;
+  e.trigger = "shrink";
+  events_.push_back(std::move(e));
+  last_barrier_cpi_ = barrier;
+  shrunk_ranks_.push_back(dead_rank);
+  lock.unlock();
+  pending_.store(&p, std::memory_order_seq_cst);
+  // Same Dekker re-check as propose(): only live ranks advance progress,
+  // and the barrier was placed ahead of every recorded position.
+  for (const auto& x : progress_) {
+    if (x.load(std::memory_order_seq_cst) >= barrier) {
+      resolve(p, kRolledBack, "barrier_raced");
+      return false;
+    }
+  }
+  return true;
 }
 
 bool ElasticEngine::request_overload_assist() {
@@ -529,6 +683,9 @@ bool ElasticEngine::propose(index_t cpi, Task donor, Task recipient,
 
 void ElasticEngine::policy_tick(comm::Comm& c, index_t cpi) {
   if (c.rank() != coordinator_rank_) return;
+  // Repairs outrank optimizations: a permanent death in a migratable group
+  // raises a shrink barrier before any policy/forced/assist proposal.
+  shrink_tick(cpi);
   if (pending_.load(std::memory_order_relaxed) != nullptr) return;
   // Deterministic forced migrations (tests/benches) fire first, in order.
   if (next_forced_ < cfg_.forced.size() &&

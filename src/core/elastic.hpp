@@ -48,6 +48,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -95,6 +96,14 @@ struct Topology {
   /// keep at least one rank.
   Topology migrated(const stap::StapParams& p, stap::Task donor,
                     stap::Task recipient) const;
+
+  /// The candidate after removing `dead_rank` from its task group (elastic
+  /// shrink-to-survivors): the group's node count drops by one and every
+  /// partition is re-planned across the remaining ranks, re-running the
+  /// Tables 7-10 placement on the reduced count. Requires the rank's task
+  /// migratable (its state must be rebuildable from the topology) and the
+  /// group to keep at least one rank.
+  Topology shrunk(const stap::StapParams& p, int dead_rank) const;
 
   int count(stap::Task t) const {
     return static_cast<int>(ranks[static_cast<size_t>(t)].size());
@@ -182,7 +191,7 @@ struct MigrationEvent {
   int donor_task = -1;
   int recipient_task = -1;
   int migrating_rank = -1;
-  std::string trigger;  ///< "policy" | "overload" | "forced"
+  std::string trigger;  ///< "policy" | "overload" | "forced" | "shrink"
   std::string outcome;  ///< "committed" | "rolled_back" ("" while pending)
   std::string abort_reason;  ///< empty on commit
   /// Excess sink inter-completion gap at the barrier CPI (filled post-run
@@ -232,6 +241,38 @@ class ElasticEngine {
   int coordinator_rank() const { return coordinator_rank_; }
   const ElasticConfig& config() const { return cfg_; }
 
+  /// Highest CPI `rank` has reached (top-of-loop via barrier_point); -1
+  /// before its first CPI. A dead rank's progress freezes at its death
+  /// point — which is exactly the resume CPI for a spare takeover of a
+  /// stateless task.
+  index_t progress_of(int rank) const {
+    return progress_[static_cast<size_t>(rank)].load(
+        std::memory_order_seq_cst);
+  }
+
+  /// Dead with no recovery path left (not recoverable: the spare pool is
+  /// exhausted or was never there) — the rank's frames and completion
+  /// ticks will never arrive. False without an attached world.
+  bool rank_permanently_dead(int rank) const;
+
+  /// Fired on every committed shrink (any thread may win the resolving
+  /// CAS): the healed rank, its task at death, the epoch's begin CPI, and
+  /// the commit timestamp (WallTimer base, for MTTR against
+  /// World::death_time). Must be nonblocking.
+  using ShrinkCallback =
+      std::function<void(int rank, int task, index_t begin_cpi,
+                         double commit_time)>;
+
+  /// Enable shrink-to-survivors healing: when a rank of a migratable group
+  /// dies permanently (dead and not recoverable — the spare pool is
+  /// exhausted or absent), the coordinator's policy tick proposes removing
+  /// it from its group under the same two-phase barrier protocol. Shrinks
+  /// bypass max_migrations (they are repairs, not optimizations).
+  void set_shrink(bool enabled, ShrinkCallback on_commit = nullptr);
+
+  /// Ranks healed by a committed shrink so far (for uncovered accounting).
+  std::vector<int> shrunk_ranks() const;
+
   /// Post-run accounting (call after the stream drains).
   MigrationLedger ledger() const;
 
@@ -249,6 +290,10 @@ class ElasticEngine {
     stap::Task donor{};
     stap::Task recipient{};
     int migrating_rank = -1;
+    /// Shrink-to-survivors repair: `migrating_rank` is the (dead) rank
+    /// being removed rather than a live rank changing groups. Participants
+    /// learn the flavour through the shared pending pointer.
+    bool shrink = false;
     Topology next;
     std::uint64_t next_checksum = 0;
     std::atomic<int> outcome{kPending};
@@ -256,6 +301,11 @@ class ElasticEngine {
 
   bool propose(index_t cpi, stap::Task donor, stap::Task recipient,
                const char* trigger);
+  /// Propose removing a permanently dead rank from its group. Returns true
+  /// when a barrier was raised.
+  bool propose_shrink(index_t cpi, int dead_rank);
+  /// Coordinator-side scan for permanent deaths needing a shrink.
+  void shrink_tick(index_t cpi);
   void participate(comm::Comm& c, Proposal& p);
   void collect_votes(comm::Comm& c, Proposal& p);
   void await_verdict(comm::Comm& c, Proposal& p);
@@ -294,6 +344,12 @@ class ElasticEngine {
 
   std::atomic<bool> overload_assist_{false};
   std::atomic<int> committed_{0};
+  bool shrink_enabled_ = false;
+  ShrinkCallback shrink_callback_;
+  /// Ranks already healed (or being healed) by a shrink, so the scan does
+  /// not re-propose while the epoch is still ahead of the coordinator's
+  /// CPI. Guarded by mu_.
+  std::vector<int> shrunk_ranks_;
   size_t next_forced_ = 0;
   index_t last_barrier_cpi_ = -1;
   index_t cooldown_until_ = -1;

@@ -22,6 +22,7 @@
 // retransmission, injected fault, and failover.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -37,16 +38,36 @@ struct FaultToleranceConfig {
   double cpi_deadline_seconds = 0.25;
 
   /// Spare-rank failover (policy (b)): run one standby rank that revives
-  /// killed weight-task ranks from their checkpoints.
+  /// killed weight-task ranks from their checkpoints. Kept for
+  /// back-compat; equivalent to `spares = 1` when `spares` is unset.
   bool spare_rank = false;
+  /// Spare pool size (PR 8): N standby ranks, each able to assume *any*
+  /// role. Weight ranks resume from their per-CPI checkpoints; the
+  /// stateless tasks (Doppler, beamform, PC, CFAR) resume from the
+  /// topology epoch, with any half-consumed in-flight CPI shed by the
+  /// deadline machinery (so mid-CPI stateless recovery wants `shedding`
+  /// on). 0 defers to `spare_rank`.
+  int spares = 0;
+  /// When the pool is exhausted (or empty) and a rank of a migratable
+  /// group dies, let the elastic engine shrink the group to the survivors
+  /// under a new topology epoch instead of ledgering an uncovered failure.
+  bool heal_shrink = false;
   /// How often the idle spare polls for deaths (and for stream completion).
   double death_poll_seconds = 0.002;
 
-  bool any() const { return shedding || spare_rank; }
+  /// Effective spare-pool size.
+  int spare_count() const { return spares > 0 ? spares : (spare_rank ? 1 : 0); }
 
-  /// Read the PPSTAP_FAULT_* environment knobs (see README):
+  bool any() const {
+    return shedding || spare_count() > 0 || heal_shrink;
+  }
+
+  /// Read the PPSTAP_FAULT_* / PPSTAP_SPARES / PPSTAP_HEAL* environment
+  /// knobs (see README):
   ///   PPSTAP_FAULT_DEADLINE  seconds; > 0 enables shedding with that budget
-  ///   PPSTAP_FAULT_SPARE     nonzero enables the spare rank
+  ///   PPSTAP_FAULT_SPARE     nonzero enables one spare rank (legacy)
+  ///   PPSTAP_SPARES          spare-pool size (overrides PPSTAP_FAULT_SPARE)
+  ///   PPSTAP_HEAL_SHRINK     nonzero enables shrink-to-survivors
   ///   PPSTAP_FAULT_POLL      seconds; overrides death_poll_seconds
   static FaultToleranceConfig from_env();
 };
@@ -74,10 +95,17 @@ struct FaultLedger {
   std::uint64_t frames_corrupted = 0;
   std::uint64_t kills = 0;
   std::vector<FailoverEvent> failovers;
-  /// Ranks that died with no spare left to cover them (one spare covers one
-  /// failure; a later weight-rank death cannot be revived). Their CPIs are
-  /// shed instead of hanging the stream, and the gap is ledgered here.
+  /// Ranks that died and were never healed — no spare left to claim them
+  /// and no shrink could re-plan their group. Their CPIs are shed instead
+  /// of hanging the stream, and the gap is ledgered here.
   std::vector<int> uncovered_ranks;
+  /// Per-edge retransmission histogram summed over all ranks, mirroring
+  /// comm::CommStats::retry_histogram (rows = tag-slot buckets, data edges
+  /// 0-8 plus an "other" bucket; column a = frames delivered after exactly
+  /// a+1 refetches, last column = budget exhausted). Dimensions match
+  /// comm::kRetryEdgeBuckets x (comm::kMaxRetransmitAttempts + 1),
+  /// static_asserted at the aggregation site.
+  std::array<std::array<std::uint64_t, 6>, 10> retry_histogram{};
 
   bool clean() const {
     return shed_cpis.empty() && retransmissions == 0 && frames_delayed == 0 &&

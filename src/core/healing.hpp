@@ -1,0 +1,75 @@
+// Self-healing topology accounting (PR 8).
+//
+// Every rank death walks one healing state machine:
+//
+//   detect ──► claim-or-shrink ──► restore / re-plan ──► commit ──► report
+//
+//  * detect:      World::mark_dead timestamps the death; idle spares poll
+//                 wait_for_death, the elastic coordinator scans for
+//                 permanent deaths at every admission.
+//  * claim:       a pool spare claims the death (wait_for_death), restores
+//                 checkpointed solver state (weight tasks) or the topology
+//                 role (stateless tasks), and assumes the rank's identity
+//                 and mailbox via Comm::take_over — mechanism "spare".
+//  * shrink:      with the pool exhausted, the elastic engine re-plans the
+//                 dead rank's task group across the survivors with the
+//                 PR 7 quiesce/checkpoint/re-route/commit protocol under a
+//                 new topology epoch — mechanism "shrink".
+//  * report:      deaths neither claimed nor shrinkable are ledgered as
+//                 mechanism "uncovered" (and in FaultLedger::uncovered_ranks)
+//                 with their CPIs shed rather than the stream hanging.
+//
+// MTTR is measured per recovery: death timestamp to restore-complete
+// (spare) or to epoch commit (shrink). The ledger rides on PipelineResult
+// and is surfaced in every bench --json robustness block.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ppstap::core {
+
+/// One terminal transition of the healing state machine.
+struct HealingEvent {
+  int rank = -1;  ///< global rank that died
+  int task = -1;  ///< stap::Task index of that rank at death
+  /// "spare" (pool takeover), "shrink" (group re-planned across the
+  /// survivors), or "uncovered" (neither mechanism applied).
+  std::string mechanism;
+  /// First CPI processed after recovery (spare), the epoch's begin CPI
+  /// (shrink), or -1 (uncovered).
+  index_t resume_cpi = -1;
+  /// Mean-time-to-repair: seconds from the death to restore-complete
+  /// (spare) / epoch commit (shrink); 0 for uncovered deaths.
+  double mttr_seconds = 0.0;
+};
+
+/// Per-run healing accounting, one entry per rank death.
+struct HealingLedger {
+  std::vector<HealingEvent> events;
+
+  int spare_takeovers() const { return count("spare"); }
+  int shrinks() const { return count("shrink"); }
+  int uncovered() const { return count("uncovered"); }
+
+  /// Worst repair time across the run's recoveries (0 when none).
+  double max_mttr_seconds() const {
+    double m = 0.0;
+    for (const auto& e : events) m = std::max(m, e.mttr_seconds);
+    return m;
+  }
+
+  bool clean() const { return events.empty(); }
+
+ private:
+  int count(const char* mechanism) const {
+    int n = 0;
+    for (const auto& e : events) n += e.mechanism == mechanism ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace ppstap::core

@@ -64,6 +64,7 @@ OverloadController::OverloadController(const OverloadConfig& cfg,
   PPSTAP_REQUIRE(num_cpis >= 0, "negative CPI count");
   memo_.assign(static_cast<size_t>(num_cpis), std::int8_t{-1});
   was_admitted_.assign(static_cast<size_t>(num_cpis), std::uint8_t{0});
+  done_early_.assign(static_cast<size_t>(num_cpis), std::uint8_t{0});
   latencies_.reserve(kLatencyWindow);
 }
 
@@ -174,10 +175,16 @@ OverloadController::Admission OverloadController::admit(index_t cpi) {
     }
   }
 
-  if (admit)
+  if (admit) {
     ++admitted_;
-  else
+    // Credit a completion that raced ahead of this admission (the sink
+    // shed-drains past a dead rank without waiting for the source): the
+    // CPI enters the queue already drained, so it must not be allowed to
+    // pin the backlog and deadlock the throttle.
+    if (done_early_[static_cast<size_t>(cpi)] != 0) ++completed_;
+  } else {
     rejected_.push_back(cpi);
+  }
   memo_[static_cast<size_t>(cpi)] = static_cast<std::int8_t>(decided);
   was_admitted_[static_cast<size_t>(cpi)] = admit ? 1 : 0;
   cv_.notify_all();
@@ -188,7 +195,15 @@ void OverloadController::on_complete(index_t cpi, double latency_seconds,
                                      bool shed) {
   std::lock_guard<std::mutex> lk(mu_);
   if (cpi < 0 || cpi >= static_cast<index_t>(memo_.size())) return;
-  if (was_admitted_[static_cast<size_t>(cpi)] == 0) return;  // was rejected
+  if (was_admitted_[static_cast<size_t>(cpi)] == 0) {
+    // Undecided: the sink outran the source (dead-rank shed-drain).
+    // Remember the completion so admit() credits it; a decided-but-
+    // rejected CPI stays ignored (its shed markers completing at the sink
+    // are not queue drain — it never entered the queue).
+    if (memo_[static_cast<size_t>(cpi)] < 0)
+      done_early_[static_cast<size_t>(cpi)] = 1;
+    return;
+  }
   ++completed_;
   if (!shed && latency_seconds > 0.0) {
     if (latencies_.size() < kLatencyWindow) {
@@ -207,6 +222,21 @@ void OverloadController::set_elastic_assist(std::function<bool()> assist) {
   assist_consumed_ = false;
 }
 
+void OverloadController::note_capacity_loss() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++capacity_losses_;
+  // One immediate producing-rung escalation: the degradation ladder
+  // absorbs the lost capacity before the backlog can pile up. The shed
+  // rung stays reachable only through the queue_high bound / SLO path.
+  if (cfg_.ladder && level_ < kNumDegradationLevels - 2) {
+    ++level_;
+    ++level_changes_;
+    healthy_streak_ = 0;
+    max_level_ = std::max(max_level_, level_);
+  }
+  cv_.notify_all();
+}
+
 OverloadLedger OverloadController::ledger() const {
   std::lock_guard<std::mutex> lk(mu_);
   OverloadLedger out;
@@ -216,6 +246,7 @@ OverloadLedger OverloadController::ledger() const {
     out.levels.push_back(v < 0 ? 0 : static_cast<int>(v));
   out.level_changes = level_changes_;
   out.throttle_waits = throttle_waits_;
+  out.capacity_losses = capacity_losses_;
   out.max_level = max_level_;
   return out;
 }

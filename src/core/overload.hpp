@@ -126,11 +126,12 @@ struct OverloadLedger {
   std::vector<int> levels;
   std::uint64_t level_changes = 0;   ///< ladder transitions (both ways)
   std::uint64_t throttle_waits = 0;  ///< admissions that blocked on backlog
+  std::uint64_t capacity_losses = 0;  ///< note_capacity_loss notifications
   int max_level = 0;                 ///< highest rung reached
 
   bool clean() const {
     return rejected_cpis.empty() && level_changes == 0 &&
-           throttle_waits == 0 && max_level == 0;
+           throttle_waits == 0 && capacity_losses == 0 && max_level == 0;
   }
 };
 
@@ -178,6 +179,13 @@ class OverloadController {
   /// back into this controller (it runs under the admission lock).
   void set_elastic_assist(std::function<bool()> assist);
 
+  /// Healing notification (PR 8): a rank was permanently lost and its
+  /// group shrunk to the survivors, so pipeline capacity dropped.
+  /// Escalates the ladder one producing rung immediately (the backlog has
+  /// not had time to reflect the loss) and counts the loss in the ledger.
+  /// Nonblocking; safe from any thread.
+  void note_capacity_loss();
+
   /// Snapshot of the run's accounting (call after the stream drains).
   OverloadLedger ledger() const;
 
@@ -194,6 +202,11 @@ class OverloadController {
   // level_for() reads concurrently. -1 = undecided.
   std::vector<std::int8_t> memo_;
   std::vector<std::uint8_t> was_admitted_;
+  // CPIs the sink completed *before* their admission decision (a dead rank
+  // lets the sink shed-drain far ahead of the source). Credited to
+  // completed_ at admission so the throttle backlog can never deadlock on
+  // a completion that already happened.
+  std::vector<std::uint8_t> done_early_;
 
   std::function<bool()> elastic_assist_;  // PR 7 migration hook
   bool assist_consumed_ = false;
@@ -206,6 +219,7 @@ class OverloadController {
   int max_level_ = 0;
   std::uint64_t level_changes_ = 0;
   std::uint64_t throttle_waits_ = 0;
+  std::uint64_t capacity_losses_ = 0;
   std::vector<index_t> rejected_;
 
   // Sliding window of recent end-to-end latencies for the p95 health test.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <functional>
@@ -11,6 +12,7 @@
 #include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "comm/fault.hpp"
 #include "comm/world.hpp"
@@ -131,6 +133,12 @@ struct Shared {
   };
   std::map<int, Checkpoint> checkpoints;
   std::vector<FailoverEvent> failovers;  // guarded by mu
+  /// Idle members left in the universal spare pool. The claiming spare
+  /// decrements; whoever takes the pool to zero clears every recoverable
+  /// flag so further deaths surface as prompt dead-peer statuses instead
+  /// of parking receivers on a recovery that will never come.
+  std::atomic<int> spares_left{0};
+  std::vector<HealingEvent> healing;  // guarded by mu
 
   std::mutex mu;
   std::vector<double> input_ready;  // per CPI, set by Doppler rank 0
@@ -397,6 +405,21 @@ struct FtRecv {
     const double remaining =
         missed ? 0.0 : std::max(0.0, deadline - WallTimer::now());
     auto r = c.recv_bytes_for(src, tag, remaining);
+    if (r.status == comm::RecvStatus::kPeerDead && cfg.heal_shrink) {
+      // The dead peer is being healed by a topology shrink: hold the edge
+      // to the CPI deadline like any other stall instead of shedding
+      // instantly. A prompt dead-peer shed would let the sink sprint to
+      // the end of the stream, pushing every rank's progress past the
+      // last CPI a shrink barrier could legally be placed at — the
+      // recovery would be unreachable exactly when it is configured.
+      // CPIs re-routed by the committed shrink never touch this edge;
+      // the in-flight ones shed here when the budget runs out.
+      while (r.status == comm::RecvStatus::kPeerDead &&
+             WallTimer::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        r = c.recv_bytes_for(src, tag, 0.0);
+      }
+    }
     if (r.ok()) return r.as<T>();
     missed = true;
     if (r.status == comm::RecvStatus::kTimeout ||
@@ -752,7 +775,7 @@ void run_easy_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
   // Checkpoint the computers' state after every CPI so a spare can resume
   // at exactly the next CPI (keyed by the global rank the spare assumes).
   auto save_ckpt = [&](index_t next_cpi) {
-    if (!s.ft.spare_rank) return;
+    if (s.ft.spare_count() == 0) return;
     std::ostringstream os;
     for (const auto& comp : computers) comp.save(os);
     std::lock_guard<std::mutex> lock(s.mu);
@@ -915,7 +938,7 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
     }
   };
   auto save_ckpt = [&](index_t next_cpi) {
-    if (!s.ft.spare_rank) return;
+    if (s.ft.spare_count() == 0) return;
     std::ostringstream os;
     for (const auto& comp : computers) comp.save(os);
     std::lock_guard<std::mutex> lock(s.mu);
@@ -1044,7 +1067,11 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
 // ---------------------------------------------------------------------------
 // Tasks 3/4: beamforming (partitioned along easy/hard bins)
 // ---------------------------------------------------------------------------
-void run_beamform(Comm& c, Shared& s, int me, bool hard) {
+// `begin` > 0 resumes mid-stream: a spare that assumed a dead beamforming
+// rank's identity re-enters here at the CPI the dead rank was processing
+// (its weight cache starts cold, so an in-flight CPI whose weights were
+// already consumed falls back to the shed path rather than wedging).
+void run_beamform(Comm& c, Shared& s, int me, bool hard, index_t begin = 0) {
   const auto& p = s.p;
   const Task task = hard ? Task::kHardBeamform : Task::kEasyBeamform;
   const Task wt_task = hard ? Task::kHardWeight : Task::kEasyWeight;
@@ -1073,7 +1100,7 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard) {
   FtRecv ftr = make_ftr(c, s);
   PhaseAcc acc;
 
-  for (index_t cpi = 0; cpi < s.n_cpis; ++cpi) {
+  for (index_t cpi = begin; cpi < s.n_cpis; ++cpi) {
     const Topology& tp = s.barrier(c, cpi);
     const bool meas = s.measured(cpi);
     const std::uint64_t bytes0 = acc.bytes;
@@ -1465,13 +1492,55 @@ index_t run_cfar(Comm& c, Shared& s, index_t begin) {
     bool cpi_done = false;
     bool cpi_shed = false;
     double latency = 0.0;
+    std::vector<index_t> retro;
     {
       std::lock_guard<std::mutex> lock(s.mu);
+      // Quorum completion: a permanently dead CFAR peer will never tick, so
+      // the CPI completes on the live members alone — and must shed, since
+      // the corpse's range slice is missing from the report. Post-shrink
+      // epochs drop the corpse from the group, so live == group and
+      // coverage is whole again. While the peer is merely dead-recoverable
+      // (a pool spare will revive it and deliver its ticks) the full group
+      // count stands.
+      const int group = tp.count(Task::kCfar);
+      int live = 0;
+      for (int r = 0; r < group; ++r)
+        live += s.eng->rank_permanently_dead(tp.rank_at(Task::kCfar, r))
+                    ? 0
+                    : 1;
+      if (live < group) {
+        shed = true;
+        dets.clear();
+        // Sweep CPIs this rank already ticked at full group strength whose
+        // last tick died with the peer: complete them as shed now, or the
+        // admission backlog pins on completions that can never come.
+        for (index_t j = 0; j < cpi; ++j) {
+          const auto ji = static_cast<size_t>(j);
+          if (s.completion[ji] > 0.0) continue;
+          const Topology& tj = s.topo(j);
+          int live_j = 0;
+          for (int r = 0; r < tj.count(Task::kCfar); ++r)
+            live_j += s.eng->rank_permanently_dead(
+                          tj.rank_at(Task::kCfar, r))
+                          ? 0
+                          : 1;
+          if (s.cfar_done[ji] >= live_j && live_j > 0) {
+            s.shed[ji] = 1;
+            s.detections[ji].clear();
+            s.completion[ji] = WallTimer::now();
+            retro.push_back(j);
+          }
+        }
+      }
       if (shed) s.shed[static_cast<size_t>(cpi)] = 1;
       auto& sink = s.detections[static_cast<size_t>(cpi)];
+      // A shed CPI reports nothing: wipe contributions a peer banked
+      // before this rank learned the CPI cannot complete whole (e.g. the
+      // dead CFAR peer ticked here before dying mid-stream).
+      if (shed) sink.clear();
       sink.insert(sink.end(), dets.begin(), dets.end());
-      if (++s.cfar_done[static_cast<size_t>(cpi)] ==
-          tp.count(Task::kCfar)) {
+      if (++s.cfar_done[static_cast<size_t>(cpi)] >= live &&
+          s.completion[static_cast<size_t>(cpi)] == 0.0) {
         const double done = WallTimer::now();
         s.completion[static_cast<size_t>(cpi)] = done;
         cpi_done = true;
@@ -1484,6 +1553,8 @@ index_t run_cfar(Comm& c, Shared& s, index_t begin) {
     // SLO term, completions release throttled producers.
     if (cpi_done && s.ctrl != nullptr)
       s.ctrl->on_complete(cpi, latency, cpi_shed);
+    for (const index_t j : retro)
+      if (s.ctrl != nullptr) s.ctrl->on_complete(j, 0.0, true);
     if (shed && obs::tracing_enabled())
       obs::emit({"shed_cpi", "fault", c.rank(), obs::kFaultTrack,
                  static_cast<std::int64_t>(cpi), t0, t1, -1, -1});
@@ -1506,13 +1577,74 @@ index_t run_cfar(Comm& c, Shared& s, index_t begin) {
 }
 
 // ---------------------------------------------------------------------------
-// Spare rank: hot standby for the (stateful) weight tasks
+// Role dispatch
 // ---------------------------------------------------------------------------
-// Polls for a claimed-recoverable death until the stream drains. On a claim
-// it assumes the dead rank's identity and mailbox, restores the last weight
-// checkpoint, and re-enters the weight loop at exactly the CPI the dead
-// rank would have processed next — downstream ranks never notice beyond the
-// recovery stall (paper §6's reallocation stall, measured here for real).
+// Runs whatever tasks this rank's topology role demands from `cpi` to the
+// end of the stream. The migratable tasks return the CPI at which a
+// committed migration changed this rank's role and the loop re-enters the
+// new task's body there; the stateful weight/BF tasks never change role and
+// always run to the end. Shared by the normal per-rank driver body (cpi 0)
+// and by a spare that just assumed a dead stateless rank's identity (the
+// dead rank's frozen progress).
+void run_roles(Comm& c, Shared& s, index_t cpi) {
+  const int rank = c.rank();
+  while (cpi < s.n_cpis) {
+    const Topology::Role role = s.topo(cpi).role_of(rank);
+    PPSTAP_CHECK(role.local >= 0, "rank not assigned to any task");
+    switch (role.task) {
+      case Task::kDopplerFilter:
+        cpi = run_doppler(c, s, cpi);
+        break;
+      case Task::kEasyWeight:
+        run_easy_wt(c, s, role.local);
+        cpi = s.n_cpis;
+        break;
+      case Task::kHardWeight:
+        run_hard_wt(c, s, role.local);
+        cpi = s.n_cpis;
+        break;
+      case Task::kEasyBeamform:
+        run_beamform(c, s, role.local, /*hard=*/false, cpi);
+        cpi = s.n_cpis;
+        break;
+      case Task::kHardBeamform:
+        run_beamform(c, s, role.local, /*hard=*/true, cpi);
+        cpi = s.n_cpis;
+        break;
+      case Task::kPulseCompression:
+        cpi = run_pc(c, s, cpi);
+        break;
+      case Task::kCfar:
+        cpi = run_cfar(c, s, cpi);
+        break;
+    }
+  }
+  // Last CFAR rank (under the final topology) out releases idle spares
+  // from their standby loops. Only ranks whose *final* role is CFAR count:
+  // a rank migrating away mid-stream must not tick the counter, and a
+  // revived CFAR rank ticks in place of the one that died.
+  const Topology& tf = s.topo(s.n_cpis - 1);
+  if (tf.role_of(rank).task == Task::kCfar) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (++s.cfar_ranks_finished == tf.count(Task::kCfar))
+      s.stream_done.store(true, std::memory_order_release);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spare pool: hot standby for every pipeline role
+// ---------------------------------------------------------------------------
+// Each pool member polls for a claimed-recoverable death until the stream
+// drains, then assumes the dead rank's identity and mailbox (healing state
+// machine: detect -> claim -> restore -> re-enter -> report). A weight rank
+// resumes from its per-CPI checkpoint at exactly the CPI it would have
+// processed next; a stateless rank (Doppler / beamform / pulse compression
+// / CFAR) re-enters its role at the dead rank's frozen progress CPI — any
+// inputs the dead rank had already consumed for that CPI are re-driven by
+// the deadline/shed machinery, so the in-flight CPI either completes
+// bit-exactly (mailbox intact) or sheds cleanly. Downstream ranks never
+// notice beyond the recovery stall (paper §6's reallocation stall, measured
+// here per takeover as MTTR).
 void run_spare(comm::World& world, Comm& c, Shared& s) {
   // Standby polling climbs a spin -> yield -> sleep ladder instead of
   // waking at a fixed interval: an idle spare costs (almost) nothing while
@@ -1534,8 +1666,17 @@ void run_spare(comm::World& world, Comm& c, Shared& s) {
     s.spare_wakeups.store(bo.wakeups(), std::memory_order_relaxed);
 
     const double t_death = world.death_time(*dead);
+
+    // Resolve the dead rank's role at its frozen progress point (the
+    // top-of-loop store a dead rank can never advance past).
+    const index_t at = std::max<index_t>(0, s.eng->progress_of(*dead));
+    const Topology::Role role = s.topo(at).role_of(*dead);
+    PPSTAP_CHECK(role.local >= 0, "dead rank not in the topology");
+    const bool stateful =
+        role.task == Task::kEasyWeight || role.task == Task::kHardWeight;
+
     Resume resume;
-    {
+    if (stateful) {
       std::lock_guard<std::mutex> lock(s.mu);
       auto it = s.checkpoints.find(*dead);
       PPSTAP_CHECK(it != s.checkpoints.end(),
@@ -1544,48 +1685,48 @@ void run_spare(comm::World& world, Comm& c, Shared& s) {
       resume.blob = it->second.blob;
     }
 
-    Task task = Task::kEasyWeight;
-    int local = -1;
-    for (int t = 0; t < stap::kNumTasks; ++t) {
-      const Task cand = static_cast<Task>(t);
-      if (*dead >= s.base(cand) && *dead < s.base(cand) + s.count(cand)) {
-        task = cand;
-        local = *dead - s.base(cand);
-        break;
-      }
-    }
-    PPSTAP_CHECK(local >= 0 && (task == Task::kEasyWeight ||
-                                task == Task::kHardWeight),
-                 "spare can only take over a weight rank");
-
     c.take_over(*dead);
-    // One spare covers one failure: the moment it is consumed, no later
-    // weight-rank death can be revived. Clear the recoverable flags (the
-    // taken-over id included) so a second death surfaces to receivers as a
-    // prompt dead-peer status — the CPI sheds and the driver ledgers an
-    // uncovered failure — instead of parking them on a recovery wait that
-    // nobody will ever satisfy.
-    for (int r = 0; r < s.count(Task::kEasyWeight); ++r)
-      world.set_recoverable(s.base(Task::kEasyWeight) + r, false);
-    for (int r = 0; r < s.count(Task::kHardWeight); ++r)
-      world.set_recoverable(s.base(Task::kHardWeight) + r, false);
-    resume.restored = [&s, &c, dead = *dead, task, t_death](index_t cpi) {
+    // This claim consumed one pool member. Whoever takes the pool to zero
+    // clears every recoverable flag (the taken-over id included — the
+    // revived rank is alive again, so the flag only governs a *repeat*
+    // death) so any further death surfaces to receivers as a prompt
+    // dead-peer status — the CPI sheds and the driver ledgers an uncovered
+    // failure or the shrink path re-plans — instead of parking them on a
+    // recovery wait that nobody will ever satisfy.
+    if (s.spares_left.fetch_sub(1, std::memory_order_acq_rel) - 1 <= 0)
+      for (int g = 0; g < s.a.total(); ++g) world.set_recoverable(g, false);
+
+    auto record = [&s, &c, dead = *dead, task = role.task,
+                   t_death](index_t cpi) {
       const double t_up = WallTimer::now();
       {
         std::lock_guard<std::mutex> lock(s.mu);
         s.failovers.push_back(FailoverEvent{
             dead, static_cast<int>(task), cpi, t_up - t_death});
+        HealingEvent ev;
+        ev.rank = dead;
+        ev.task = static_cast<int>(task);
+        ev.mechanism = "spare";
+        ev.resume_cpi = cpi;
+        ev.mttr_seconds = t_up - t_death;
+        s.healing.push_back(ev);
       }
       if (obs::tracing_enabled())
-        obs::emit({"failover", "fault", c.rank(), obs::kFaultTrack,
+        obs::emit({"heal_spare", "fault", c.rank(), obs::kFaultTrack,
                    static_cast<std::int64_t>(cpi), t_death, t_up, -1, -1});
       obs::flight_dump("failover");
     };
-    if (task == Task::kEasyWeight)
-      run_easy_wt(c, s, local, &resume);
-    else
-      run_hard_wt(c, s, local, &resume);
-    return;  // one spare covers one failure
+    if (stateful) {
+      resume.restored = record;
+      if (role.task == Task::kEasyWeight)
+        run_easy_wt(c, s, role.local, &resume);
+      else
+        run_hard_wt(c, s, role.local, &resume);
+    } else {
+      record(at);
+      run_roles(c, s, at);
+    }
+    return;  // each pool member covers one failure
   }
   s.spare_wakeups.store(bo.wakeups(), std::memory_order_relaxed);
 }
@@ -1680,16 +1821,16 @@ PipelineResult ParallelStapPipeline::run(
       obs::set_track_name(obs::kIntegrityTrack, "integrity");
   }
 
-  // One extra rank beyond the assignment when a spare is requested; it
-  // stays idle unless a recoverable (weight) rank dies.
-  comm::World world(assign_.total() + (ft_.spare_rank ? 1 : 0));
+  // Extra ranks beyond the assignment form the spare pool; they stay idle
+  // unless a recoverable rank dies. While the pool holds at least one
+  // member every topology rank is recoverable — the pool is universal, any
+  // role can be assumed (weight state from its per-CPI checkpoint, the
+  // stateless roles from the dead rank's frozen progress point).
+  comm::World world(assign_.total() + ft_.spare_count());
   world.set_fault_plan(plan_);
-  if (ft_.spare_rank) {
-    for (int r = 0; r < s.count(Task::kEasyWeight); ++r)
-      world.set_recoverable(s.base(Task::kEasyWeight) + r);
-    for (int r = 0; r < s.count(Task::kHardWeight); ++r)
-      world.set_recoverable(s.base(Task::kHardWeight) + r);
-  }
+  s.spares_left.store(ft_.spare_count(), std::memory_order_relaxed);
+  if (ft_.spare_count() > 0)
+    for (int g = 0; g < assign_.total(); ++g) world.set_recoverable(g);
 
   // The migration engine is always installed: with elastic disabled and no
   // forced migrations it never leaves epoch 0 and every topo(cpi) lookup is
@@ -1701,55 +1842,56 @@ PipelineResult ParallelStapPipeline::run(
   if (s.ctrl != nullptr && el_.any())
     s.ctrl->set_elastic_assist(
         [&eng] { return eng.request_overload_assist(); });
+  // Pool-exhausted fallback: a permanently dead rank's group shrinks to
+  // the survivors through the quiesce/re-plan/commit protocol. The commit
+  // callback reports the healing event (MTTR = death to epoch commit) and
+  // tells the overload controller capacity dropped.
+  if (ft_.heal_shrink)
+    eng.set_shrink(true, [&world, &s](int rank, int task, index_t begin_cpi,
+                                      double commit_time) {
+      const double t_death = world.death_time(rank);
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        HealingEvent ev;
+        ev.rank = rank;
+        ev.task = task;
+        ev.mechanism = "shrink";
+        ev.resume_cpi = begin_cpi;
+        ev.mttr_seconds = t_death > 0.0 ? commit_time - t_death : 0.0;
+        s.healing.push_back(ev);
+      }
+      if (s.ctrl != nullptr) s.ctrl->note_capacity_loss();
+      if (obs::tracing_enabled())
+        obs::emit({"heal_shrink", "fault", rank, obs::kFaultTrack,
+                   static_cast<std::int64_t>(begin_cpi),
+                   t_death > 0.0 ? t_death : commit_time, commit_time, -1,
+                   -1});
+      obs::flight_dump("shrink");
+    });
 
   world.run([&](Comm& c) {
-    const int rank = c.rank();
-    if (rank == s.a.total()) return run_spare(world, c, s);
-    // Role-dispatch loop: the migratable tasks return the CPI at which a
-    // committed migration changed this rank's role, and the loop re-enters
-    // the new task's body there. The stateful weight/BF tasks never change
-    // role and always run to the end of the stream.
-    index_t cpi = 0;
-    while (cpi < s.n_cpis) {
-      const Topology::Role role = s.topo(cpi).role_of(rank);
-      PPSTAP_CHECK(role.local >= 0, "rank not assigned to any task");
-      switch (role.task) {
-        case Task::kDopplerFilter:
-          cpi = run_doppler(c, s, cpi);
-          break;
-        case Task::kEasyWeight:
-          run_easy_wt(c, s, role.local);
-          cpi = s.n_cpis;
-          break;
-        case Task::kHardWeight:
-          run_hard_wt(c, s, role.local);
-          cpi = s.n_cpis;
-          break;
-        case Task::kEasyBeamform:
-          run_beamform(c, s, role.local, /*hard=*/false);
-          cpi = s.n_cpis;
-          break;
-        case Task::kHardBeamform:
-          run_beamform(c, s, role.local, /*hard=*/true);
-          cpi = s.n_cpis;
-          break;
-        case Task::kPulseCompression:
-          cpi = run_pc(c, s, cpi);
-          break;
-        case Task::kCfar:
-          cpi = run_cfar(c, s, cpi);
-          break;
+    if (c.rank() >= s.a.total()) return run_spare(world, c, s);
+    run_roles(c, s, 0);
+  });
+
+  // --- self-healing post-pass -----------------------------------------------
+  // A sink-side death can leave a CPI permanently incomplete: its cfar_done
+  // counter never reaches the group size, so completion stays zero even
+  // though the stream moved on. Account every such CPI as shed (no CPI is
+  // ever silently lost — it is either completed or ledgered) and suppress
+  // its partial detections, exactly like any other shed.
+  bool any_rank_dead = false;
+  for (int g = 0; g < assign_.total(); ++g)
+    any_rank_dead |= world.rank_dead(g);
+  if (any_rank_dead) {
+    for (index_t cpi = 0; cpi < num_cpis; ++cpi) {
+      const auto i = static_cast<size_t>(cpi);
+      if (s.completion[i] == 0.0) {
+        s.shed[i] = 1;
+        s.detections[i].clear();
       }
     }
-    // Last CFAR rank (under the final topology) out releases an idle spare
-    // from its standby loop.
-    const Topology& tf = s.topo(s.n_cpis - 1);
-    if (tf.role_of(rank).task == Task::kCfar) {
-      std::lock_guard<std::mutex> lock(s.mu);
-      if (++s.cfar_ranks_finished == tf.count(Task::kCfar))
-        s.stream_done.store(true, std::memory_order_release);
-    }
-  });
+  }
 
   // --- assemble the result --------------------------------------------------
   PipelineResult result;
@@ -1863,8 +2005,21 @@ PipelineResult ParallelStapPipeline::run(
   for (index_t cpi = 0; cpi < num_cpis; ++cpi)
     if (s.shed[static_cast<size_t>(cpi)])
       result.faults.shed_cpis.push_back(cpi);
-  for (const auto& st : stats)
+  static_assert(
+      std::tuple_size_v<decltype(result.faults.retry_histogram)> ==
+          comm::kRetryEdgeBuckets,
+      "fault ledger histogram buckets must mirror the comm layer");
+  static_assert(
+      std::tuple_size_v<
+          decltype(result.faults.retry_histogram)::value_type> ==
+          comm::kMaxRetransmitAttempts + 1,
+      "fault ledger histogram attempts must mirror the comm layer");
+  for (const auto& st : stats) {
     result.faults.retransmissions += st.retransmissions;
+    for (size_t b = 0; b < st.retry_histogram.size(); ++b)
+      for (size_t a = 0; a < st.retry_histogram[b].size(); ++a)
+        result.faults.retry_histogram[b][a] += st.retry_histogram[b][a];
+  }
   if (plan_ != nullptr) {
     const comm::FaultStats fs = plan_->stats();
     result.faults.frames_delayed = fs.delayed;
@@ -1873,19 +2028,27 @@ PipelineResult ParallelStapPipeline::run(
     result.faults.kills = fs.kills;
   }
   result.faults.failovers = std::move(s.failovers);
-  if (ft_.spare_rank) {
-    // A weight rank that is dead at exit with no failover event covering it
-    // died after the one spare was consumed: its CPIs were shed (prompt
-    // dead-peer statuses, not hangs) and the gap is ledgered here.
-    for (const Task t : {Task::kEasyWeight, Task::kHardWeight})
-      for (int r = 0; r < s.count(t); ++r) {
-        const int g = s.base(t) + r;
-        if (!world.rank_dead(g)) continue;
-        bool covered = false;
-        for (const auto& f : result.faults.failovers)
-          if (f.rank == g) covered = true;
-        if (!covered) result.faults.uncovered_ranks.push_back(g);
-      }
+  // Any topology rank dead at exit with neither a covering takeover nor a
+  // committed shrink died uncovered: its CPIs were shed (prompt dead-peer
+  // statuses, not hangs) and the gap is ledgered here — both in the fault
+  // ledger and as an "uncovered" healing event.
+  {
+    const std::vector<int> shrunk = eng.shrunk_ranks();
+    for (int g = 0; g < assign_.total(); ++g) {
+      if (!world.rank_dead(g)) continue;
+      bool covered = false;
+      for (const auto& f : result.faults.failovers)
+        if (f.rank == g) covered = true;
+      for (const int r : shrunk)
+        if (r == g) covered = true;
+      if (covered) continue;
+      result.faults.uncovered_ranks.push_back(g);
+      HealingEvent ev;
+      ev.rank = g;
+      ev.task = s.task_of_rank(g, s.n_cpis - 1);
+      ev.mechanism = "uncovered";
+      s.healing.push_back(ev);
+    }
   }
   if (!result.faults.clean()) {
     reg.counter("pipeline.cpis_shed")
@@ -1898,9 +2061,23 @@ PipelineResult ParallelStapPipeline::run(
           .add(static_cast<std::uint64_t>(
               result.faults.uncovered_ranks.size()));
   }
-  if (ft_.spare_rank)
+  if (ft_.spare_count() > 0)
     reg.counter("spare.poll_wakeups")
         .add(s.spare_wakeups.load(std::memory_order_relaxed));
+
+  // --- healing ledger -------------------------------------------------------
+  std::sort(s.healing.begin(), s.healing.end(),
+            [](const HealingEvent& a, const HealingEvent& b) {
+              return std::tie(a.resume_cpi, a.rank) <
+                     std::tie(b.resume_cpi, b.rank);
+            });
+  result.healing.events = std::move(s.healing);
+  if (!result.healing.clean()) {
+    reg.counter("healing.spare_takeovers")
+        .add(result.healing.spare_takeovers());
+    reg.counter("healing.shrinks").add(result.healing.shrinks());
+    reg.counter("healing.uncovered").add(result.healing.uncovered());
+  }
 
   // --- overload + numerical-health ledgers ----------------------------------
   if (s.ctrl != nullptr) {
@@ -1913,6 +2090,8 @@ PipelineResult ParallelStapPipeline::run(
           .add(result.overload.level_changes);
       reg.counter("overload.throttle_waits")
           .add(result.overload.throttle_waits);
+      reg.counter("overload.capacity_losses")
+          .add(result.overload.capacity_losses);
       reg.gauge("overload.max_level")
           .set(static_cast<double>(result.overload.max_level));
     }

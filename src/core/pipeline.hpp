@@ -22,6 +22,7 @@
 #include "core/assignment.hpp"
 #include "core/elastic.hpp"
 #include "core/fault_tolerance.hpp"
+#include "core/healing.hpp"
 #include "core/integrity.hpp"
 #include "core/overload.hpp"
 #include "linalg/matrix.hpp"
@@ -118,6 +119,11 @@ struct PipelineResult {
   /// rolled back) with its barrier CPI and measured quiesce stall.
   /// migrations.clean() when no migration was ever proposed.
   MigrationLedger migrations;
+
+  /// Self-healing accounting (PR 8): one event per rank death — spare
+  /// takeover, shrink-to-survivors, or uncovered — with per-recovery MTTR.
+  /// healing.clean() when no rank ever died.
+  HealingLedger healing;
 
   /// Absolute sink completion timestamp per CPI (WallTimer base; 0.0 for
   /// CPIs that never completed) — lets benches window steady-state

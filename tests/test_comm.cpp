@@ -494,6 +494,9 @@ TEST(FaultInjection, CorruptionTriggersRetransmission) {
   });
   EXPECT_EQ(plan.stats().corrupted, 1u);
   EXPECT_GE(world.last_stats()[1].retransmissions, 1u);
+  // Tag 9 lands in edge bucket 9; the corrupt-once frame repaired on the
+  // first retransmission attempt, so histogram slot 0 counts it.
+  EXPECT_EQ(world.last_stats()[1].retry_histogram[9][0], 1u);
 }
 
 TEST(FaultInjection, SeededCoinIsDeterministic) {
@@ -619,6 +622,116 @@ TEST(FaultInjection, PlanReplaysIdenticallyAcrossRuns) {
     });
     EXPECT_EQ(plan.stats().dropped, 1u);
   }
+}
+
+// PR 8 (death-path edge case): a sender dies while one of its frames is
+// mid-retransmission at the receiver. The receiver must not wedge waiting
+// for repairs from a corpse — it burns the budget against the mailbox
+// copies and surfaces kCorrupt, and the exhaustion is ledgered in the
+// per-edge retry histogram's overflow slot.
+TEST(FaultInjection, SenderDeathDuringInFlightRetransmission) {
+  World world(3);
+  FaultPlan plan;
+  auto rule = FaultPlan::corrupt_message(0, 1, 9);
+  rule.max_applications = -1;  // every copy, originals and retransmissions
+  plan.add(rule);
+  plan.add(FaultPlan::kill_on_recv(0, 7));
+  world.set_fault_plan(&plan);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> v(64);
+      std::iota(v.begin(), v.end(), 0);
+      c.send<int>(1, 9, v);  // poisoned frame, already in flight
+      // Handshake recv that kills the sender while rank 1 is still
+      // retrying the poisoned frame.
+      EXPECT_THROW((void)c.recv<int>(2, 7), RankKilled);
+      throw RankKilled(0);
+    } else if (c.rank() == 1) {
+      auto r = c.recv_bytes_for(0, 9, 5.0);
+      EXPECT_EQ(r.status, RecvStatus::kCorrupt);
+    } else {
+      std::vector<int> go = {1};
+      c.send<int>(0, 7, go);
+    }
+  });
+  EXPECT_TRUE(world.rank_dead(0));
+  // The exhausted budget is recorded in the overflow slot of edge
+  // bucket 9 (tag 9 < kEdgeCount).
+  EXPECT_EQ(world.last_stats()[1].retry_histogram[9][kMaxRetransmitAttempts],
+            1u);
+}
+
+// PR 8 (death-path edge case): two recoverable ranks die in the same plan
+// while two idle claimants wait. Each wait_for_death claim is exclusive —
+// the two claimants take over disjoint corpses and both roles resume.
+TEST(FaultInjection, SimultaneousMultiRankKillClaimsAreDisjoint) {
+  World world(5);
+  world.set_recoverable(0);
+  world.set_recoverable(1);
+  FaultPlan plan;
+  plan.add(FaultPlan::kill_on_recv(0, 7));
+  plan.add(FaultPlan::kill_on_recv(1, 7));
+  world.set_fault_plan(&plan);
+  std::atomic<unsigned> claimed_mask{0};
+  world.run([&world, &claimed_mask](Comm& c) {
+    if (c.rank() == 0 || c.rank() == 1) {
+      EXPECT_THROW((void)c.recv<int>(2, 7), RankKilled);
+      throw RankKilled(c.rank());
+    } else if (c.rank() == 2) {
+      std::vector<int> v = {1};
+      c.send<int>(0, 7, v);
+      c.send<int>(1, 7, v);
+      // Both corpses were claimed and revived: each claimant answers from
+      // the rank it took over.
+      EXPECT_EQ(c.recv<int>(0, 8)[0], 100);
+      EXPECT_EQ(c.recv<int>(1, 8)[0], 101);
+    } else {
+      auto dead = world.wait_for_death(5.0);
+      ASSERT_TRUE(dead.has_value());
+      claimed_mask.fetch_or(1u << *dead);
+      c.take_over(*dead);
+      std::vector<int> v = {100 + c.rank()};
+      c.send<int>(2, 8, v);
+    }
+  });
+  // Disjoint claims: ranks 0 and 1 each claimed exactly once.
+  EXPECT_EQ(claimed_mask.load(), 3u);
+  EXPECT_EQ(plan.stats().kills, 2u);
+  EXPECT_FALSE(world.rank_dead(0));
+  EXPECT_FALSE(world.rank_dead(1));
+}
+
+// PR 8 (death-path edge case): a rank that already finished its useful
+// work dies on a late control message. The death is still detected and
+// claimable promptly — wait_for_death doesn't depend on the corpse having
+// pending protocol traffic.
+TEST(FaultInjection, IdleRankDeathAfterCompletionIsClaimedPromptly) {
+  World world(3);
+  world.set_recoverable(1);
+  FaultPlan plan;
+  plan.add(FaultPlan::kill_on_recv(1, 99));
+  world.set_fault_plan(&plan);
+  world.run([&world](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> v = {7};
+      c.send<int>(1, 5, v);   // real work
+      c.send<int>(1, 99, v);  // late control message, kills on receipt
+    } else if (c.rank() == 1) {
+      EXPECT_EQ(c.recv<int>(0, 5)[0], 7);  // stream complete, now idle
+      EXPECT_THROW((void)c.recv<int>(0, 99), RankKilled);
+      throw RankKilled(1);
+    } else {
+      const double t0 = WallTimer::now();
+      auto dead = world.wait_for_death(5.0);
+      const double elapsed = WallTimer::now() - t0;
+      ASSERT_TRUE(dead.has_value());
+      EXPECT_EQ(*dead, 1);
+      EXPECT_LT(elapsed, 4.0);
+      c.take_over(1);
+    }
+  });
+  EXPECT_FALSE(world.rank_dead(1));
+  EXPECT_EQ(plan.stats().kills, 1u);
 }
 
 }  // namespace

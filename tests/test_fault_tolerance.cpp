@@ -33,6 +33,7 @@ constexpr int kTagStride = 16;
 constexpr int kEdgeDopToEasyWt = 0;
 constexpr int kEdgeDopToHardWt = 1;
 constexpr int kEdgeDopToEasyBf = 2;
+constexpr int kEdgeEasyBfToPc = 6;
 
 int tag_for(index_t cpi, int edge) {
   return static_cast<int>(cpi) * kTagStride + edge;
@@ -444,6 +445,156 @@ TEST(FaultTolerance, PersistentCorruptionExhaustsRetransmissionAndSheds) {
   // reference.
   for (index_t cpi = 0; cpi < n_cpis; ++cpi) {
     if (cpi == bad_cpi) continue;
+    expect_cpi_matches(res.detections[static_cast<size_t>(cpi)],
+                       ref[static_cast<size_t>(cpi)], cpi);
+  }
+}
+
+// PR 8 (tentpole): correlated failure of *both* weight ranks in the same
+// CPI. With a two-member spare pool each corpse is claimed by its own
+// spare, both roles restore from their per-CPI checkpoints, and the whole
+// stream stays bit-exact — two concurrent recoveries compose.
+TEST(FaultTolerance, CorrelatedWeightKillsBothHealWithPool) {
+  auto f = Fixture::make();
+  const index_t n_cpis = 8;
+  const index_t kill_cpi = 3;
+  const auto ref = sequential_reference(f, n_cpis);
+
+  NodeAssignment a;
+  const int easy_victim = a.first_rank(Task::kEasyWeight);
+  const int hard_victim = a.first_rank(Task::kHardWeight);
+
+  FaultPlan plan;
+  plan.add(FaultPlan::kill_on_recv(easy_victim,
+                                   tag_for(kill_cpi, kEdgeDopToEasyWt)));
+  plan.add(FaultPlan::kill_on_recv(hard_victim,
+                                   tag_for(kill_cpi, kEdgeDopToHardWt)));
+
+  ScenarioGenerator gen(f.sp);
+  ParallelStapPipeline par(f.p, a, f.steering(),
+                           {gen.replica().begin(), gen.replica().end()});
+  FaultToleranceConfig ft;
+  ft.spares = 2;
+  par.set_fault_tolerance(ft);
+  par.set_fault_plan(&plan);
+  auto res = par.run(gen, n_cpis, /*warmup=*/1, /*cooldown=*/1);
+
+  // Both deaths were covered — nothing shed, nothing uncovered.
+  EXPECT_EQ(res.faults.kills, 2u);
+  ASSERT_EQ(res.faults.failovers.size(), 2u);
+  EXPECT_TRUE(res.faults.uncovered_ranks.empty());
+  EXPECT_TRUE(res.faults.shed_cpis.empty());
+
+  // The healing ledger records one spare takeover per corpse, each with a
+  // positive MTTR, and no shrink or uncovered entries.
+  ASSERT_EQ(res.healing.events.size(), 2u);
+  EXPECT_EQ(res.healing.spare_takeovers(), 2);
+  EXPECT_EQ(res.healing.shrinks(), 0);
+  EXPECT_EQ(res.healing.uncovered(), 0);
+  EXPECT_GT(res.healing.max_mttr_seconds(), 0.0);
+  std::vector<int> healed;
+  for (const auto& ev : res.healing.events) {
+    healed.push_back(ev.rank);
+    EXPECT_EQ(ev.resume_cpi, kill_cpi);
+    EXPECT_GT(ev.mttr_seconds, 0.0);
+  }
+  std::sort(healed.begin(), healed.end());
+  EXPECT_EQ(healed, (std::vector<int>{easy_victim, hard_victim}));
+
+  // Checkpoint restore on both branches keeps the stream bit-exact.
+  ASSERT_EQ(res.detections.size(), static_cast<size_t>(n_cpis));
+  for (index_t cpi = 0; cpi < n_cpis; ++cpi)
+    expect_cpi_matches(res.detections[static_cast<size_t>(cpi)],
+                       ref[static_cast<size_t>(cpi)], cpi);
+}
+
+// PR 8 (tentpole): with no spare pool at all, a permanently dead pulse-
+// compression rank heals by shrinking the group to the survivor through
+// the elastic quiesce/re-plan/commit protocol. The stream drains (the
+// in-flight CPIs that needed the corpse are shed and ledgered), the
+// healing ledger records the shrink with its MTTR, and every CPI after
+// the commit is exact on the reduced topology.
+TEST(FaultTolerance, PermanentPcDeathShrinksToSurvivor) {
+  auto f = Fixture::make();
+  const index_t n_cpis = 14;
+  const index_t kill_cpi = 3;
+  const auto ref = sequential_reference(f, n_cpis);
+
+  NodeAssignment a;
+  a.nodes = {1, 1, 1, 1, 1, 2, 1};  // two PC ranks: shrinkable group
+  const int victim = a.first_rank(Task::kPulseCompression);
+
+  FaultPlan plan;
+  plan.add(FaultPlan::kill_on_recv(victim,
+                                   tag_for(kill_cpi, kEdgeEasyBfToPc)));
+
+  ScenarioGenerator gen(f.sp);
+  ParallelStapPipeline par(f.p, a, f.steering(),
+                           {gen.replica().begin(), gen.replica().end()});
+  FaultToleranceConfig ft;
+  ft.heal_shrink = true;
+  // Shedding (with a budget no healthy CPI can miss — these CPIs compute
+  // in milliseconds) is what lets the CPIs stranded by the death drain as
+  // ledgered sheds instead of errors; with heal_shrink armed the budget
+  // also bounds how long a dead-peer edge is held open awaiting the
+  // re-route, so it directly paces the recovery window.
+  ft.shedding = true;
+  ft.cpi_deadline_seconds = 1.5;
+  par.set_fault_tolerance(ft);
+  par.set_fault_plan(&plan);
+
+  // Stranded ranks creep one CPI per deadline until the barrier; give the
+  // vote collection enough budget to wait for the slowest of them.
+  ElasticConfig el;
+  el.stall_budget_seconds = 15.0;
+  par.set_elastic(el);
+
+  // Bounded-queue throttling (ladder off: no degradation, output stays
+  // exact) keeps the source within a few CPIs of the sink, so the death
+  // is detected while the shrink barrier still fits inside the stream —
+  // a free-running source could drain the whole stream into mailboxes
+  // before the coordinator ever sees the corpse.
+  OverloadConfig ov;
+  ov.enabled = true;
+  ov.ladder = false;
+  ov.queue_low = 2;
+  ov.queue_high = 3;
+  ov.reject_when_full = false;
+  par.set_overload(ov);
+
+  auto res = par.run(gen, n_cpis, /*warmup=*/1, /*cooldown=*/1);
+
+  // The death healed by shrink: ledgered with a positive MTTR (death to
+  // epoch commit), not as an uncovered failure, and the reduced capacity
+  // was reported.
+  EXPECT_EQ(res.faults.kills, 1u);
+  EXPECT_TRUE(res.faults.uncovered_ranks.empty());
+  EXPECT_TRUE(res.faults.failovers.empty());
+  ASSERT_EQ(res.healing.events.size(), 1u);
+  const auto& ev = res.healing.events[0];
+  EXPECT_EQ(ev.mechanism, "shrink");
+  EXPECT_EQ(ev.rank, victim);
+  EXPECT_EQ(ev.task, static_cast<int>(Task::kPulseCompression));
+  EXPECT_GT(ev.mttr_seconds, 0.0);
+  EXPECT_GT(ev.resume_cpi, kill_cpi);
+  EXPECT_EQ(res.overload.capacity_losses, 1u);
+  EXPECT_TRUE(res.overload.rejected_cpis.empty());
+
+  // Drained, not wedged: every CPI either completed or is in the shed
+  // ledger; the killed CPI itself is necessarily among the sheds, and the
+  // commit left at least one post-shrink CPI to prove the reduced
+  // topology works.
+  ASSERT_EQ(res.detections.size(), static_cast<size_t>(n_cpis));
+  std::vector<bool> shed(static_cast<size_t>(n_cpis), false);
+  for (index_t sidx : res.faults.shed_cpis)
+    shed[static_cast<size_t>(sidx)] = true;
+  EXPECT_TRUE(shed[static_cast<size_t>(kill_cpi)]);
+  EXPECT_LT(ev.resume_cpi, n_cpis - 1);
+  for (index_t cpi = 0; cpi < n_cpis; ++cpi) {
+    if (shed[static_cast<size_t>(cpi)]) {
+      EXPECT_TRUE(res.detections[static_cast<size_t>(cpi)].empty());
+      continue;
+    }
     expect_cpi_matches(res.detections[static_cast<size_t>(cpi)],
                        ref[static_cast<size_t>(cpi)], cpi);
   }
