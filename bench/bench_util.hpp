@@ -17,6 +17,7 @@
 
 #include "core/machine.hpp"
 #include "core/sim.hpp"
+#include "kernels/dispatch.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -146,6 +147,19 @@ class JsonReport {
     // ring-buffer wrap (nonzero dropped_count invalidates chain stitching).
     out["trace.spans"] = obs::span_count();
     out["trace.dropped_count"] = obs::dropped_count();
+    // Kernel dispatch provenance: which SIMD table produced these numbers
+    // and why, so cross-host diffs can tell a regression from an ISA
+    // mismatch (scripts/bench_compare.py refuses to compare across
+    // different simd.level values).
+    const kernels::SimdInfo si = kernels::simd_info();
+    obs::Json simd = obs::Json::object();
+    simd["level"] = si.level_name;
+    simd["source"] = si.source;
+    simd["lane_floats"] = static_cast<double>(si.lane_floats);
+    simd["cpu_avx2"] = si.cpu_avx2 ? 1.0 : 0.0;
+    simd["cpu_fma"] = si.cpu_fma ? 1.0 : 0.0;
+    simd["compiled_avx2"] = si.compiled_avx2 ? 1.0 : 0.0;
+    out["simd"] = std::move(simd);
     return out;
   }
 

@@ -2,11 +2,18 @@
 # Tier-1 verification plus the observability checks:
 #
 #   1. Configure, build, and run the full test suite (ROADMAP tier-1).
+#  1b. Kernel dispatch A/B: the kernels suite forced to scalar (the
+#      portable numerical contract, must pass on any host), forced to AVX2
+#      where the CPU has it (skipped gracefully otherwise), then
+#      micro_kernels writes BENCH_kernels.json — its exit code asserts the
+#      >= 2x geomean kernel speedup and >= 1.3x pipeline-analogue gate.
+#  1c. Build-both-ways check: -DPPSTAP_ENABLE_AVX2=OFF must still compile
+#      and pass the kernel + dsp suites with dispatch resolved to scalar.
 #   2. Seed the machine-readable benchmark baseline: table 8 with --json
 #      writes BENCH_table8.json, with the causal flow tracer armed
 #      (PPSTAP_TRACE=1) so the run also exports trace_table8.json for the
 #      analyzer stage below. The bench itself asserts the Table-9/10
-#      bottleneck verdicts, the <= 2% piggyback-overhead budget, and the
+#      bottleneck verdicts, the <= 5% piggyback-overhead budget, and the
 #      >= 95% stitched-chain latency coverage.
 #   3. Build-both-ways check: the tree must also compile and pass the
 #      obs-labelled tests with -DPPSTAP_ENABLE_TRACING=OFF, proving the
@@ -17,10 +24,12 @@
 #      paths cross threads at every step (death notification, spare
 #      take-over, mailbox discard), so a data race there is a correctness
 #      bug even when the race-free interleaving happens to pass.
-#   5. ASan+UBSan job: the comm/core/fault/overload-labelled suites under
-#      -fsanitize=address,undefined. The overload paths hand frames across
-#      degraded/shed boundaries and retry solves on conditioning failures —
-#      exactly where a stale pointer or signed overflow would hide.
+#   5. ASan+UBSan job: the comm/core/fault/overload/kernels-labelled
+#      suites under -fsanitize=address,undefined. The overload paths hand
+#      frames across degraded/shed boundaries and retry solves on
+#      conditioning failures — exactly where a stale pointer or signed
+#      overflow would hide; the kernel suite's blocked/tail paths are where
+#      a vector remainder overrun would.
 #   6. Overload bench: ext_overload sweeps offered load vs policy and
 #      writes BENCH_overload.json; its exit code asserts the degradation
 #      ladder beats shed-only admission at 2x load.
@@ -67,6 +76,33 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "=== kernels: SIMD dispatch A/B + roofline gates (BENCH_kernels.json) ==="
+# The portable path is the numerical contract: the kernel suite must pass
+# with dispatch forced to scalar on every host. The forced-AVX2 run proves
+# the vector path against the same oracles wherever the CPU has it; on a
+# host without AVX2+FMA it is skipped (PPSTAP_SIMD=avx2 would throw, by
+# design). micro_kernels then asserts the >= 2x geomean kernel speedup and
+# the >= 1.3x pipeline-analogue gate in its exit code, and bench_compare
+# diffs the roofline numbers at the end (skipping automatically when the
+# baseline's simd level differs from this host's).
+PPSTAP_SIMD=scalar ./build/tests/test_kernels
+if grep -qw avx2 /proc/cpuinfo && grep -qw fma /proc/cpuinfo; then
+  PPSTAP_SIMD=avx2 ./build/tests/test_kernels
+else
+  echo "kernels: host lacks AVX2+FMA — forced-AVX2 run skipped"
+fi
+./build/bench/micro_kernels --json BENCH_kernels.json
+
+echo "=== build-both-ways: PPSTAP_ENABLE_AVX2=OFF ==="
+# The AVX2 translation unit is optional by build flag, not only by runtime
+# dispatch: a build without it must still compile and pass the kernel and
+# dsp suites (dispatch resolves to scalar and reports compiled_avx2=0).
+cmake -B build-noavx2 -S . -DCMAKE_BUILD_TYPE=Release \
+      -DPPSTAP_ENABLE_AVX2=OFF
+cmake --build build-noavx2 -j "$JOBS" --target test_kernels test_dsp
+ctest --test-dir build-noavx2 --output-on-failure -j "$JOBS" \
+      -R '^(test_kernels|test_dsp)$'
+
 echo "=== bench baseline: BENCH_table8.json (traced) ==="
 PPSTAP_TRACE=1 PPSTAP_TRACE_FILE=trace_table8.json \
   ./build/bench/table8_throughput_latency --json BENCH_table8.json
@@ -95,9 +131,9 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-asan -j "$JOBS" \
       --target test_comm test_collectives test_core test_sim \
                test_pipeline_properties test_beam_cycling \
-               test_fault_tolerance test_overload
+               test_fault_tolerance test_overload test_kernels
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-      -L 'comm|core|fault|overload'
+      -L 'comm|core|fault|overload|kernels'
 
 echo "=== bench: overload ladder vs shed-only (BENCH_overload.json) ==="
 ./build/bench/ext_overload --json BENCH_overload.json
@@ -125,5 +161,6 @@ python3 scripts/bench_compare.py bench/baselines/BENCH_overload.json BENCH_overl
 python3 scripts/bench_compare.py bench/baselines/BENCH_abft.json BENCH_abft.json
 python3 scripts/bench_compare.py bench/baselines/BENCH_elastic.json BENCH_elastic.json
 python3 scripts/bench_compare.py bench/baselines/BENCH_survivability.json BENCH_survivability.json
+python3 scripts/bench_compare.py bench/baselines/BENCH_kernels.json BENCH_kernels.json
 
 echo "ci.sh: all checks passed"

@@ -1,12 +1,14 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/flops.hpp"
 
 namespace ppstap {
 
@@ -29,6 +31,11 @@ void parallel_for_blocks(index_t threads, index_t total,
                                        begin + base + (i < rem ? 1 : 0)};
   };
 
+  // The flop counter is thread-local; when the caller is instrumented, each
+  // worker runs under its own FlopScope and the counts fold back into the
+  // caller after the join, so totals are thread-count invariant.
+  const bool count_enabled = detail::flop_state().enabled;
+  std::atomic<std::uint64_t> worker_flops{0};
   std::mutex err_mu;
   std::exception_ptr first_error;
   std::vector<std::thread> workers;
@@ -37,7 +44,13 @@ void parallel_for_blocks(index_t threads, index_t total,
     const auto [begin, end] = bounds(i);
     workers.emplace_back([&, begin = begin, end = end] {
       try {
-        fn(begin, end);
+        if (count_enabled) {
+          FlopScope scope;
+          fn(begin, end);
+          worker_flops.fetch_add(scope.count(), std::memory_order_relaxed);
+        } else {
+          fn(begin, end);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(err_mu);
         if (!first_error) first_error = std::current_exception();
@@ -52,6 +65,7 @@ void parallel_for_blocks(index_t threads, index_t total,
     if (!first_error) first_error = std::current_exception();
   }
   for (auto& w : workers) w.join();
+  count_flops(worker_flops.load(std::memory_order_relaxed));
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -12,8 +12,10 @@
 // the pipeline (a shared pool would serialize unrelated ranks), and spawn
 // cost is microseconds against kernel times of milliseconds.
 //
-// Note: the thread-local flop counters only record work done on the calling
-// thread; instrumented flop measurements should run with threads = 1.
+// Flop accounting: when the caller is inside a FlopScope, each worker runs
+// under its own scope and the per-worker counts are summed into the caller's
+// thread-local counter on join, so instrumented runs see the same totals at
+// any thread count.
 #pragma once
 
 #include <functional>

@@ -1,8 +1,10 @@
 #include "core/elastic.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <span>
+#include <thread>
 #include <utility>
 
 #include "comm/world.hpp"
@@ -308,6 +310,22 @@ int ElasticEngine::epoch_count() const {
 
 const Topology& ElasticEngine::barrier_point(comm::Comm& c, index_t cpi) {
   const int rank = c.rank();
+  // Forced migrations promise determinism (tests/benches), so no rank may
+  // run past an unproposed entry's trigger CPI: a fast pipeline could
+  // otherwise push every rank's progress beyond the last legal barrier
+  // slot before the coordinator even ticks, and the entry would be
+  // silently unplaceable. The coordinator is exempt (it must reach the
+  // trigger to propose), and the hold is bounded by the stall budget so a
+  // dead coordinator cannot wedge the stream.
+  if (rank != coordinator_rank_ && !cfg_.forced.empty()) {
+    const double give_up = WallTimer::now() + cfg_.stall_budget_seconds;
+    for (;;) {
+      const size_t nf = next_forced_.load(std::memory_order_acquire);
+      if (nf >= cfg_.forced.size() || cpi <= cfg_.forced[nf].at_cpi) break;
+      if (WallTimer::now() >= give_up) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
   // seq_cst store/load pair against propose()'s publish + re-check: either
   // this rank sees the pending proposal here, or the coordinator sees this
   // progress already at/past the barrier and rolls the attempt back.

@@ -350,7 +350,10 @@ class ElasticEngine {
   /// not re-propose while the epoch is still ahead of the coordinator's
   /// CPI. Guarded by mu_.
   std::vector<int> shrunk_ranks_;
-  size_t next_forced_ = 0;
+  /// Next unconsumed cfg_.forced entry. Atomic because barrier_point()
+  /// reads it from every rank to hold the pipeline at an unproposed
+  /// entry's trigger CPI (see the determinism note there).
+  std::atomic<size_t> next_forced_{0};
   index_t last_barrier_cpi_ = -1;
   index_t cooldown_until_ = -1;
   // Two-tick hysteresis memory for the policy loop.

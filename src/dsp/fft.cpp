@@ -5,8 +5,11 @@
 #include <cmath>
 #include <numbers>
 
+#include <type_traits>
+
 #include "common/check.hpp"
 #include "common/flops.hpp"
+#include "kernels/kernels.hpp"
 
 namespace ppstap::dsp {
 
@@ -46,20 +49,43 @@ struct FftPlan<T>::Impl {
                            data[static_cast<size_t>(j)]);
     }
     const C* tw = twiddle.data();
-    for (index_t len = 2; len <= n; len <<= 1) {
-      const index_t half = len >> 1;
-      for (index_t start = 0; start < n; start += len) {
-        for (index_t k = 0; k < half; ++k) {
-          C w = tw[k];
-          if (inverse) w = std::conj(w);
-          C& u = data[static_cast<size_t>(start + k)];
-          C& v = data[static_cast<size_t>(start + k + half)];
-          const C t = v * w;
-          v = u - t;
-          u = u + t;
-        }
+    if constexpr (std::is_same_v<T, float>) {
+      // Sample-precision transforms run through the dispatched kernel layer:
+      // the len-2/len-4 bottom stages have hardcoded twiddles ({1} and
+      // {1, -+i}) and whole-block vector forms; every wider stage vectorizes
+      // across the contiguous twiddle/butterfly arrays.
+      index_t len = 2;
+      if (len <= n) {
+        kernels::fft_stage2(data.data(), n);
+        tw += 1;
+        len <<= 1;
       }
-      tw += half;
+      if (len <= n) {
+        kernels::fft_stage4(data.data(), n, inverse);
+        tw += 2;
+        len <<= 1;
+      }
+      for (; len <= n; len <<= 1) {
+        const index_t half = len >> 1;
+        kernels::fft_stage(data.data(), n, len, tw, inverse);
+        tw += half;
+      }
+    } else {
+      for (index_t len = 2; len <= n; len <<= 1) {
+        const index_t half = len >> 1;
+        for (index_t start = 0; start < n; start += len) {
+          for (index_t k = 0; k < half; ++k) {
+            C w = tw[k];
+            if (inverse) w = std::conj(w);
+            C& u = data[static_cast<size_t>(start + k)];
+            C& v = data[static_cast<size_t>(start + k + half)];
+            const C t = v * w;
+            v = u - t;
+            u = u + t;
+          }
+        }
+        tw += half;
+      }
     }
   }
 
@@ -129,6 +155,23 @@ template <typename T>
 void FftPlan<T>::execute(std::span<std::complex<T>> data) const {
   PPSTAP_REQUIRE(static_cast<index_t>(data.size()) == n_,
                  "FFT input length must equal plan size");
+  execute_one(data);
+  count_flops(nominal_flops());
+}
+
+template <typename T>
+void FftPlan<T>::execute_batch(std::span<std::complex<T>> data,
+                               index_t count) const {
+  PPSTAP_REQUIRE(count >= 0 && static_cast<index_t>(data.size()) == n_ * count,
+                 "batched FFT buffer must hold count lines of plan size");
+  for (index_t i = 0; i < count; ++i)
+    execute_one(data.subspan(static_cast<size_t>(i * n_),
+                             static_cast<size_t>(n_)));
+  count_flops(nominal_flops() * static_cast<std::uint64_t>(count));
+}
+
+template <typename T>
+void FftPlan<T>::execute_one(std::span<std::complex<T>> data) const {
   using C = std::complex<T>;
   const bool inverse = dir_ == FftDirection::kInverse;
 
@@ -145,8 +188,12 @@ void FftPlan<T>::execute(std::span<std::complex<T>> data) const {
       a[static_cast<size_t>(k)] =
           data[static_cast<size_t>(k)] * impl_->chirp[static_cast<size_t>(k)];
     impl_->radix2(a, /*inverse=*/false);
-    for (index_t k = 0; k < m; ++k)
-      a[static_cast<size_t>(k)] *= impl_->b_spec[static_cast<size_t>(k)];
+    if constexpr (std::is_same_v<T, float>) {
+      kernels::cf_mul_inplace(a.data(), impl_->b_spec.data(), m);
+    } else {
+      for (index_t k = 0; k < m; ++k)
+        a[static_cast<size_t>(k)] *= impl_->b_spec[static_cast<size_t>(k)];
+    }
     impl_->radix2(a, /*inverse=*/true);
     const T minv = T{1} / static_cast<T>(m);
     for (index_t k = 0; k < n_; ++k)
@@ -161,7 +208,6 @@ void FftPlan<T>::execute(std::span<std::complex<T>> data) const {
     const T s = T{1} / static_cast<T>(n_);
     for (auto& v : data) v *= s;
   }
-  count_flops(nominal_flops());
 }
 
 template <typename T>

@@ -39,12 +39,19 @@ class FftPlan {
   void execute(std::span<const std::complex<T>> in,
                std::span<std::complex<T>> out) const;
 
+  /// In-place transform of `count` contiguous lines of size() samples each
+  /// (data.size() == count * size()). Equivalent to `count` execute() calls,
+  /// amortizing dispatch and flop accounting across the batch — the Doppler
+  /// task hands all 2J staggered lines of one range gate to a single call.
+  void execute_batch(std::span<std::complex<T>> data, index_t count) const;
+
   /// Nominal flop count of one execution (5 n log2 n, the standard radix-2
   /// figure used by the paper's Table 1 accounting).
   std::uint64_t nominal_flops() const;
 
  private:
   struct Impl;
+  void execute_one(std::span<std::complex<T>> data) const;
   index_t n_;
   FftDirection dir_;
   std::unique_ptr<Impl> impl_;

@@ -1,0 +1,160 @@
+#include "kernels/dispatch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "kernels/kernels.hpp"
+
+namespace ppstap::kernels {
+
+namespace {
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+struct State {
+  SimdInfo info;
+  std::atomic<const detail::KernelOps*> active{nullptr};
+};
+
+void apply_level(State& s, SimdLevel level) {
+  s.info.level = level;
+  if (level == SimdLevel::kAvx2) {
+#if PPSTAP_HAVE_AVX2
+    s.info.level_name = "avx2";
+    s.info.lane_floats = 8;
+    s.active.store(&detail::avx2_ops(), std::memory_order_release);
+    return;
+#else
+    PPSTAP_REQUIRE(false, "AVX2 kernels not compiled into this build");
+#endif
+  }
+  s.info.level_name = "scalar";
+  s.info.lane_floats = 1;
+  s.active.store(&detail::scalar_ops(), std::memory_order_release);
+}
+
+State& state() {
+  static State s;
+  static const bool init = [] {
+    s.info.cpu_avx2 = cpu_supports_avx2();
+    s.info.cpu_fma = cpu_supports_fma();
+    s.info.compiled_avx2 = PPSTAP_HAVE_AVX2 != 0;
+    const bool available =
+        s.info.cpu_avx2 && s.info.cpu_fma && s.info.compiled_avx2;
+    const auto choice =
+        parse_env_choice("PPSTAP_SIMD", {"auto", "avx2", "scalar"});
+    SimdLevel level = available ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+    s.info.source = "auto";
+    if (choice.has_value() && *choice == 1) {
+      PPSTAP_REQUIRE(available,
+                     "PPSTAP_SIMD=avx2 but this host or build has no "
+                     "AVX2+FMA path");
+      level = SimdLevel::kAvx2;
+      s.info.source = "env";
+    } else if (choice.has_value() && *choice == 2) {
+      level = SimdLevel::kScalar;
+      s.info.source = "env";
+    }
+    apply_level(s, level);
+    return true;
+  }();
+  (void)init;
+  return s;
+}
+
+}  // namespace
+
+const SimdInfo& simd_info() { return state().info; }
+
+bool avx2_available() {
+  const SimdInfo& i = simd_info();
+  return i.cpu_avx2 && i.cpu_fma && i.compiled_avx2;
+}
+
+void force_simd_level(SimdLevel level) {
+  State& s = state();
+  if (level == SimdLevel::kAvx2)
+    PPSTAP_REQUIRE(avx2_available(),
+                   "cannot force AVX2 kernels: host or build lacks them");
+  apply_level(s, level);
+  s.info.source = "forced";
+}
+
+index_t kernel_threads(index_t configured) {
+  if (configured != 1) return configured;
+  const auto env = parse_env_int("PPSTAP_KERNEL_THREADS", 0, 1024);
+  if (env.has_value() && *env > 0) return static_cast<index_t>(*env);
+  return configured;
+}
+
+namespace detail {
+
+const KernelOps& ops() {
+  return *state().active.load(std::memory_order_acquire);
+}
+
+#if !PPSTAP_HAVE_AVX2
+// Link stub for builds without the AVX2 translation unit, so callers that
+// probe both tables (the equivalence tests) still link; reaching it is a
+// caller bug — every avx2_ops() use must sit behind avx2_available().
+const KernelOps& avx2_ops() {
+  PPSTAP_REQUIRE(false, "AVX2 kernels not compiled into this build");
+}
+#endif
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Beamforming panel GEMM (ISA-independent blocking; the per-panel micro-
+// kernel comes from the active dispatch table).
+//
+// out(m, kk) = sum_j conj(w(j, m)) x(kk, j). The input x is K x J row-major
+// (channel unit stride — the redistribution layout), but the vector-friendly
+// direction is along kk, so each K-panel of x is packed transposed into an
+// L1-resident J x kKc scratch whose rows are unit stride in kk. The packing
+// cost is O(J kKc) against O(M J kKc) multiply-accumulates per panel.
+// ---------------------------------------------------------------------------
+void beamform_gemm(const cfloat* w, index_t ldw, index_t j_channels,
+                   index_t m_active, const cfloat* x, index_t ldx, index_t k,
+                   cfloat* out, index_t ldc) {
+  if (k <= 0 || m_active <= 0) return;
+  // Panel width: 256 complex floats = 2 KB per channel row, so a 32-channel
+  // (hard staggered) panel is 64 KB — L2-resident, with each active row
+  // streamed through L1 M times.
+  constexpr index_t kKc = 256;
+  std::vector<cfloat> cw(static_cast<size_t>(m_active * j_channels));
+  for (index_t m = 0; m < m_active; ++m)
+    for (index_t j = 0; j < j_channels; ++j)
+      cw[static_cast<size_t>(m * j_channels + j)] =
+          std::conj(w[static_cast<size_t>(j * ldw + m)]);
+  std::vector<cfloat> xt(static_cast<size_t>(j_channels * kKc));
+  for (index_t k0 = 0; k0 < k; k0 += kKc) {
+    const index_t kc = std::min(kKc, k - k0);
+    for (index_t j = 0; j < j_channels; ++j) {
+      cfloat* row = xt.data() + j * kKc;
+      const cfloat* src = x + (k0 * ldx + j);
+      for (index_t c = 0; c < kc; ++c) row[c] = src[static_cast<size_t>(c * ldx)];
+    }
+    detail::ops().bf_panel(cw.data(), j_channels, j_channels, m_active,
+                           xt.data(), kKc, kc, out + k0, ldc);
+  }
+}
+
+}  // namespace ppstap::kernels

@@ -1,0 +1,56 @@
+// Runtime SIMD dispatch for the hot numerical kernels.
+//
+// The six hot kernels (Doppler FFT, easy/hard beamforming GEMM, pulse
+// compression, the two QR paths) run through function pointers resolved
+// once per process from the host CPU and the PPSTAP_SIMD knob:
+//
+//   PPSTAP_SIMD=auto    (default) AVX2+FMA when the CPU has both, else scalar
+//   PPSTAP_SIMD=avx2    force the AVX2 path; throws if the CPU lacks it
+//   PPSTAP_SIMD=scalar  force the guaranteed-portable fallback
+//
+// The scalar path executes the same blocked algorithms with plain
+// std::complex arithmetic in the same accumulation order, so a forced-scalar
+// run reproduces the pre-SIMD numerics; the AVX2 path contracts multiply-add
+// pairs into FMAs, which changes low-order bits (see DESIGN §13 for the
+// vector-aware tolerance policy the ABFT invariants use).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ppstap::kernels {
+
+enum class SimdLevel { kScalar = 0, kAvx2 = 1 };
+
+/// Static facts about the host and how the active level was chosen.
+struct SimdInfo {
+  SimdLevel level = SimdLevel::kScalar;  ///< active dispatch level
+  const char* level_name = "scalar";     ///< "scalar" | "avx2"
+  const char* source = "auto";           ///< "auto" | "env" | "forced"
+  bool cpu_avx2 = false;                 ///< host supports AVX2
+  bool cpu_fma = false;                  ///< host supports FMA3
+  bool compiled_avx2 = false;            ///< AVX2 TU compiled into this build
+  int lane_floats = 1;                   ///< f32 lanes per vector op
+};
+
+/// The process-wide dispatch state, resolved on first use from cpuid and
+/// PPSTAP_SIMD (throws ppstap::Error on a garbage value, or on
+/// PPSTAP_SIMD=avx2 when the host or build lacks AVX2+FMA).
+const SimdInfo& simd_info();
+
+inline SimdLevel simd_level() { return simd_info().level; }
+
+/// True when this host and build can run the AVX2 path at all.
+bool avx2_available();
+
+/// Re-point the dispatch tables at `level` (benches/tests interleave scalar
+/// and AVX2 measurements of the same build). Throws when the level is not
+/// available. Not thread-safe against concurrently running kernels; call
+/// between pipeline runs only. simd_info().source becomes "forced".
+void force_simd_level(SimdLevel level);
+
+/// Effective intra-rank worker count for one kernel invocation: the
+/// configured StapParams::intra_task_threads unless it is the default 1 and
+/// PPSTAP_KERNEL_THREADS asks for more (0/unset = keep configured value).
+index_t kernel_threads(index_t configured);
+
+}  // namespace ppstap::kernels

@@ -1,0 +1,119 @@
+// Vector primitives behind the hot STAP kernels.
+//
+// Every function operates on contiguous single-precision complex data (the
+// CPI sample type) and dispatches through a per-process table selected by
+// dispatch.hpp: an AVX2+FMA implementation compiled in its own translation
+// unit with -mavx2 -mfma, and a portable scalar implementation that keeps
+// the exact accumulation order the pre-SIMD code used. Callers pick the
+// blocking; these primitives supply the inner loops.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ppstap::kernels {
+
+/// y[i] += a * x[i]. The caller conjugates `a` when it needs conj(a)*x —
+/// the kernel itself never conjugates.
+void cf_axpy(cfloat a, const cfloat* x, cfloat* y, index_t n);
+
+/// a[i] *= b[i] (pointwise complex multiply — the matched-filter spectrum
+/// product of pulse compression).
+void cf_mul_inplace(cfloat* a, const cfloat* b, index_t n);
+
+/// out[i] = |x[i]|^2 (move to the post-detection power domain).
+void cf_abs_sq(const cfloat* x, float* out, index_t n);
+
+/// sum_i |x[i]|^2 accumulated in double (ABFT energy probes).
+double cf_energy(const cfloat* x, index_t n);
+
+/// One radix-2 butterfly stage of length `len` >= 8 over all n/len blocks:
+/// for each block and k < len/2, (u, v) -> (u + w v, u - w v) with
+/// w = tw[k] (conjugated when `conj_tw`, i.e. the inverse transform).
+void fft_stage(cfloat* data, index_t n, index_t len, const cfloat* tw,
+               bool conj_tw);
+
+/// The len == 2 stage (w = 1): pairwise (a, b) -> (a + b, a - b).
+void fft_stage2(cfloat* data, index_t n);
+
+/// The len == 4 stage (w in {1, -i}, conjugated when `conj_tw`). Together
+/// with fft_stage2 this forms the vector-specialized radix-4 bottom of the
+/// transform where the generic stage has too few butterflies per block.
+void fft_stage4(cfloat* data, index_t n, bool conj_tw);
+
+/// Beamforming panel GEMM: out(m, kk) = sum_j conj(w(j, m)) * x(kk, j) for
+/// m < m_active, kk < k. `w` is J x M row-major with leading dimension
+/// `ldw` (= M), `x` is K x J row-major with leading dimension `ldx` (= J),
+/// `out` is M x K row-major with leading dimension `ldc` (>= k; the hard
+/// beamformer writes one range segment of a wider row). Internally packs
+/// x^T into L1-resident panels and register-tiles the beam dimension; the
+/// per-output accumulation over j is ascending in both paths.
+void beamform_gemm(const cfloat* w, index_t ldw, index_t j_channels,
+                   index_t m_active, const cfloat* x, index_t ldx, index_t k,
+                   cfloat* out, index_t ldc);
+
+namespace detail {
+
+/// Per-ISA implementation table. `beamform_gemm` stays common (blocking and
+/// packing are ISA-independent); it calls back into the table's axpy-style
+/// micro-kernel.
+struct KernelOps {
+  void (*axpy)(cfloat, const cfloat*, cfloat*, index_t);
+  void (*mul_inplace)(cfloat*, const cfloat*, index_t);
+  void (*abs_sq)(const cfloat*, float*, index_t);
+  double (*energy)(const cfloat*, index_t);
+  void (*fft_stage)(cfloat*, index_t, index_t, const cfloat*, bool);
+  void (*fft_stage2)(cfloat*, index_t);
+  void (*fft_stage4)(cfloat*, index_t, bool);
+  /// Register-tiled micro-kernel behind beamform_gemm: for each of
+  /// `m_active` beams, out_rows[m][0..k) = sum_j conj_w[m][j] * xt[j][0..k)
+  /// where xt rows are the packed x^T panel with leading dimension ldxt.
+  void (*bf_panel)(const cfloat* conj_w, index_t ldcw, index_t j_channels,
+                   index_t m_active, const cfloat* xt, index_t ldxt,
+                   index_t k, cfloat* out, index_t ldc);
+  /// Roofline compute-peak probe: `iters` rounds of independent
+  /// register-resident multiply-adds, result folded into *sink so the
+  /// chains cannot be optimized away. The caller times it; each iteration
+  /// performs `fma_probe_flops_per_iter` arithmetic operations (mul and
+  /// add counted separately, summed over lanes and accumulators).
+  void (*fma_probe)(index_t iters, float* sink);
+  int fma_probe_flops_per_iter;
+};
+
+const KernelOps& scalar_ops();
+const KernelOps& avx2_ops();  // valid only when dispatch says AVX2 exists
+const KernelOps& ops();       // active table (see dispatch.hpp)
+
+}  // namespace detail
+
+inline void cf_axpy(cfloat a, const cfloat* x, cfloat* y, index_t n) {
+  detail::ops().axpy(a, x, y, n);
+}
+inline void cf_mul_inplace(cfloat* a, const cfloat* b, index_t n) {
+  detail::ops().mul_inplace(a, b, n);
+}
+inline void cf_abs_sq(const cfloat* x, float* out, index_t n) {
+  detail::ops().abs_sq(x, out, n);
+}
+inline double cf_energy(const cfloat* x, index_t n) {
+  return detail::ops().energy(x, n);
+}
+inline void fft_stage(cfloat* data, index_t n, index_t len, const cfloat* tw,
+                      bool conj_tw) {
+  detail::ops().fft_stage(data, n, len, tw, conj_tw);
+}
+inline void fft_stage2(cfloat* data, index_t n) {
+  detail::ops().fft_stage2(data, n);
+}
+inline void fft_stage4(cfloat* data, index_t n, bool conj_tw) {
+  detail::ops().fft_stage4(data, n, conj_tw);
+}
+
+/// Compute-peak probe of the active dispatch table (see KernelOps).
+inline void fma_probe(index_t iters, float* sink) {
+  detail::ops().fma_probe(iters, sink);
+}
+inline int fma_probe_flops_per_iter() {
+  return detail::ops().fma_probe_flops_per_iter;
+}
+
+}  // namespace ppstap::kernels

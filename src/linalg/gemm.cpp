@@ -1,10 +1,24 @@
 #include "linalg/gemm.hpp"
 
+#include <type_traits>
+
 #include "common/flops.hpp"
+#include "kernels/kernels.hpp"
 
 namespace ppstap::linalg {
 
 namespace {
+
+// Unit-stride axpy; sample-precision complex goes through the dispatched
+// SIMD kernel. Both hot matmul orderings below have this inner-loop shape.
+template <typename T>
+inline void axpy_row(const T& a, const T* x, T* y, index_t n) {
+  if constexpr (std::is_same_v<T, cfloat>) {
+    kernels::cf_axpy(a, x, y, n);
+  } else {
+    for (index_t j = 0; j < n; ++j) y[j] += a * x[j];
+  }
+}
 
 // Flops for one complex multiply-add pair; real types use 2.
 template <typename T>
@@ -38,7 +52,7 @@ void matmul(const Matrix<T>& a, Op op_a, const Matrix<T>& b, Op op_b,
       for (index_t p = 0; p < k; ++p) {
         const T aip = a(i, p);
         const T* brow = b.data() + p * n;
-        for (index_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        axpy_row(aip, brow, crow, n);
       }
     }
   } else if (op_a == Op::kConjTrans && op_b == Op::kNone) {
@@ -49,7 +63,7 @@ void matmul(const Matrix<T>& a, Op op_a, const Matrix<T>& b, Op op_b,
       for (index_t i = 0; i < m; ++i) {
         const T ahpi = conj_val(arow[i]);
         T* crow = c.data() + i * n;
-        for (index_t j = 0; j < n; ++j) crow[j] += ahpi * brow[j];
+        axpy_row(ahpi, brow, crow, n);
       }
     }
   } else {

@@ -3,12 +3,27 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <type_traits>
+#include <vector>
 
 #include "common/flops.hpp"
+#include "kernels/kernels.hpp"
 
 namespace ppstap::linalg {
 
 namespace {
+
+// y[0..n) += a * x[0..n) along a unit-stride row; the sample-precision
+// complex case runs through the dispatched SIMD kernel. The Householder
+// updates below are restructured so every inner loop has this shape.
+template <typename T>
+inline void axpy_row(const T& a, const T* x, T* y, index_t n) {
+  if constexpr (std::is_same_v<T, cfloat>) {
+    kernels::cf_axpy(a, x, y, n);
+  } else {
+    for (index_t i = 0; i < n; ++i) y[i] += a * x[i];
+  }
+}
 
 // Phase of x as a unit-magnitude scalar (1 for x == 0); identity sign logic
 // for real types. Choosing v = x + phase(x0)*||x||*e1 keeps the reflector
@@ -49,6 +64,7 @@ QrFactorization<T>::QrFactorization(const Matrix<T>& a)
   }
 
   std::uint64_t flops = 0;
+  std::vector<T> w(static_cast<size_t>(n_));
   for (index_t j = 0; j < n_; ++j) {
     // Build the Householder vector for column j from rows j..m-1.
     R norm_sq{};
@@ -64,13 +80,22 @@ QrFactorization<T>::QrFactorization(const Matrix<T>& a)
     beta_[static_cast<size_t>(j)] = beta;
     a_(j, j) = alpha;  // diagonal of R; tail of v stays in the column
 
-    // Apply H = I - beta v v^H to the trailing columns.
-    for (index_t c = j + 1; c < n_; ++c) {
-      T s = conj_val(v0) * a_(j, c);
-      for (index_t i = j + 1; i < m_; ++i) s += conj_val(a_(i, j)) * a_(i, c);
-      s *= beta;
-      a_(j, c) -= s * v0;
-      for (index_t i = j + 1; i < m_; ++i) a_(i, c) -= s * a_(i, j);
+    // Apply H = I - beta v v^H to the trailing columns in two row-major
+    // passes: w = beta (v^H A_t) accumulated by row sweeps, then the rank-1
+    // update A_t -= v w. Both inner loops are unit-stride axpys; the per-
+    // element accumulation order over i is the same as the classic column
+    // form, so scalar dispatch reproduces its numerics.
+    const index_t lw = n_ - j - 1;
+    if (lw > 0) {
+      T* wp = w.data();
+      std::fill(wp, wp + lw, T{});
+      axpy_row(conj_val(v0), &a_(j, j + 1), wp, lw);
+      for (index_t i = j + 1; i < m_; ++i)
+        axpy_row(conj_val(a_(i, j)), &a_(i, j + 1), wp, lw);
+      for (index_t c = 0; c < lw; ++c) wp[c] *= beta;
+      axpy_row(T{-v0}, wp, &a_(j, j + 1), lw);
+      for (index_t i = j + 1; i < m_; ++i)
+        axpy_row(T{-a_(i, j)}, wp, &a_(i, j + 1), lw);
     }
     const auto len = static_cast<std::uint64_t>(m_ - j);
     flops += 2 * len;  // norm accumulation
@@ -142,16 +167,19 @@ template <typename T>
 void QrFactorization<T>::apply_qh(Matrix<T>& b) const {
   PPSTAP_REQUIRE(b.rows() == m_, "rhs rows must match factorized matrix");
   const index_t nrhs = b.cols();
+  std::vector<T> w(static_cast<size_t>(nrhs));
   for (index_t j = 0; j < n_; ++j) {
     const T v0 = v0_[static_cast<size_t>(j)];
     const auto beta = beta_[static_cast<size_t>(j)];
-    for (index_t c = 0; c < nrhs; ++c) {
-      T s = conj_val(v0) * b(j, c);
-      for (index_t i = j + 1; i < m_; ++i) s += conj_val(a_(i, j)) * b(i, c);
-      s *= beta;
-      b(j, c) -= s * v0;
-      for (index_t i = j + 1; i < m_; ++i) b(i, c) -= s * a_(i, j);
-    }
+    T* wp = w.data();
+    std::fill(wp, wp + nrhs, T{});
+    axpy_row(conj_val(v0), &b(j, 0), wp, nrhs);
+    for (index_t i = j + 1; i < m_; ++i)
+      axpy_row(conj_val(a_(i, j)), &b(i, 0), wp, nrhs);
+    for (index_t c = 0; c < nrhs; ++c) wp[c] *= beta;
+    axpy_row(T{-v0}, wp, &b(j, 0), nrhs);
+    for (index_t i = j + 1; i < m_; ++i)
+      axpy_row(T{-a_(i, j)}, wp, &b(i, 0), nrhs);
   }
   count_flops(2 * fma_flops<T>() * static_cast<std::uint64_t>(m_) *
               static_cast<std::uint64_t>(n_) *
@@ -206,6 +234,7 @@ Matrix<T> qr_append_rows(const Matrix<T>& r, Matrix<T> x) {
 
   Matrix<T> out = r;
   std::vector<T> v(static_cast<size_t>(k));
+  std::vector<T> w2(static_cast<size_t>(n));
 
   std::uint64_t flops = 0;
   for (index_t j = 0; j < n; ++j) {
@@ -228,14 +257,19 @@ Matrix<T> qr_append_rows(const Matrix<T>& r, Matrix<T> x) {
     const Real beta = v_sq > Real{0} ? Real{2} / v_sq : Real{0};
     out(j, j) = alpha;
 
-    for (index_t c = j + 1; c < n; ++c) {
-      T s = conj_val(v0) * out(j, c);
+    // Same two-pass row-major reflector application as the dense
+    // factorization: w = beta (v^H [R_row; X_t]), then the rank-1 update.
+    const index_t lw = n - j - 1;
+    if (lw > 0) {
+      T* wp = w2.data();
+      std::fill(wp, wp + lw, T{});
+      axpy_row(conj_val(v0), &out(j, j + 1), wp, lw);
       for (index_t i = 0; i < k; ++i)
-        s += conj_val(v[static_cast<size_t>(i)]) * x(i, c);
-      s *= beta;
-      out(j, c) -= s * v0;
+        axpy_row(conj_val(v[static_cast<size_t>(i)]), &x(i, j + 1), wp, lw);
+      for (index_t c = 0; c < lw; ++c) wp[c] *= beta;
+      axpy_row(T{-v0}, wp, &out(j, j + 1), lw);
       for (index_t i = 0; i < k; ++i)
-        x(i, c) -= s * v[static_cast<size_t>(i)];
+        axpy_row(T{-v[static_cast<size_t>(i)]}, wp, &x(i, j + 1), lw);
     }
     flops += 2 * static_cast<std::uint64_t>(k + 1);
     flops += 2 * fma_flops<T>() * static_cast<std::uint64_t>(k + 1) *

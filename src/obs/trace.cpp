@@ -12,6 +12,7 @@
 
 #include "common/check.hpp"
 #include "common/env.hpp"
+#include "kernels/dispatch.hpp"
 #include "common/timer.hpp"
 
 namespace ppstap::obs {
@@ -248,6 +249,12 @@ Json chrome_trace_json() {
   other["generator"] = "ppstap obs";
   other["clock"] = "steady_clock (WallTimer)";
   other["dropped_spans"] = dropped_count();
+  // Kernel dispatch provenance: traces from the same binary on different
+  // hosts (or PPSTAP_SIMD settings) are not comparable span-for-span.
+  const kernels::SimdInfo si = kernels::simd_info();
+  other["simd_level"] = si.level_name;
+  other["simd_source"] = si.source;
+  other["simd_lane_floats"] = static_cast<double>(si.lane_floats);
   doc["otherData"] = std::move(other);
   return doc;
 }

@@ -8,27 +8,10 @@
 #include "common/check.hpp"
 #include "common/flops.hpp"
 #include "common/parallel.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/kernels.hpp"
 
 namespace ppstap::stap {
-
-namespace {
-
-// out(b, :, k) += W^H x for the channel line x = data(b, k, :). The inner
-// loop runs along the unit-stride channel index of both the data line and
-// the weight matrix rows.
-inline void apply_weights(const linalg::MatrixCF& w,
-                          std::span<const cfloat> line, index_t num_beams,
-                          cube::CpiCube& out, index_t b, index_t k) {
-  const index_t nch = w.rows();
-  for (index_t m = 0; m < num_beams; ++m) {
-    cfloat acc{};
-    for (index_t j = 0; j < nch; ++j)
-      acc += std::conj(w(j, m)) * line[static_cast<size_t>(j)];
-    out.at(b, m, k) = acc;
-  }
-}
-
-}  // namespace
 
 cube::CpiCube easy_beamform(const cube::CpiCube& data, const WeightSet& w,
                             const StapParams& p, index_t active_beams) {
@@ -50,12 +33,16 @@ cube::CpiCube easy_beamform(const cube::CpiCube& data, const WeightSet& w,
                        w.weights[static_cast<size_t>(b)].cols() ==
                            p.num_beams,
                    "easy weight matrix must be J x M");
+  // For one bin, data(b, :, :) is a K x J row-major slab and out(b, :, :) is
+  // an M x K row-major slab — exactly the panel GEMM out = W^H X^T.
   parallel_for_blocks(
-      p.intra_task_threads, nbins, [&](index_t b_begin, index_t b_end) {
+      kernels::kernel_threads(p.intra_task_threads), nbins,
+      [&](index_t b_begin, index_t b_end) {
         for (index_t b = b_begin; b < b_end; ++b) {
           const auto& wb = w.weights[static_cast<size_t>(b)];
-          for (index_t kk = 0; kk < k; ++kk)
-            apply_weights(wb, data.line(b, kk), active_beams, out, b, kk);
+          kernels::beamform_gemm(wb.data(), wb.cols(), p.num_channels,
+                                 active_beams, &data.at(b, 0, 0),
+                                 p.num_channels, k, &out.at(b, 0, 0), k);
         }
       });
   count_flops(8ull * static_cast<std::uint64_t>(nbins) *
@@ -89,15 +76,19 @@ cube::CpiCube hard_beamform(const cube::CpiCube& data, const WeightSet& w,
                        w.weights[i].cols() == p.num_beams,
                    "hard weight matrix must be 2J x M");
   parallel_for_blocks(
-      p.intra_task_threads, nbins, [&](index_t b_begin, index_t b_end) {
+      kernels::kernel_threads(p.intra_task_threads), nbins,
+      [&](index_t b_begin, index_t b_end) {
         for (index_t b = b_begin; b < b_end; ++b) {
           for (index_t s = 0; s < p.num_segments; ++s) {
             const auto& wbs =
                 w.weights[static_cast<size_t>(b * p.num_segments + s)];
             const index_t lo = p.segment_begin(s);
             const index_t hi = p.segment_end(s);
-            for (index_t kk = lo; kk < hi; ++kk)
-              apply_weights(wbs, data.line(b, kk), active_beams, out, b, kk);
+            // Each segment is a contiguous range sub-slab; the output rows
+            // keep the full-range leading dimension k.
+            kernels::beamform_gemm(wbs.data(), wbs.cols(), jj, active_beams,
+                                   &data.at(b, lo, 0), jj, hi - lo,
+                                   &out.at(b, 0, lo), k);
           }
         }
       });
@@ -165,7 +156,8 @@ bool easy_beamform_check(const cube::CpiCube& data, const WeightSet& w,
   const index_t ab = active_beams;
   std::atomic<bool> ok{true};
   parallel_for_blocks(
-      p.intra_task_threads, nbins, [&](index_t b_begin, index_t b_end) {
+      kernels::kernel_threads(p.intra_task_threads), nbins,
+      [&](index_t b_begin, index_t b_end) {
         for (index_t b = b_begin; b < b_end; ++b) {
           const auto csum =
               conj_column_sums(w.weights[static_cast<size_t>(b)], ab);
@@ -187,7 +179,8 @@ bool hard_beamform_check(const cube::CpiCube& data, const WeightSet& w,
   const index_t ab = active_beams;
   std::atomic<bool> ok{true};
   parallel_for_blocks(
-      p.intra_task_threads, nbins, [&](index_t b_begin, index_t b_end) {
+      kernels::kernel_threads(p.intra_task_threads), nbins,
+      [&](index_t b_begin, index_t b_end) {
         for (index_t b = b_begin; b < b_end; ++b) {
           for (index_t s = 0; s < p.num_segments; ++s) {
             const auto csum = conj_column_sums(

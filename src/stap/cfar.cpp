@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/flops.hpp"
 #include "common/parallel.hpp"
+#include "kernels/dispatch.hpp"
 
 namespace ppstap::stap {
 
@@ -27,8 +28,8 @@ std::vector<Detection> cfar_detect(const cube::RealCube& power,
   // detection order deterministic under intra-task threading.
   std::vector<std::vector<Detection>> per_row(
       static_cast<size_t>(nbins * m));
-  parallel_for_blocks(p.intra_task_threads, nbins * m, [&](index_t row_begin,
-                                                           index_t row_end) {
+  parallel_for_blocks(kernels::kernel_threads(p.intra_task_threads),
+                      nbins * m, [&](index_t row_begin, index_t row_end) {
   std::vector<double> prefix(static_cast<size_t>(k) + 1);
   for (index_t row = row_begin; row < row_end; ++row) {
     {

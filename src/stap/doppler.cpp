@@ -7,6 +7,7 @@
 #include "common/flops.hpp"
 #include "common/parallel.hpp"
 #include "dsp/fft.hpp"
+#include "kernels/dispatch.hpp"
 
 namespace ppstap::stap {
 
@@ -42,38 +43,42 @@ cube::CpiCube DopplerFilter::filter(const cube::CpiCube& raw,
 
   cube::CpiCube out(k_local, 2 * j, n);
 
-  parallel_for_blocks(p_.intra_task_threads, k_local, [&](index_t k_begin,
-                                                          index_t k_end) {
-  std::vector<cfloat> buf(static_cast<size_t>(n));
+  parallel_for_blocks(kernels::kernel_threads(p_.intra_task_threads), k_local,
+                      [&](index_t k_begin, index_t k_end) {
+  std::vector<float> wg(static_cast<size_t>(wlen));
   for (index_t k = k_begin; k < k_end; ++k) {
     const float gain = range_gain(k_offset + k);
+    // The range gain folds into the window multiply.
+    for (index_t i = 0; i < wlen; ++i)
+      wg[static_cast<size_t>(i)] = window_[static_cast<size_t>(i)] * gain;
     for (index_t ch = 0; ch < j; ++ch) {
       const auto pulses = raw.line(k, ch);
 
-      // First stagger window: pulses [0, wlen), zero-padded to N. The
-      // range gain folds into the window multiply.
+      // Window both staggers directly into the output cube — the 2J lines
+      // of one range gate are contiguous there, so a single batched FFT
+      // call transforms all of them.
+
+      // First stagger window: pulses [0, wlen), zero-padded to N.
+      auto line0 = out.line(k, ch);
       for (index_t i = 0; i < wlen; ++i)
-        buf[static_cast<size_t>(i)] =
-            pulses[static_cast<size_t>(i)] *
-            (window_[static_cast<size_t>(i)] * gain);
-      std::fill(buf.begin() + wlen, buf.end(), cfloat{});
-      plan_->fwd.execute(buf);
-      std::copy(buf.begin(), buf.end(), out.line(k, ch).begin());
+        line0[static_cast<size_t>(i)] =
+            pulses[static_cast<size_t>(i)] * wg[static_cast<size_t>(i)];
 
       // Second stagger window: pulses [stagger, stagger + wlen).
+      auto line1 = out.line(k, j + ch);
       for (index_t i = 0; i < wlen; ++i)
-        buf[static_cast<size_t>(i)] =
+        line1[static_cast<size_t>(i)] =
             pulses[static_cast<size_t>(i + p_.stagger)] *
-            (window_[static_cast<size_t>(i)] * gain);
-      std::fill(buf.begin() + wlen, buf.end(), cfloat{});
-      plan_->fwd.execute(buf);
-      std::copy(buf.begin(), buf.end(), out.line(k, j + ch).begin());
+            wg[static_cast<size_t>(i)];
 
       // Windowing cost: one real*complex multiply per sample per window
       // (plus the folded gain multiply when range correction is on).
       count_flops(static_cast<std::uint64_t>(2 * wlen) *
                   (p_.range_correction ? 3 : 2));
     }
+    plan_->fwd.execute_batch(
+        std::span<cfloat>(&out.at(k, 0, 0), static_cast<size_t>(2 * j * n)),
+        2 * j);
   }
   });
   return out;

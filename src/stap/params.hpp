@@ -72,7 +72,9 @@ struct StapParams {
   // --- intra-task parallelism ----------------------------------------------
   /// Threads per kernel invocation (paper SS8 future work: the Paragon nodes
   /// had three processors on shared memory). Outputs are bitwise identical
-  /// for any value; flop instrumentation should use 1.
+  /// and flop totals are aggregated across workers for any value. The
+  /// default 1 can be raised per process with PPSTAP_KERNEL_THREADS (see
+  /// kernels/dispatch.hpp); an explicit non-default value here wins.
   index_t intra_task_threads = 1;
 
   // --- CFAR ----------------------------------------------------------------

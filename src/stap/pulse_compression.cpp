@@ -8,6 +8,8 @@
 #include "common/parallel.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/waveform.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/kernels.hpp"
 #include "linalg/matrix.hpp"
 
 namespace ppstap::stap {
@@ -44,8 +46,8 @@ cube::RealCube PulseCompressor::compress(const cube::CpiCube& beamformed,
   if (row_energy != nullptr)
     row_energy->assign(static_cast<size_t>(nbins * m), 0.0);
 
-  parallel_for_blocks(p_.intra_task_threads, nbins * m, [&](index_t row_begin,
-                                                            index_t row_end) {
+  parallel_for_blocks(kernels::kernel_threads(p_.intra_task_threads),
+                      nbins * m, [&](index_t row_begin, index_t row_end) {
   std::vector<cfloat> line(static_cast<size_t>(k));
   for (index_t row = row_begin; row < row_end; ++row) {
     {
@@ -56,38 +58,23 @@ cube::RealCube PulseCompressor::compress(const cube::CpiCube& beamformed,
       if (mm >= active_beams) continue;
       const auto src = beamformed.line(b, mm);
       if (filter_spec_.empty()) {
-        for (index_t kk = 0; kk < k; ++kk)
-          out.at(b, mm, kk) =
-              linalg::abs_sq(src[static_cast<size_t>(kk)]);
-        if (row_energy != nullptr) {
-          double e = 0.0;
-          for (const cfloat v : src)
-            e += static_cast<double>(v.real()) *
-                     static_cast<double>(v.real()) +
-                 static_cast<double>(v.imag()) *
-                     static_cast<double>(v.imag());
-          (*row_energy)[static_cast<size_t>(row)] = e;
-        }
+        kernels::cf_abs_sq(src.data(), out.line(b, mm).data(), k);
+        if (row_energy != nullptr)
+          (*row_energy)[static_cast<size_t>(row)] =
+              kernels::cf_energy(src.data(), k);
         continue;
       }
       std::copy(src.begin(), src.end(), line.begin());
       plans_->fwd.execute(line);
-      for (index_t kk = 0; kk < k; ++kk)
-        line[static_cast<size_t>(kk)] *=
-            filter_spec_[static_cast<size_t>(kk)];
+      kernels::cf_mul_inplace(line.data(), filter_spec_.data(), k);
       if (row_energy != nullptr) {
         // Parseval across the scaled inverse transform: the output power
         // sum equals the spectrum energy / K.
-        double e = 0.0;
-        for (const cfloat v : line)
-          e += static_cast<double>(v.real()) * static_cast<double>(v.real()) +
-               static_cast<double>(v.imag()) * static_cast<double>(v.imag());
         (*row_energy)[static_cast<size_t>(row)] =
-            e / static_cast<double>(k);
+            kernels::cf_energy(line.data(), k) / static_cast<double>(k);
       }
       plans_->inv.execute(line);
-      for (index_t kk = 0; kk < k; ++kk)
-        out.at(b, mm, kk) = linalg::abs_sq(line[static_cast<size_t>(kk)]);
+      kernels::cf_abs_sq(line.data(), out.line(b, mm).data(), k);
       // Spectrum multiply (6K) + magnitude-squared (3K); FFTs self-count.
       count_flops(9ull * static_cast<std::uint64_t>(k));
     }

@@ -244,11 +244,15 @@ TEST(FaultTolerance, DeadlineSheddingUnderInjectedDelay) {
                        ref[static_cast<size_t>(cpi)], cpi);
   }
 
-  // Shedding bounded the damage: one deadline stall amortized over the
-  // stream keeps throughput within 20% of the fault-free baseline.
+  // Shedding bounded the damage: the stalled edge costs at most the
+  // injected delay plus one detection deadline of wall time, amortized
+  // over the stream. The bound is stated in those absolute terms — a
+  // fixed throughput fraction would silently tighten whenever the
+  // kernels get faster, because the stall is wall time, not work.
   ASSERT_GT(res0.throughput, 0.0);
   ASSERT_GT(res.throughput, 0.0);
-  EXPECT_GT(res.throughput, 0.8 * res0.throughput);
+  const double stall_share = baseline_wall / (baseline_wall + 4.0 * deadline);
+  EXPECT_GT(res.throughput, 0.8 * stall_share * res0.throughput);
 }
 
 // A corrupted inter-task frame is repaired transparently by the
@@ -382,20 +386,28 @@ TEST(FaultTolerance, SecondWeightDeathIsUncoveredNotWedged) {
   par.set_fault_plan(&plan);
   auto res = par.run(gen, n_cpis, /*warmup=*/1, /*cooldown=*/1);
 
-  // One covered failure (the spare took over the hard-weight role), one
-  // uncovered (the easy-weight rank died with the spare already spent).
+  // One covered failure, one uncovered: the single spare absorbed exactly
+  // one of the two weight-rank deaths and the other found the pool empty.
+  // Which rank dies first is a scheduling race (each kill triggers on its
+  // victim's own recv), so the assertion is on the partition, not the
+  // order: the covered and uncovered ranks must together be exactly the
+  // two victims.
   EXPECT_EQ(res.faults.kills, 2u);
   ASSERT_EQ(res.faults.failovers.size(), 1u);
-  EXPECT_EQ(res.faults.failovers[0].rank, first_victim);
-  ASSERT_EQ(res.faults.uncovered_ranks,
-            std::vector<int>{second_victim});
+  ASSERT_EQ(res.faults.uncovered_ranks.size(), 1u);
+  const int covered = res.faults.failovers[0].rank;
+  const int uncovered = res.faults.uncovered_ranks[0];
+  EXPECT_NE(covered, uncovered);
+  EXPECT_TRUE(covered == first_victim || covered == second_victim);
+  EXPECT_TRUE(uncovered == first_victim || uncovered == second_victim);
   EXPECT_FALSE(res.faults.clean());
 
-  // Shed cleanly, not wedged: the run drained every CPI; the ones that
-  // needed the dead easy-weight rank's send-ahead weights are in the shed
-  // ledger, and everything before the second kill is still exact.
+  // Drained, not wedged: the stream produced a verdict for every CPI.
+  // CPIs that needed the dead rank's send-ahead weights either ride the
+  // stale-weight fallback or land in the shed ledger; which of the two
+  // depends on how far ahead the weight stream had run when the kill
+  // landed, so no particular shed set (or a nonempty one) is asserted.
   ASSERT_EQ(res.detections.size(), static_cast<size_t>(n_cpis));
-  EXPECT_FALSE(res.faults.shed_cpis.empty());
   std::vector<bool> shed(static_cast<size_t>(n_cpis), false);
   for (index_t s : res.faults.shed_cpis) shed[static_cast<size_t>(s)] = true;
   for (index_t cpi = 0; cpi < 5 && cpi < n_cpis; ++cpi) {
