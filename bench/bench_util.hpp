@@ -132,13 +132,28 @@ class JsonReport {
         "overload.capacity_losses",
         "healing.spare_takeovers",
         "healing.shrinks",
-        "healing.uncovered"};
+        "healing.quarantines",
+        "healing.uncovered",
+        "cpi_source.regeneration_storms",
+        "comm.dup_discarded",
+        "fault.stage_slowdowns",
+        "fault.frames_jittered",
+        "fault.frames_duplicated",
+        "health.suspects",
+        "health.quarantines",
+        "health.flap_suppressed",
+        "health.vetoed"};
     obs::Json out = obs::Json::object();
     for (const char* key : kCounters) {
       const obs::Json* v =
           counters != nullptr ? counters->find(key) : nullptr;
       out[key] = v != nullptr ? *v : obs::Json(0.0);
     }
+    // Per-rank regeneration attribution is dynamic (one counter per
+    // straggling rank): copy whatever exists; clean runs emit none.
+    if (counters != nullptr && counters->is_object())
+      for (const auto& [k, v] : counters->as_object())
+        if (k.rfind("cpi_source.regenerations.rank", 0) == 0) out[k] = v;
     const obs::Json* max_level =
         gauges != nullptr ? gauges->find("overload.max_level") : nullptr;
     out["overload.max_level"] =

@@ -37,6 +37,7 @@ DEFAULT_TOLERANCE = 0.50
 HIGHER_IS_BETTER = (
     "throughput",
     "detection_rate",
+    "recovered",
     "coverage",
     "accounted",
     "bit_exact",
@@ -76,6 +77,18 @@ EVENT_COUNTERS = (
     "exact_cpis",
     "kills",
     "resume",  # barrier CPI a shrink resumed at: a coordinate, not a measure
+    # Gray-failure detector events: suspects flicker with host load by
+    # design (hysteresis clears them), flap/veto counts depend on where the
+    # scheduler lands preemption storms, and kSlow/jitter injection counts
+    # track how long the victim lived before quarantine. The quarantine
+    # counts themselves ("quarantines", "false_quarantines") stay gated —
+    # an eviction appearing or disappearing is a semantic change.
+    "suspect",
+    "flap",
+    "vetoed",
+    "slowdown",
+    "jitter",
+    "health_events",
 )
 
 # Minimum absolute slack by metric fragment. Overhead fractions hover
@@ -96,7 +109,15 @@ IDENTITY_KEYS = ("kind", "case", "task", "name", "bench", "scenario", "phase")
 # whose semantics are not gated: the roofline memory/compute classification
 # flips for kernels sitting near the ridge point (intensity * bandwidth ~=
 # peak), because both axes are measured fresh each run.
-INFORMATIONAL = ("bound",)
+INFORMATIONAL = (
+    "bound",
+    # Grayfail ratio diagnostics: each is a quotient of two host-measured
+    # paces, so run-to-run swing compounds; the binary gates the semantics
+    # (OFF must degrade, ON must recover) in its exit code and the absolute
+    # throughputs/periods are still diffed.
+    "throughput_vs_baseline",
+    "off_pace_vs_baseline",
+)
 
 
 def direction(key):
@@ -337,6 +358,18 @@ def self_test():
     stuck = json.loads(json.dumps(base))
     stuck["rows"][0]["max_mttr_s"] = 9.0  # repair latency tripled
     check("mttr regression rejected", stuck, want_problems=True)
+
+    # Gray-failure accounting: an eviction appearing on a clean row is a
+    # semantic change (two-sided), detector flicker is not.
+    base["rows"][0]["false_quarantines"] = 0
+    base["rows"][0]["flap_suppressed"] = 0
+    evicted = json.loads(json.dumps(base))
+    evicted["rows"][0]["false_quarantines"] = 1
+    check("false quarantine rejected", evicted, want_problems=True)
+
+    flicker = json.loads(json.dumps(base))
+    flicker["rows"][0]["flap_suppressed"] = 3
+    check("detector flap swing tolerated", flicker, want_problems=False)
 
     # SIMD dispatch provenance: an AVX2 baseline must not fail a scalar run
     # (different ISA, every number legitimately slower), but a same-level

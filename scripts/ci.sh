@@ -59,12 +59,24 @@
 #      bounded MTTR in every scenario, uncovered entries only where pool
 #      exhaustion is the scenario's point, and post-shrink throughput
 #      within 10% of the reduced-topology prediction.
-#  10. Analyzer + regression gate: ppstap-analyze must reach a valid
+#  10. Gray-failure job: test_health (detector state machine, e2e
+#      quarantine) and the ext_grayfail smoke subset rerun under the TSan
+#      build — the monitor's observe/scan/quarantine-flag handshake crosses
+#      every rank thread per CPI — then the full chaos suite (slowdown
+#      sweep, containment ON/OFF, flaky link, duplicate storm) runs on the
+#      Release build and writes BENCH_grayfail.json; its exit code asserts
+#      zero lost/duplicated CPIs under every injection, containment
+#      recovering >= 90% of the clean baseline pace under a persistent
+#      straggler, and zero false quarantines on clean runs.
+#  11. Analyzer + regression gate: ppstap-analyze must reach a valid
 #      bottleneck verdict on the traced table-8 export, name the same
-#      gating group Table 9 does (Doppler), and see zero dropped spans;
-#      bench_compare.py first proves it can reject injected regressions
-#      (--self-test), then diffs the fresh BENCH_*.json documents against
-#      the committed bench/baselines/ with noise tolerances.
+#      gating group Table 9 does (Doppler), see zero dropped spans, and —
+#      via --assert-no-stragglers — score every rank's service floor
+#      against its task-group peers and find no gray failure on the clean
+#      run; bench_compare.py first proves it can reject injected
+#      regressions (--self-test), then diffs the fresh BENCH_*.json
+#      documents against the committed bench/baselines/ with noise
+#      tolerances.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -151,10 +163,17 @@ cmake --build build-tsan -j "$JOBS" --target ext_survivability
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/bench/ext_survivability --smoke
 ./build/bench/ext_survivability --json BENCH_survivability.json
 
+echo "=== gray-failure: TSan detector smoke + chaos suite (BENCH_grayfail.json) ==="
+cmake --build build-tsan -j "$JOBS" --target test_health ext_grayfail
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_health
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/bench/ext_grayfail --smoke
+./build/bench/ext_grayfail --json BENCH_grayfail.json
+
 echo "=== analyzer verdict + perf regression gate ==="
 ./build/tools/ppstap-analyze trace_table8.json \
   --assert-verdict --assert-no-drops \
-  --expect-gating "Doppler filter processing"
+  --expect-gating "Doppler filter processing" \
+  --per-rank-health --assert-no-stragglers
 python3 scripts/bench_compare.py --self-test
 python3 scripts/bench_compare.py bench/baselines/BENCH_table8.json BENCH_table8.json
 python3 scripts/bench_compare.py bench/baselines/BENCH_overload.json BENCH_overload.json
@@ -162,5 +181,6 @@ python3 scripts/bench_compare.py bench/baselines/BENCH_abft.json BENCH_abft.json
 python3 scripts/bench_compare.py bench/baselines/BENCH_elastic.json BENCH_elastic.json
 python3 scripts/bench_compare.py bench/baselines/BENCH_survivability.json BENCH_survivability.json
 python3 scripts/bench_compare.py bench/baselines/BENCH_kernels.json BENCH_kernels.json
+python3 scripts/bench_compare.py bench/baselines/BENCH_grayfail.json BENCH_grayfail.json
 
 echo "ci.sh: all checks passed"

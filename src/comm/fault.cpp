@@ -1,5 +1,8 @@
 #include "comm/fault.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace ppstap::comm {
@@ -41,6 +44,11 @@ FaultPlan& FaultPlan::add(const FaultRule& rule) {
                  "fault rule probability must be in [0, 1]");
   PPSTAP_REQUIRE(rule.delay_seconds >= 0.0,
                  "fault rule delay must be non-negative");
+  if (rule.type == FaultType::kSlow)
+    PPSTAP_REQUIRE(rule.factor >= 1.0, "slow rule factor must be >= 1");
+  if (rule.type == FaultType::kJitter)
+    PPSTAP_REQUIRE(rule.shape > 0.0 && rule.max_delay_seconds >= 0.0,
+                   "jitter rule needs shape > 0 and a non-negative cap");
   std::lock_guard<std::mutex> lock(mu_);
   rules_.push_back(rule);
   applications_.push_back(0);
@@ -117,6 +125,50 @@ FaultRule FaultPlan::kill_on_send(int rank, int tag) {
   r.type = FaultType::kKill;
   r.point = FaultPoint::kSend;
   r.src = rank;
+  r.tag = tag;
+  r.max_applications = 1;
+  return r;
+}
+
+FaultRule FaultPlan::slow_rank(int rank, double factor, double probability) {
+  FaultRule r;
+  r.type = FaultType::kSlow;
+  r.src = rank;
+  r.factor = factor;
+  r.probability = probability;
+  return r;
+}
+
+FaultRule FaultPlan::jitter_edge(int edge, int tag_stride, double scale,
+                                 double shape, double cap,
+                                 double probability) {
+  FaultRule r;
+  r.type = FaultType::kJitter;
+  r.tag_period = tag_stride;
+  r.tag_phase = edge;
+  r.delay_seconds = scale;
+  r.shape = shape;
+  r.max_delay_seconds = cap;
+  r.probability = probability;
+  return r;
+}
+
+FaultRule FaultPlan::duplicate_edge(int edge, int tag_stride,
+                                    double probability, double extra_delay) {
+  FaultRule r;
+  r.type = FaultType::kDuplicate;
+  r.tag_period = tag_stride;
+  r.tag_phase = edge;
+  r.probability = probability;
+  r.delay_seconds = extra_delay;
+  return r;
+}
+
+FaultRule FaultPlan::duplicate_message(int src, int dest, int tag) {
+  FaultRule r;
+  r.type = FaultType::kDuplicate;
+  r.src = src;
+  r.dest = dest;
   r.tag = tag;
   r.max_applications = 1;
   return r;
@@ -209,13 +261,68 @@ double FaultPlan::delay_due(int src, int dest, int tag, std::uint64_t seq) {
   double total = 0.0;
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     const FaultRule& r = rules_[i];
-    if (r.type != FaultType::kDelay) continue;
-    if (rule_applies(i, r, src, dest, tag, seq)) {
-      ++stats_.delayed;
-      total += r.delay_seconds;
+    if (r.type == FaultType::kDelay) {
+      if (rule_applies(i, r, src, dest, tag, seq)) {
+        ++stats_.delayed;
+        total += r.delay_seconds;
+      }
+    } else if (r.type == FaultType::kJitter) {
+      if (rule_applies(i, r, src, dest, tag, seq)) {
+        ++stats_.jittered;
+        // Bounded Pareto: u -> scale * (u^{-1/shape} - 1). The sample uses
+        // its own hash stream (distinct constant) so it never aliases the
+        // probability coin drawn inside rule_applies.
+        const double u = std::max(
+            hash01(seed_ ^ 0x71c3a5b9ull, seed_ + i,
+                   pack(src, dest, tag) ^ seq),
+            0x1.0p-53);
+        const double d =
+            r.delay_seconds * (std::pow(u, -1.0 / r.shape) - 1.0);
+        total += std::min(d, r.max_delay_seconds);
+      }
     }
   }
   return total;
+}
+
+double FaultPlan::slow_factor_due(int rank, long long cpi) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double factor = 1.0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.type != FaultType::kSlow) continue;
+    if (r.src >= 0 && r.src != rank) continue;
+    if (r.max_applications >= 0 && applications_[i] >= r.max_applications)
+      continue;
+    if (r.probability < 1.0) {
+      // Keyed on (rank, cpi) only — every stage of a CPI on this rank is
+      // slowed or spared together, and the answer never depends on the
+      // order rank threads happen to ask in.
+      const double u = hash01(seed_ + 0x51ull + i,
+                              pack(rank, 0, 0),
+                              static_cast<std::uint64_t>(cpi));
+      if (u >= r.probability) continue;
+    }
+    ++applications_[i];
+    ++stats_.slowed;
+    factor *= r.factor;
+  }
+  return factor;
+}
+
+bool FaultPlan::duplicate_due(int src, int dest, int tag, std::uint64_t seq,
+                              double* extra_delay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.type != FaultType::kDuplicate) continue;
+    if (rule_applies(i, r, src, dest, tag, seq)) {
+      ++stats_.duplicated;
+      if (extra_delay != nullptr) *extra_delay = r.delay_seconds;
+      return true;
+    }
+  }
+  return false;
 }
 
 bool FaultPlan::corrupt_due(int src, int dest, int tag, std::uint64_t seq,

@@ -15,11 +15,29 @@
 //             receiver at kRecv) throws comm::RankKilled *before* the
 //             operation takes effect, so no message is half-consumed
 //
+// Gray-failure rules (PR 10) model degraded-but-alive behavior instead of
+// fail-stop:
+//
+//   kSlow      a per-rank multiplicative compute slowdown: every stage
+//              execution on the matched rank takes `factor` times as long.
+//              With probability < 1 the slowdown is intermittent — the coin
+//              is keyed on (rank, cpi), so a given CPI is slow or fast
+//              deterministically regardless of thread scheduling
+//   kJitter    heavy-tailed in-flight delivery delay on the matched edge:
+//              each hit samples a bounded Pareto
+//              delay = min(cap, scale * (u^{-1/shape} - 1))
+//              so most frames see near-zero delay and a few see large ones
+//   kDuplicate the frame is delivered twice with the *same* sequence
+//              number (the second copy optionally delayed) — exercising
+//              receiver-side idempotence rather than the retransmit path
+//
 // Decisions are deterministic: a rule with probability < 1 flips a coin
 // hashed from (plan seed, rule index, src, dest, tag, per-pair sequence
 // number), never from wall time or thread scheduling, so a seeded fault run
 // replays exactly. All fault logic lives behind World's send/recv hooks —
-// application code never branches on the plan.
+// application code never branches on the plan (kSlow is consulted by the
+// pipeline's compute wrapper, the one seam every stage already passes
+// through).
 #pragma once
 
 #include <atomic>
@@ -29,7 +47,8 @@
 
 namespace ppstap::comm {
 
-enum class FaultType { kDelay, kDrop, kCorrupt, kKill };
+enum class FaultType { kDelay, kDrop, kCorrupt, kKill, kSlow, kJitter,
+                       kDuplicate };
 
 /// Operation at which a kKill rule triggers (other types act on the frame
 /// itself and only use kSend, where the frame is created).
@@ -47,7 +66,16 @@ struct FaultRule {
   int tag_phase = 0;
   double probability = 1.0;   ///< per matching message, seeded coin
   int max_applications = -1;  ///< stop after N applications, -1 = unlimited
-  double delay_seconds = 0.0; ///< kDelay only
+  double delay_seconds = 0.0; ///< kDelay: fixed latency; kJitter: Pareto
+                              ///< scale; kDuplicate: extra delay on the
+                              ///< duplicated copy
+  /// kSlow only: multiplicative compute slowdown (>= 1). The rule matches
+  /// by `src` (the afflicted rank); dest/tag stay wildcards.
+  double factor = 1.0;
+  /// kJitter only: Pareto tail exponent (smaller = heavier tail).
+  double shape = 1.5;
+  /// kJitter only: hard cap on one sampled delay, seconds.
+  double max_delay_seconds = 0.05;
 };
 
 /// Seeded *compute-stage* bit-flip injection (PR 5): flips one bit of one
@@ -72,9 +100,13 @@ struct FaultStats {
   std::uint64_t dropped = 0;
   std::uint64_t corrupted = 0;
   std::uint64_t kills = 0;
-  std::uint64_t flips = 0;  ///< compute-stage bit flips injected
+  std::uint64_t flips = 0;       ///< compute-stage bit flips injected
+  std::uint64_t slowed = 0;      ///< stage executions stretched by kSlow
+  std::uint64_t jittered = 0;    ///< frames hit by heavy-tailed jitter
+  std::uint64_t duplicated = 0;  ///< frames re-delivered by kDuplicate
   std::uint64_t total() const {
-    return delayed + dropped + corrupted + kills + flips;
+    return delayed + dropped + corrupted + kills + flips + slowed +
+           jittered + duplicated;
   }
 };
 
@@ -100,6 +132,24 @@ class FaultPlan {
   static FaultRule kill_on_recv(int rank, int tag);
   /// Kill `rank` when it first attempts to send a message with `tag`.
   static FaultRule kill_on_send(int rank, int tag);
+  /// Slow every stage execution on `rank` by `factor`. With
+  /// probability < 1 the slowdown is intermittent per CPI (the coin is
+  /// keyed on (rank, cpi), never on scheduling order).
+  static FaultRule slow_rank(int rank, double factor,
+                             double probability = 1.0);
+  /// Heavy-tailed delivery jitter on one pipeline edge: each matching
+  /// frame (with the given probability) is delayed by a bounded Pareto
+  /// sample with the given scale/shape, capped at `cap` seconds.
+  static FaultRule jitter_edge(int edge, int tag_stride, double scale,
+                               double shape = 1.5, double cap = 0.05,
+                               double probability = 1.0);
+  /// Re-deliver matching frames of one pipeline edge a second time with
+  /// the same sequence number (a duplicate storm at probability 1).
+  static FaultRule duplicate_edge(int edge, int tag_stride,
+                                  double probability = 1.0,
+                                  double extra_delay = 0.0);
+  /// Duplicate the exact (src, dest, tag) frame once.
+  static FaultRule duplicate_message(int src, int dest, int tag);
   /// Flip `bit` of one output element of `task`'s execution for `cpi`
   /// (once by default; pass max_applications = 2 to also corrupt the
   /// recompute and force an escalation).
@@ -125,6 +175,16 @@ class FaultPlan {
   /// stages, not by World.
   bool compute_flip_due(int task, long long cpi, int rank, int attempt,
                         int* bit);
+  /// Combined multiplicative slowdown for `rank` executing a stage of
+  /// `cpi` (1.0 = nominal). Intermittent rules flip their coin on
+  /// (rank, cpi) only, so the answer is identical however threads
+  /// interleave. Called by the pipeline's compute wrapper, not by World.
+  double slow_factor_due(int rank, long long cpi);
+  /// True when the frame should be delivered a second time with the same
+  /// seq; on true `*extra_delay` receives the duplicate copy's additional
+  /// in-flight latency.
+  bool duplicate_due(int src, int dest, int tag, std::uint64_t seq,
+                     double* extra_delay);
 
   FaultStats stats() const;
   /// Zero the stats and per-rule application counters (World::run calls

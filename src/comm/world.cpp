@@ -7,6 +7,7 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 
 #include "comm/fault.hpp"
 #include "common/backoff.hpp"
@@ -71,6 +72,13 @@ struct World::Mailbox {
   std::size_t buffered_bytes = 0;
   /// Next sequence number per source rank.
   std::vector<std::uint64_t> next_seq;
+  /// Per-source set of seqs already delivered (or deliberately discarded):
+  /// the receiver-side idempotence ledger. A frame arriving with a seq
+  /// already in here is a re-delivery (kDuplicate injection) and is dropped
+  /// with CommStats::dup_discarded instead of being consumed as the next
+  /// message. A set rather than a high-water mark because frames of
+  /// different tags are consumed out of seq order.
+  std::vector<std::unordered_set<std::uint64_t>> delivered;
 };
 
 struct World::Shared {
@@ -102,6 +110,7 @@ World::World(int num_ranks, std::size_t mailbox_capacity_bytes)
   for (int r = 0; r < num_ranks; ++r) {
     boxes_.push_back(std::make_unique<Mailbox>());
     boxes_.back()->next_seq.assign(static_cast<size_t>(num_ranks), 0);
+    boxes_.back()->delivered.resize(static_cast<size_t>(num_ranks));
   }
   shared_->dead = std::vector<std::atomic<bool>>(static_cast<size_t>(num_ranks));
   shared_->recoverable =
@@ -254,6 +263,7 @@ void World::run(const std::function<void(Comm&)>& fn) {
     box->frames.clear();
     box->buffered_bytes = 0;
     std::fill(box->next_seq.begin(), box->next_seq.end(), 0);
+    for (auto& seen : box->delivered) seen.clear();
   }
   if (plan_) plan_->reset();
 
@@ -390,7 +400,19 @@ void World::do_send(Comm& c, int dest, int tag,
     }
   }
   box.buffered_bytes += f.bytes.size();
-  box.frames.push_back(std::move(f));
+  // kDuplicate: enqueue a second copy with the *same* seq (optionally
+  // delayed further). The receiver's idempotence ledger must drop it; the
+  // injected copy deliberately bypasses the seq allocator above.
+  double dup_extra = 0.0;
+  if (plan_ && plan_->duplicate_due(f.src, dest, tag, f.seq, &dup_extra)) {
+    Frame dup = f;
+    dup.deliver_at = f.deliver_at + to_duration(dup_extra);
+    box.buffered_bytes += dup.bytes.size();
+    box.frames.push_back(std::move(f));
+    box.frames.push_back(std::move(dup));
+  } else {
+    box.frames.push_back(std::move(f));
+  }
   lock.unlock();
   box.cv.notify_all();
 }
@@ -461,6 +483,19 @@ std::optional<std::vector<std::byte>> World::finalize_frame(
   return std::move(f.bytes);
 }
 
+void World::sweep_duplicates(Comm& c, Mailbox& box, int src,
+                             std::uint64_t seq) {
+  for (auto it = box.frames.begin(); it != box.frames.end();) {
+    if (it->src == src && it->seq == seq) {
+      box.buffered_bytes -= it->bytes.size();
+      it = box.frames.erase(it);
+      c.stats_.dup_discarded += 1;
+    } else {
+      ++it;
+    }
+  }
+}
+
 RecvResult World::do_recv(Comm& c, int src, int tag, const double* timeout) {
   PPSTAP_REQUIRE(src >= 0 && src < num_ranks_, "invalid source rank");
   if (plan_ && plan_->kill_due(FaultPoint::kRecv, src, c.rank(), tag))
@@ -479,19 +514,30 @@ RecvResult World::do_recv(Comm& c, int src, int tag, const double* timeout) {
     }
     // FIFO per (src, tag): only the oldest matching frame is a candidate;
     // an injected delay on it also holds back its successors, like a
-    // non-overtaking MPI channel.
+    // non-overtaking MPI channel. Re-delivered frames (seq already in the
+    // idempotence ledger) are dropped in the scan, whatever their
+    // deliver_at — a duplicate can never become the next message.
     auto match = box.frames.end();
-    for (auto it = box.frames.begin(); it != box.frames.end(); ++it) {
+    for (auto it = box.frames.begin(); it != box.frames.end();) {
       if (it->src == src && it->tag == tag) {
+        if (box.delivered[si].count(it->seq) != 0) {
+          box.buffered_bytes -= it->bytes.size();
+          it = box.frames.erase(it);
+          c.stats_.dup_discarded += 1;
+          continue;
+        }
         match = it;
         break;
       }
+      ++it;
     }
     const auto now = Clock::now();
     if (match != box.frames.end() && match->deliver_at <= now) {
       Frame f = std::move(*match);
+      box.delivered[si].insert(f.seq);
       box.buffered_bytes -= f.bytes.size();
       box.frames.erase(match);
+      sweep_duplicates(c, box, src, f.seq);
       c.stats_.recv_wait_seconds += WallTimer::now() - wait_start;
       lock.unlock();
       box.cv.notify_all();  // wake senders blocked on capacity
@@ -538,13 +584,27 @@ std::optional<std::vector<std::byte>> World::do_try_recv(Comm& c, int src,
   if (shared_->aborted.load(std::memory_order_acquire))
     throw Error("comm world aborted during try_recv");
   const auto now = Clock::now();
-  for (auto it = box.frames.begin(); it != box.frames.end(); ++it) {
-    if (it->src != src || it->tag != tag) continue;
+  const auto si = static_cast<size_t>(src);
+  for (auto it = box.frames.begin(); it != box.frames.end();) {
+    if (it->src != src || it->tag != tag) {
+      ++it;
+      continue;
+    }
+    // Drop re-delivered frames before FIFO matching (same ledger as
+    // do_recv).
+    if (box.delivered[si].count(it->seq) != 0) {
+      box.buffered_bytes -= it->bytes.size();
+      it = box.frames.erase(it);
+      c.stats_.dup_discarded += 1;
+      continue;
+    }
     // FIFO per (src, tag): a delayed head frame hides its successors.
     if (it->deliver_at > now) return std::nullopt;
     Frame f = std::move(*it);
+    box.delivered[si].insert(f.seq);
     box.buffered_bytes -= f.bytes.size();
     box.frames.erase(it);
+    sweep_duplicates(c, box, src, f.seq);
     lock.unlock();
     box.cv.notify_all();
     // allow_corrupt_failure=false: persistent corruption throws here, so
@@ -562,6 +622,10 @@ std::size_t World::do_discard(Comm& c, int src, int tag) {
     std::lock_guard<std::mutex> lock(box.mu);
     for (auto it = box.frames.begin(); it != box.frames.end();) {
       if (it->src == src && it->tag == tag) {
+        // Record the seq so a late re-delivery of a discarded frame is
+        // dropped by the idempotence ledger instead of resurrecting a CPI
+        // the receiver already shed.
+        box.delivered[static_cast<size_t>(src)].insert(it->seq);
         box.buffered_bytes -= it->bytes.size();
         it = box.frames.erase(it);
         ++dropped;

@@ -100,6 +100,11 @@ struct CommStats {
   double recv_wait_seconds = 0.0;
   /// Seconds this rank spent blocked in send on mailbox flow control.
   double send_wait_seconds = 0.0;
+  /// Frames discarded by receiver-side idempotence: a frame whose
+  /// (src, seq) was already delivered (or deliberately discarded) arrived
+  /// again — a kDuplicate re-delivery, never the retransmission path,
+  /// which refetches in place without a second enqueue.
+  std::uint64_t dup_discarded = 0;
 };
 
 /// Small causal trace context a sender can piggyback on a frame (the
@@ -361,6 +366,13 @@ class World {
   void do_send(Comm& c, int dest, int tag, std::span<const std::byte> bytes,
                bool marker, const FlowContext* flow);
   RecvResult do_recv(Comm& c, int src, int tag, const double* timeout);
+  /// Drop re-delivered copies of a just-consumed frame from the mailbox
+  /// (caller holds the mailbox lock). Without this a duplicate whose tag is
+  /// only ever received once would sit in the queue forever, counting
+  /// against channel capacity — a duplicate storm must not turn into
+  /// permanent backpressure.
+  static void sweep_duplicates(Comm& c, Mailbox& box, int src,
+                               std::uint64_t seq);
   std::optional<std::vector<std::byte>> do_try_recv(Comm& c, int src,
                                                     int tag);
   std::size_t do_discard(Comm& c, int src, int tag);

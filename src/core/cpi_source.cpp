@@ -7,21 +7,30 @@
 
 namespace ppstap::core {
 
-std::shared_ptr<const cube::CpiCube> CpiSource::get(index_t cpi) {
+std::shared_ptr<const cube::CpiCube> CpiSource::get(index_t cpi, int rank) {
   std::unique_lock<std::mutex> lock(mu_);
   if (auto it = cache_.find(cpi); it != cache_.end()) return it->second;
 
   const int prior = generated_[cpi]++;
   if (prior > 0) {
     ++regenerations_;
+    ++regen_by_rank_[rank];
     obs::Registry::global().counter("cpi_source.regenerations").add(1);
-    if (regenerations_ > max_regenerations_)
+    if (rank >= 0)
+      obs::Registry::global()
+          .counter("cpi_source.regenerations.rank" + std::to_string(rank))
+          .add(1);
+    if (regenerations_ > max_regenerations_) {
+      obs::Registry::global()
+          .counter("cpi_source.regeneration_storms")
+          .add(1);
       throw Error(
           "CPI regeneration storm: a straggler past the eviction window "
           "regenerated " +
           std::to_string(regenerations_) +
           " cubes (bound " + std::to_string(max_regenerations_) +
           "); the pipeline has fallen out of lockstep");
+    }
   }
   // Generation is deterministic per index, so dropping the lock here would
   // only risk duplicate work; holding it keeps the accounting exact and the
@@ -37,6 +46,11 @@ std::shared_ptr<const cube::CpiCube> CpiSource::get(index_t cpi) {
 index_t CpiSource::regeneration_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return regenerations_;
+}
+
+std::map<int, index_t> CpiSource::regenerations_by_rank() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return regen_by_rank_;
 }
 
 }  // namespace ppstap::core

@@ -11,8 +11,13 @@
 // regenerates the full cube on every get(), which unchecked turns one slow
 // rank into a compute storm. After `max_regenerations` the source throws
 // instead — by then the pipeline is so far out of lockstep that failing
-// loudly beats silently burning CPU. Each regeneration also bumps the
-// "cpi_source.regenerations" obs counter.
+// loudly beats silently burning CPU. Each regeneration bumps the
+// "cpi_source.regenerations" obs counter plus a per-rank
+// "cpi_source.regenerations.rank<N>" counter (the storm's *culprit* is the
+// straggling rank, and per-rank attribution is what the gray-failure
+// robustness block surfaces); tripping the bound bumps
+// "cpi_source.regeneration_storms" before throwing, so the storm is
+// visible in the --json accounting and not only in the abort message.
 #pragma once
 
 #include <map>
@@ -44,12 +49,19 @@ class CpiSource {
   }
 
   /// The full CPI cube for index `cpi` (shared, immutable). Throws once the
-  /// total regeneration count exceeds the bound.
-  std::shared_ptr<const cube::CpiCube> get(index_t cpi);
+  /// total regeneration count exceeds the bound. `rank` (when >= 0)
+  /// attributes any regeneration to the calling rank in the per-rank
+  /// accounting.
+  std::shared_ptr<const cube::CpiCube> get(index_t cpi, int rank = -1);
 
   /// How many CPIs had to be generated more than once (eviction misses);
   /// useful as a health check in tests.
   index_t regeneration_count() const;
+
+  /// Per-rank regeneration attribution (rank -> count), for the
+  /// gray-failure robustness accounting. Ranks that never regenerated are
+  /// absent; calls without a rank land on key -1.
+  std::map<int, index_t> regenerations_by_rank() const;
 
  private:
   const synth::ScenarioGenerator& gen_;
@@ -59,6 +71,7 @@ class CpiSource {
   mutable std::mutex mu_;
   std::map<index_t, std::shared_ptr<const cube::CpiCube>> cache_;
   std::map<index_t, int> generated_;
+  std::map<int, index_t> regen_by_rank_;
   index_t regenerations_ = 0;
 };
 

@@ -94,6 +94,14 @@ struct FaultLedger {
   std::uint64_t frames_dropped = 0;
   std::uint64_t frames_corrupted = 0;
   std::uint64_t kills = 0;
+  // Gray-failure injections (PR 10).
+  std::uint64_t stage_slowdowns = 0;   ///< stage executions stretched by kSlow
+  std::uint64_t frames_jittered = 0;   ///< heavy-tailed delivery delays
+  std::uint64_t frames_duplicated = 0; ///< kDuplicate re-deliveries enqueued
+  /// Re-delivered frames dropped by the receivers' idempotence ledger
+  /// (summed CommStats::dup_discarded). On a drained run this matches
+  /// frames_duplicated — every injected duplicate was caught.
+  std::uint64_t dup_discarded = 0;
   std::vector<FailoverEvent> failovers;
   /// Ranks that died and were never healed — no spare left to claim them
   /// and no shrink could re-plan their group. Their CPIs are shed instead
@@ -110,6 +118,8 @@ struct FaultLedger {
   bool clean() const {
     return shed_cpis.empty() && retransmissions == 0 && frames_delayed == 0 &&
            frames_dropped == 0 && frames_corrupted == 0 && kills == 0 &&
+           stage_slowdowns == 0 && frames_jittered == 0 &&
+           frames_duplicated == 0 && dup_discarded == 0 &&
            failovers.empty() && uncovered_ranks.empty();
   }
 };

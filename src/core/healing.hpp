@@ -37,7 +37,8 @@ struct HealingEvent {
   int rank = -1;  ///< global rank that died
   int task = -1;  ///< stap::Task index of that rank at death
   /// "spare" (pool takeover), "shrink" (group re-planned across the
-  /// survivors), or "uncovered" (neither mechanism applied).
+  /// survivors), "quarantine" (health-scored straggler eviction healed by
+  /// either of the former), or "uncovered" (neither mechanism applied).
   std::string mechanism;
   /// First CPI processed after recovery (spare), the epoch's begin CPI
   /// (shrink), or -1 (uncovered).
@@ -53,6 +54,7 @@ struct HealingLedger {
 
   int spare_takeovers() const { return count("spare"); }
   int shrinks() const { return count("shrink"); }
+  int quarantines() const { return count("quarantine"); }
   int uncovered() const { return count("uncovered"); }
 
   /// Worst repair time across the run's recoveries (0 when none).

@@ -95,6 +95,11 @@ struct Shared {
   /// simply never leaves epoch 0).
   ElasticEngine* eng = nullptr;
 
+  /// Gray-failure detector (PR 10; nullptr when PPSTAP_HEALTH is off).
+  /// Every rank feeds its Fig.-10 timestamps in, the coordinator scans,
+  /// and a quarantined rank honours the eviction flag at its next barrier.
+  HealthMonitor* health = nullptr;
+
   std::vector<index_t> easy_bins, hard_bins, easy_cells;
   std::vector<std::vector<index_t>> hard_cells;  // per segment
   std::vector<stap::HardUnit> hard_units;        // bin-major over hard_bins
@@ -172,7 +177,16 @@ struct Shared {
   /// returns the topology for `cpi`. Call at the top of every task's CPI
   /// loop before any receive or send for that CPI.
   const Topology& barrier(Comm& c, index_t cpi) {
-    return eng->barrier_point(c, cpi);
+    const Topology& tp = eng->barrier_point(c, cpi);
+    // Quarantine hook: a confirmed straggler dies voluntarily at its next
+    // CPI barrier — after progress was recorded for `cpi` but before any
+    // receive or send for it — so the recovery machinery (spare takeover /
+    // shrink) inherits the cleanest possible cut: the replacement re-enters
+    // at exactly this CPI with nothing half-consumed. The flag is cleared
+    // before a spare re-enters under this identity.
+    if (health != nullptr && health->quarantine_requested(c.rank()))
+      throw comm::RankKilled(c.rank());
+    return tp;
   }
 
   // Task owning global rank `r` at `cpi`, as a stap::Task index (-1 for
@@ -479,6 +493,47 @@ void strip_digest(FtRecv& ftr, Shared& s, int src, std::vector<T>& buf,
   }
 }
 
+// Gray-failure injection (kSlow): stretch this rank's compute stage by the
+// plan's multiplicative slowdown, realized as a sleep on top of the real
+// execution time. A revived rank — a spare wearing a quarantined rank's
+// identity — is exempt: the rule modeled the evicted hardware, not its
+// healthy replacement.
+void maybe_straggle(Comm& c, Shared& s, index_t cpi, double elapsed) {
+  if (s.plan == nullptr) return;
+  if (s.health != nullptr && s.health->revived(c.rank())) return;
+  const double f = s.plan->slow_factor_due(c.rank(), cpi);
+  if (f <= 1.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>((f - 1.0) * elapsed));
+}
+
+// Health sampling: one intrinsic-service / queue-wait pair per completed
+// Fig.-10 cycle. Service is t3 - t1 — the receive wait is excluded, so a
+// rank merely starved behind an upstream straggler is never flagged itself.
+void observe_health(Comm& c, Shared& s, Task t, index_t cpi, double t0,
+                    double t1, double t3) {
+  if (s.health != nullptr)
+    s.health->observe(c.rank(), static_cast<int>(t), cpi, t3 - t1, t1 - t0);
+}
+
+// Sink-side detector tick: score every task group's live members.
+// Eviction viability rides along — a spare left in the pool, else the
+// shrink protocol — so the do-no-harm gate can refuse quarantines nobody
+// could heal.
+void health_scan(Shared& s, const Topology& tp, index_t cpi) {
+  if (s.health == nullptr) return;
+  std::vector<HealthGroup> groups;
+  for (size_t t = 0; t < tp.ranks.size(); ++t) {
+    HealthGroup g;
+    g.task = static_cast<int>(t);
+    for (const int r : tp.ranks[t])
+      if (!s.eng->rank_permanently_dead(r)) g.ranks.push_back(r);
+    if (!g.ranks.empty()) groups.push_back(std::move(g));
+  }
+  const bool spare = s.spares_left.load(std::memory_order_acquire) > 0;
+  s.health->scan(cpi, groups, spare, s.ft.heal_shrink);
+}
+
 // The detect → recompute-once → escalate policy around one stage execution.
 // `compute(attempt)` produces the stage output (and applies any injected
 // flip); `verify()` checks the ABFT invariant over the current output.
@@ -487,7 +542,9 @@ void strip_digest(FtRecv& ftr, Shared& s, int src, std::vector<T>& buf,
 template <typename ComputeFn, typename VerifyFn>
 bool run_checked(Comm& c, Shared& s, Task t, index_t cpi, ComputeFn&& compute,
                  VerifyFn&& verify) {
+  const double c_start = WallTimer::now();
   compute(0);
+  maybe_straggle(c, s, cpi, WallTimer::now() - c_start);
   if (!s.integ.enabled) return true;
   if (verify()) {
     s.integ_checks_passed.fetch_add(1, std::memory_order_relaxed);
@@ -600,7 +657,7 @@ index_t run_doppler(Comm& c, Shared& s, index_t begin) {
         adm.level >= DegradationLevel::kStaleWeights;
 
     // "Receive": fetch this rank's range slab from the radar feed.
-    auto full = s.source.get(cpi);
+    auto full = s.source.get(cpi, c.rank());
     cube::CpiCube slab(kl, j, p.num_pulses);
     for (index_t k = 0; k < kl; ++k)
       for (index_t ch = 0; ch < j; ++ch) {
@@ -717,6 +774,7 @@ index_t run_doppler(Comm& c, Shared& s, index_t begin) {
     const double t3 = WallTimer::now();
     emit_phase_spans(c.rank(), Task::kDopplerFilter, cpi, t0, t1, t2, t3,
                      acc.bytes - bytes0);
+    observe_health(c, s, Task::kDopplerFilter, cpi, t0, t1, t3);
 
     if (meas) {
       acc.recv += t1 - t0;
@@ -882,6 +940,7 @@ void run_easy_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
     const double t3 = WallTimer::now();
     emit_phase_spans(c.rank(), Task::kEasyWeight, cpi, t0, t1, t2, t3,
                      acc.bytes - bytes0);
+    observe_health(c, s, Task::kEasyWeight, cpi, t0, t1, t3);
 
     if (meas) {
       acc.recv += t1 - t0;
@@ -1050,6 +1109,7 @@ void run_hard_wt(Comm& c, Shared& s, int me, const Resume* resume = nullptr) {
     const double t3 = WallTimer::now();
     emit_phase_spans(c.rank(), Task::kHardWeight, cpi, t0, t1, t2, t3,
                      acc.bytes - bytes0);
+    observe_health(c, s, Task::kHardWeight, cpi, t0, t1, t3);
 
     if (meas) {
       acc.recv += t1 - t0;
@@ -1246,6 +1306,7 @@ void run_beamform(Comm& c, Shared& s, int me, bool hard, index_t begin = 0) {
     }
     const double t3 = WallTimer::now();
     emit_phase_spans(c.rank(), task, cpi, t0, t1, t2, t3, acc.bytes - bytes0);
+    observe_health(c, s, task, cpi, t0, t1, t3);
 
     if (meas) {
       acc.recv += t1 - t0;
@@ -1403,6 +1464,7 @@ index_t run_pc(Comm& c, Shared& s, index_t begin) {
     const double t3 = WallTimer::now();
     emit_phase_spans(c.rank(), Task::kPulseCompression, cpi, t0, t1, t2, t3,
                      acc.bytes - bytes0);
+    observe_health(c, s, Task::kPulseCompression, cpi, t0, t1, t3);
 
     if (meas) {
       acc.recv += t1 - t0;
@@ -1563,6 +1625,13 @@ index_t run_cfar(Comm& c, Shared& s, index_t begin) {
     if (obs::tracing_enabled())
       emit_phase_spans(c.rank(), Task::kCfar, cpi, t0, t1, t2,
                        WallTimer::now(), 0);
+    observe_health(c, s, Task::kCfar, cpi, t0, t1, t2);
+    // Detector tick from the sink, not the coordinator: the pipelined
+    // front can sprint arbitrarily far ahead of a straggler (and exit its
+    // loop before the victim has min_samples), while the sink only reaches
+    // CPI i after every upstream rank has sampled it — scans always score
+    // mature statistics.
+    if (role.local == 0) health_scan(s, tp, cpi);
 
     if (meas) {
       acc.recv += t1 - t0;
@@ -1686,6 +1755,13 @@ void run_spare(comm::World& world, Comm& c, Shared& s) {
     }
 
     c.take_over(*dead);
+    // A quarantined straggler's death is attributed to the monitor, and
+    // the revival clears its eviction request and statistics — the rank id
+    // now names healthy replacement hardware, so per-rank slowdown rules
+    // keyed on the old identity no longer apply.
+    const bool was_quarantined =
+        s.health != nullptr && s.health->was_quarantined(*dead);
+    if (s.health != nullptr) s.health->on_revived(*dead);
     // This claim consumed one pool member. Whoever takes the pool to zero
     // clears every recoverable flag (the taken-over id included — the
     // revived rank is alive again, so the flag only governs a *repeat*
@@ -1696,8 +1772,8 @@ void run_spare(comm::World& world, Comm& c, Shared& s) {
     if (s.spares_left.fetch_sub(1, std::memory_order_acq_rel) - 1 <= 0)
       for (int g = 0; g < s.a.total(); ++g) world.set_recoverable(g, false);
 
-    auto record = [&s, &c, dead = *dead, task = role.task,
-                   t_death](index_t cpi) {
+    auto record = [&s, &c, dead = *dead, task = role.task, t_death,
+                   was_quarantined](index_t cpi) {
       const double t_up = WallTimer::now();
       {
         std::lock_guard<std::mutex> lock(s.mu);
@@ -1706,7 +1782,7 @@ void run_spare(comm::World& world, Comm& c, Shared& s) {
         HealingEvent ev;
         ev.rank = dead;
         ev.task = static_cast<int>(task);
-        ev.mechanism = "spare";
+        ev.mechanism = was_quarantined ? "quarantine" : "spare";
         ev.resume_cpi = cpi;
         ev.mttr_seconds = t_up - t_death;
         s.healing.push_back(ev);
@@ -1803,6 +1879,12 @@ PipelineResult ParallelStapPipeline::run(
   s.integ = integ_;
   s.plan = plan_;
 
+  // Gray-failure detector: shared by every rank thread through Shared.
+  // Constructed unconditionally (cheap), wired only when enabled so the
+  // disabled path costs nothing per CPI.
+  HealthMonitor monitor(hc_, assign_.total() + ft_.spare_count());
+  if (hc_.enabled) s.health = &monitor;
+
   // The controller lives on the driver's stack for the run; every rank
   // shares it through Shared, and the source gates admission on it.
   std::optional<OverloadController> ctrl;
@@ -1855,7 +1937,9 @@ PipelineResult ParallelStapPipeline::run(
         HealingEvent ev;
         ev.rank = rank;
         ev.task = task;
-        ev.mechanism = "shrink";
+        ev.mechanism = s.health != nullptr && s.health->was_quarantined(rank)
+                           ? "quarantine"
+                           : "shrink";
         ev.resume_cpi = begin_cpi;
         ev.mttr_seconds = t_death > 0.0 ? commit_time - t_death : 0.0;
         s.healing.push_back(ev);
@@ -2016,6 +2100,7 @@ PipelineResult ParallelStapPipeline::run(
       "fault ledger histogram attempts must mirror the comm layer");
   for (const auto& st : stats) {
     result.faults.retransmissions += st.retransmissions;
+    result.faults.dup_discarded += st.dup_discarded;
     for (size_t b = 0; b < st.retry_histogram.size(); ++b)
       for (size_t a = 0; a < st.retry_histogram[b].size(); ++a)
         result.faults.retry_histogram[b][a] += st.retry_histogram[b][a];
@@ -2026,6 +2111,9 @@ PipelineResult ParallelStapPipeline::run(
     result.faults.frames_dropped = fs.dropped;
     result.faults.frames_corrupted = fs.corrupted;
     result.faults.kills = fs.kills;
+    result.faults.stage_slowdowns = fs.slowed;
+    result.faults.frames_jittered = fs.jittered;
+    result.faults.frames_duplicated = fs.duplicated;
   }
   result.faults.failovers = std::move(s.failovers);
   // Any topology rank dead at exit with neither a covering takeover nor a
@@ -2056,6 +2144,15 @@ PipelineResult ParallelStapPipeline::run(
     reg.counter("pipeline.failovers")
         .add(static_cast<std::uint64_t>(result.faults.failovers.size()));
     reg.counter("comm.retransmissions").add(result.faults.retransmissions);
+    if (result.faults.stage_slowdowns > 0)
+      reg.counter("fault.stage_slowdowns").add(result.faults.stage_slowdowns);
+    if (result.faults.frames_jittered > 0)
+      reg.counter("fault.frames_jittered").add(result.faults.frames_jittered);
+    if (result.faults.frames_duplicated > 0)
+      reg.counter("fault.frames_duplicated")
+          .add(result.faults.frames_duplicated);
+    if (result.faults.dup_discarded > 0)
+      reg.counter("comm.dup_discarded").add(result.faults.dup_discarded);
     if (!result.faults.uncovered_ranks.empty())
       reg.counter("pipeline.uncovered_failures")
           .add(static_cast<std::uint64_t>(
@@ -2076,7 +2173,20 @@ PipelineResult ParallelStapPipeline::run(
     reg.counter("healing.spare_takeovers")
         .add(result.healing.spare_takeovers());
     reg.counter("healing.shrinks").add(result.healing.shrinks());
+    reg.counter("healing.quarantines").add(result.healing.quarantines());
     reg.counter("healing.uncovered").add(result.healing.uncovered());
+  }
+
+  // --- health ledger --------------------------------------------------------
+  if (s.health != nullptr) {
+    result.health = s.health->ledger();
+    if (!result.health.clean()) {
+      reg.counter("health.suspects").add(result.health.suspects);
+      reg.counter("health.flap_suppressed")
+          .add(result.health.flap_suppressed);
+      reg.counter("health.vetoed").add(result.health.vetoed);
+      // health.quarantines is bumped at eviction time by the monitor.
+    }
   }
 
   // --- overload + numerical-health ledgers ----------------------------------

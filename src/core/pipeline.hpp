@@ -23,6 +23,7 @@
 #include "core/elastic.hpp"
 #include "core/fault_tolerance.hpp"
 #include "core/healing.hpp"
+#include "core/health.hpp"
 #include "core/integrity.hpp"
 #include "core/overload.hpp"
 #include "linalg/matrix.hpp"
@@ -121,9 +122,15 @@ struct PipelineResult {
   MigrationLedger migrations;
 
   /// Self-healing accounting (PR 8): one event per rank death — spare
-  /// takeover, shrink-to-survivors, or uncovered — with per-recovery MTTR.
-  /// healing.clean() when no rank ever died.
+  /// takeover, shrink-to-survivors, quarantine, or uncovered — with
+  /// per-recovery MTTR. healing.clean() when no rank ever died.
   HealingLedger healing;
+
+  /// Gray-failure detector accounting (PR 10): per-rank service/queue
+  /// EWMAs, peer z-scores, and every detector transition (suspect, clear,
+  /// quarantine, flap-suppression, do-no-harm veto). health.clean() when
+  /// nothing was ever suspected (and trivially when PPSTAP_HEALTH is off).
+  HealthLedger health;
 
   /// Absolute sink completion timestamp per CPI (WallTimer base; 0.0 for
   /// CPIs that never completed) — lets benches window steady-state
@@ -179,6 +186,11 @@ class ParallelStapPipeline {
   void set_elastic(const ElasticConfig& cfg) { el_ = cfg; }
   const ElasticConfig& elastic() const { return el_; }
 
+  /// Configure gray-failure detection/quarantine (default: read from the
+  /// PPSTAP_HEALTH* environment, i.e. disabled unless knobs are set).
+  void set_health(const HealthConfig& cfg) { hc_ = cfg; }
+  const HealthConfig& health() const { return hc_; }
+
  private:
   stap::StapParams p_;
   NodeAssignment assign_;
@@ -188,6 +200,7 @@ class ParallelStapPipeline {
   OverloadConfig ov_ = OverloadConfig::from_env();
   IntegrityConfig integ_ = IntegrityConfig::from_env();
   ElasticConfig el_ = ElasticConfig::from_env();
+  HealthConfig hc_ = HealthConfig::from_env();
   comm::FaultPlan* plan_ = nullptr;
 };
 

@@ -344,17 +344,13 @@ Json BottleneckReport::to_json() const {
   return doc;
 }
 
-BottleneckReport analyze_trace(const Json& chrome_doc) {
+std::vector<Span> spans_from_trace(const Json& chrome_doc) {
+  std::vector<Span> spans;
   const Json* events = chrome_doc.find("traceEvents");
-  if (events == nullptr || !events->is_array()) {
-    BottleneckReport rep;
-    rep.note = "document has no traceEvents array";
-    return rep;
-  }
+  if (events == nullptr || !events->is_array()) return spans;
   const auto num = [](const Json* j, double fallback) {
     return j != nullptr && j->is_number() ? j->as_number() : fallback;
   };
-  std::vector<Span> spans;
   for (std::size_t i = 0; i < events->size(); ++i) {
     const Json& e = events->at(i);
     const Json* ph = e.find("ph");
@@ -401,7 +397,17 @@ BottleneckReport analyze_trace(const Json& chrome_doc) {
     s.queue_s = arg("queue_us", 0.0) * 1e-6;
     spans.push_back(s);
   }
-  return analyze_spans(spans);
+  return spans;
+}
+
+BottleneckReport analyze_trace(const Json& chrome_doc) {
+  if (const Json* events = chrome_doc.find("traceEvents");
+      events == nullptr || !events->is_array()) {
+    BottleneckReport rep;
+    rep.note = "document has no traceEvents array";
+    return rep;
+  }
+  return analyze_spans(spans_from_trace(chrome_doc));
 }
 
 }  // namespace ppstap::obs

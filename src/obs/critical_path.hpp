@@ -118,4 +118,9 @@ BottleneckReport analyze_spans(const std::vector<Span>& spans);
 /// chrome_trace_json(): pid -> task, args -> flow fields).
 BottleneckReport analyze_trace(const Json& chrome_doc);
 
+/// The trace-to-span conversion analyze_trace() is built on, exposed for
+/// tools that need the raw per-(rank, cpi) phase spans — e.g. the offline
+/// per-rank health report in ppstap-analyze.
+std::vector<Span> spans_from_trace(const Json& chrome_doc);
+
 }  // namespace ppstap::obs

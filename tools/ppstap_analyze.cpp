@@ -14,11 +14,16 @@
 //   ppstap-analyze trace.json --json          # machine-readable report
 //   ppstap-analyze trace.json --assert-verdict --assert-no-drops
 //                             --expect-gating "Doppler filter processing"
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "obs/critical_path.hpp"
@@ -37,9 +42,100 @@ int usage(const char* argv0) {
       "                          bottleneck verdict\n"
       "  --assert-no-drops       fail if the trace recorder dropped spans\n"
       "                          (otherData.dropped_spans > 0)\n"
-      "  --expect-gating NAME    fail unless the gating task group is NAME\n",
+      "  --expect-gating NAME    fail unless the gating task group is NAME\n"
+      "  --per-rank-health       print the offline gray-failure report:\n"
+      "                          per-rank service floor, mean and peer\n"
+      "                          z-score (see DESIGN.md, gray-failure "
+      "model)\n"
+      "  --assert-no-stragglers  fail if any rank's service floor is a\n"
+      "                          peer-relative straggler (implies the\n"
+      "                          per-rank analysis)\n",
       argv0);
   return 2;
+}
+
+// Offline twin of core::HealthMonitor's verdict, run over a full trace
+// instead of a rolling window: per-rank service floor (min over every
+// (rank, cpi) service = comp + send), scored leave-one-out against its
+// task-group peers. Thresholds mirror the HealthConfig defaults (the tool
+// links only ppstap_obs, so they are restated here).
+struct RankRow {
+  int rank = -1;
+  int task = -1;
+  long long samples = 0;
+  double mean = 0.0;
+  double floor = 1e300;
+  double queue = 0.0;
+  double zscore = 0.0;
+  bool straggler = false;
+};
+
+std::vector<RankRow> per_rank_health(const std::vector<obs::Span>& spans) {
+  constexpr double kZscore = 4.0;
+  constexpr double kMinRatio = 1.5;
+  constexpr double kMinService = 1e-4;
+  constexpr long long kMinSamples = 3;
+
+  // One service sample per (rank, cpi): comp + send span durations.
+  std::map<int, RankRow> rows;
+  std::map<std::pair<int, std::int64_t>, double> service;
+  std::map<std::pair<int, std::int64_t>, double> queue;
+  for (const auto& s : spans) {
+    if (std::strcmp(s.category, "pipeline") != 0 || s.cpi < 0) continue;
+    auto& row = rows[s.rank];
+    row.rank = s.rank;
+    row.task = s.task;
+    const auto key = std::make_pair(s.rank, s.cpi);
+    if (std::strcmp(s.name, "recv") == 0)
+      queue[key] += s.t_end - s.t_start;
+    else  // comp or send
+      service[key] += s.t_end - s.t_start;
+  }
+  for (const auto& [key, sv] : service) {
+    auto& row = rows[key.first];
+    ++row.samples;
+    row.mean += sv;
+    row.floor = std::min(row.floor, sv);
+    if (auto it = queue.find(key); it != queue.end()) row.queue += it->second;
+  }
+  std::vector<RankRow> out;
+  for (auto& [rank, row] : rows) {
+    if (row.samples == 0) continue;
+    row.mean /= static_cast<double>(row.samples);
+    row.queue /= static_cast<double>(row.samples);
+    out.push_back(row);
+  }
+  // Leave-one-out peer z-score over floors, within each task group.
+  for (auto& row : out) {
+    std::vector<double> peers;
+    for (const auto& p : out)
+      if (p.task == row.task && p.rank != row.rank &&
+          p.samples >= kMinSamples)
+        peers.push_back(p.floor);
+    if (peers.empty() || row.samples < kMinSamples) continue;
+    double mean = 0.0;
+    for (double v : peers) mean += v;
+    mean /= static_cast<double>(peers.size());
+    double var = 0.0;
+    for (double v : peers) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(peers.size());
+    const double sd = std::max({std::sqrt(var), 0.1 * mean, 1e-12});
+    row.zscore = (row.floor - mean) / sd;
+    row.straggler = row.zscore > kZscore && row.floor > kMinRatio * mean &&
+                    row.floor > kMinService;
+  }
+  return out;
+}
+
+void print_rank_health(const std::vector<RankRow>& rows) {
+  std::printf("\nper-rank health (offline floors)\n");
+  std::printf("%5s %-28s %8s %10s %10s %10s %8s\n", "rank", "task group",
+              "samples", "floor", "mean", "queue", "z");
+  for (const auto& r : rows)
+    std::printf("%5d %-28s %8lld %8.4fms %8.4fms %8.4fms %8.2f%s\n", r.rank,
+                obs::stap_task_label(r.task).c_str(), r.samples,
+                1e3 * r.floor, 1e3 * r.mean, 1e3 * r.queue, r.zscore,
+                r.straggler ? "  <- STRAGGLER" : "");
 }
 
 void print_report(const obs::BottleneckReport& rep) {
@@ -95,6 +191,8 @@ int main(int argc, char** argv) {
   bool as_json = false;
   bool assert_verdict = false;
   bool assert_no_drops = false;
+  bool rank_health = false;
+  bool assert_no_stragglers = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -103,6 +201,11 @@ int main(int argc, char** argv) {
       assert_verdict = true;
     } else if (arg == "--assert-no-drops") {
       assert_no_drops = true;
+    } else if (arg == "--per-rank-health") {
+      rank_health = true;
+    } else if (arg == "--assert-no-stragglers") {
+      assert_no_stragglers = true;
+      rank_health = true;
     } else if (arg == "--expect-gating" && i + 1 < argc) {
       expect_gating = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
@@ -134,6 +237,9 @@ int main(int argc, char** argv) {
   }
 
   const obs::BottleneckReport rep = obs::analyze_trace(doc);
+  std::vector<RankRow> health_rows;
+  if (rank_health)
+    health_rows = per_rank_health(obs::spans_from_trace(doc));
 
   double dropped = 0.0;
   if (const obs::Json* other = doc.find("otherData"))
@@ -144,10 +250,27 @@ int main(int argc, char** argv) {
     obs::Json out = rep.to_json();
     out["trace_file"] = path;
     out["dropped_spans"] = dropped;
+    if (rank_health) {
+      obs::Json arr = obs::Json::array();
+      for (const auto& r : health_rows) {
+        obs::Json row = obs::Json::object();
+        row["rank"] = r.rank;
+        row["task"] = obs::stap_task_label(r.task);
+        row["samples"] = static_cast<double>(r.samples);
+        row["floor_service_s"] = r.floor;
+        row["mean_service_s"] = r.mean;
+        row["mean_queue_s"] = r.queue;
+        row["zscore"] = r.zscore;
+        row["straggler"] = r.straggler;
+        arr.push_back(std::move(row));
+      }
+      out["rank_health"] = std::move(arr);
+    }
     std::printf("%s\n", out.dump(2).c_str());
   } else {
     std::printf("trace: %s (%.0f dropped spans)\n", path.c_str(), dropped);
     print_report(rep);
+    if (rank_health) print_rank_health(health_rows);
   }
 
   int rc = 0;
@@ -169,6 +292,17 @@ int main(int argc, char** argv) {
                  expect_gating.c_str(),
                  rep.valid ? rep.gating_task_name.c_str() : "(invalid)");
     rc = 1;
+  }
+  if (assert_no_stragglers) {
+    for (const auto& r : health_rows)
+      if (r.straggler) {
+        std::fprintf(stderr,
+                     "FAIL: rank %d (%s) is a straggler: floor %.4f ms, "
+                     "peer z %.2f\n",
+                     r.rank, obs::stap_task_label(r.task).c_str(),
+                     1e3 * r.floor, r.zscore);
+        rc = 1;
+      }
   }
   return rc;
 }
